@@ -1,0 +1,51 @@
+//! Figure 10: space requirement (bitmap vectors) vs cardinality.
+
+use crate::fig9::slices;
+
+/// One point of the Figure 10 series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig10Point {
+    /// Attribute cardinality `m`.
+    pub cardinality: u64,
+    /// Simple bitmap index: `m` vectors.
+    pub simple_vectors: u64,
+    /// Encoded bitmap index: `ceil(log2 m)` vectors.
+    pub encoded_vectors: u64,
+}
+
+/// The Figure 10 series over the given cardinalities.
+#[must_use]
+pub fn fig10_series(cardinalities: &[u64]) -> Vec<Fig10Point> {
+    cardinalities
+        .iter()
+        .map(|&m| Fig10Point {
+            cardinality: m,
+            simple_vectors: m,
+            encoded_vectors: u64::from(slices(m)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_vs_logarithmic() {
+        let s = fig10_series(&[2, 50, 1000, 12000]);
+        assert_eq!(s[0].simple_vectors, 2);
+        assert_eq!(s[0].encoded_vectors, 1);
+        assert_eq!(s[1].simple_vectors, 50);
+        assert_eq!(s[1].encoded_vectors, 6);
+        assert_eq!(s[2].encoded_vectors, 10);
+        assert_eq!(s[3].encoded_vectors, 14, "the paper's 12000 products");
+        // Growth rates: simple doubles with m, encoded grows by one bit.
+        assert!(s[3].simple_vectors / s[2].simple_vectors == 12);
+        assert_eq!(s[3].encoded_vectors - s[2].encoded_vectors, 4);
+    }
+
+    #[test]
+    fn empty_input_empty_series() {
+        assert!(fig10_series(&[]).is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Executable analytical models from the paper's §3.
+//!
+//! The paper's evaluation is analytical: Figure 9 plots the number of
+//! bitmap vectors accessed (`c_s` for simple, `c_e` for encoded bitmap
+//! indexing) against the range width δ; Figure 10 plots index size in
+//! bitmap vectors against the attribute cardinality; §3.2 integrates
+//! the Figure 9 curves into the worst-case area ratios (0.84 / 0.90)
+//! and the peak savings (83% at δ=32 for |A|=50, 90% at δ=512 for
+//! |A|=1000). This crate computes all of those series so the bench
+//! harness can print paper-vs-measured tables.
+
+pub mod fig10;
+pub mod fig9;
+pub mod report;
+pub mod worst_case;
+
+pub use fig10::{fig10_series, Fig10Point};
+pub use fig9::{ce_best, ce_worst, cs, fig9_series, Fig9Point};
+pub use worst_case::{area_ratio, peak_saving, WorstCaseSummary};

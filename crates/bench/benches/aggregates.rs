@@ -1,0 +1,60 @@
+//! §5 extension — direct-bitmap aggregates vs a row scan: SUM / MEDIAN
+//! over a filtered measure, slice-parallel versus decoding rows.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ebi_bitvec::BitVec;
+use ebi_core::aggregates::BitSlicedMeasure;
+use ebi_storage::Cell;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_aggregates(c: &mut Criterion) {
+    let rows = 200_000usize;
+    let mut rng = StdRng::seed_from_u64(0xA66);
+    let values: Vec<u64> = (0..rows).map(|_| rng.random_range(0..10_000u64)).collect();
+    let measure = BitSlicedMeasure::build(values.iter().map(|&v| Cell::Value(v)));
+    let filter: BitVec = (0..rows).map(|i| i % 3 != 0).collect();
+
+    let mut group = c.benchmark_group("aggregates");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(rows as u64));
+    group.bench_function(BenchmarkId::new("sum", "bit_sliced"), |b| {
+        b.iter(|| black_box(measure.sum_where(&filter)));
+    });
+    group.bench_function(BenchmarkId::new("sum", "row_scan"), |b| {
+        b.iter(|| {
+            let mut total: u128 = 0;
+            for (i, &v) in values.iter().enumerate() {
+                if filter.bit(i) {
+                    total += u128::from(v);
+                }
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function(BenchmarkId::new("median", "bit_sliced"), |b| {
+        b.iter(|| black_box(measure.median_where(&filter)));
+    });
+    group.bench_function(BenchmarkId::new("median", "row_sort"), |b| {
+        b.iter(|| {
+            let mut qualifying: Vec<u64> = values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| filter.bit(*i))
+                .map(|(_, &v)| v)
+                .collect();
+            qualifying.sort_unstable();
+            black_box(qualifying[(qualifying.len() - 1) / 2])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregates);
+criterion_main!(benches);

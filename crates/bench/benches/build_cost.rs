@@ -1,0 +1,37 @@
+//! Experiment E13 — build cost vs cardinality (§2.1): simple bitmap
+//! builds are O(n·m), encoded O(n·log m), the B-tree
+//! O(n·log_{M/2} m + n·log2(p/4)).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ebi_baselines::{SimpleBitmapIndex, ValueListIndex};
+use ebi_bench::uniform_cells;
+use ebi_core::EncodedBitmapIndex;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_build(c: &mut Criterion) {
+    let rows = 50_000usize;
+    let mut group = c.benchmark_group("build_cost");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(rows as u64));
+    for m in [16u64, 128, 1024, 8192] {
+        let cells = uniform_cells(m, rows, 0xBC + m);
+        group.bench_with_input(BenchmarkId::new("encoded", m), &cells, |b, cells| {
+            b.iter(|| black_box(EncodedBitmapIndex::build(cells.iter().copied()).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("simple", m), &cells, |b, cells| {
+            b.iter(|| black_box(SimpleBitmapIndex::build(cells.iter().copied())));
+        });
+        group.bench_with_input(BenchmarkId::new("btree", m), &cells, |b, cells| {
+            b.iter(|| black_box(ValueListIndex::build(cells.iter().copied())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

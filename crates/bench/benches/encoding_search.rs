@@ -1,0 +1,68 @@
+//! The cost of *finding* a well-defined encoding (§3.2 prices it as a
+//! one-time cost): identity/Gray are O(m), affinity is the bipartition
+//! pass, annealing pays per iteration.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebi_core::encoding::{
+    AffinityEncoding, AnnealingEncoding, EncodingProblem, EncodingStrategy, GrayEncoding,
+    IdentityEncoding,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn predicates(m: u64, count: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let size = rng.random_range(2..=(m / 4).max(3));
+            let mut vs: Vec<u64> = (0..size).map(|_| rng.random_range(0..m)).collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        })
+        .collect()
+}
+
+fn bench_encoding_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_search");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for m in [64u64, 256] {
+        let values: Vec<u64> = (0..m).collect();
+        let preds = predicates(m, 8, 0xE5 + m);
+        let width = if m <= 2 { 1 } else { (m - 1).ilog2() + 1 };
+        let problem = EncodingProblem {
+            values: &values,
+            predicates: &preds,
+            width,
+            forbidden_codes: &[],
+        };
+        group.bench_with_input(BenchmarkId::new("identity", m), &problem, |b, p| {
+            b.iter(|| black_box(IdentityEncoding.encode(p).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("gray", m), &problem, |b, p| {
+            b.iter(|| black_box(GrayEncoding.encode(p).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("affinity", m), &problem, |b, p| {
+            b.iter(|| black_box(AffinityEncoding.encode(p).unwrap()));
+        });
+        if m <= 64 {
+            let annealer = AnnealingEncoding {
+                iterations: 200,
+                seed: 0xE6,
+            };
+            group.bench_with_input(BenchmarkId::new("annealing200", m), &problem, |b, p| {
+                b.iter(|| black_box(annealer.encode(p).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding_search);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Wall-clock companion to Figure 9: query latency vs range width δ
+//! for the encoded, simple and bit-sliced indexes (m = 1000, the
+//! Figure 9(b) regime).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebi_baselines::{BitSlicedIndex, SelectionIndex, SimpleBitmapIndex};
+use ebi_bench::uniform_cells;
+use ebi_core::EncodedBitmapIndex;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig9(c: &mut Criterion) {
+    let m = 1000u64;
+    let rows = 100_000usize;
+    let cells = uniform_cells(m, rows, 0xB9);
+    let encoded = EncodedBitmapIndex::build(cells.iter().copied()).expect("build");
+    let simple = SimpleBitmapIndex::build(cells.iter().copied());
+    let sliced = BitSlicedIndex::build(cells.iter().copied());
+
+    let mut group = c.benchmark_group("fig9_range_selectivity");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for delta in [1u64, 8, 64, 512] {
+        let selection: Vec<u64> = (0..delta).collect();
+        group.bench_with_input(BenchmarkId::new("encoded", delta), &selection, |b, sel| {
+            b.iter(|| black_box(SelectionIndex::in_list(&encoded, sel)));
+        });
+        group.bench_with_input(BenchmarkId::new("simple", delta), &selection, |b, sel| {
+            b.iter(|| black_box(simple.in_list(sel)));
+        });
+        group.bench_with_input(BenchmarkId::new("bit_sliced", delta), &selection, |b, _| {
+            b.iter(|| black_box(sliced.range(0, delta - 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

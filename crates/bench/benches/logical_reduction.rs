@@ -1,0 +1,55 @@
+//! §3.2 "Logical Reduction" — the paper prices reduction as a one-time
+//! cost with exponential worst case. Measures Quine–McCluskey over
+//! growing variable counts and selection widths, plus the exact
+//! minimum-support computation behind the Figure 9 best case.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebi_boolean::{qm, support};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_qm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quine_mccluskey");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for k in [6u32, 8, 10] {
+        let m = 1u64 << k;
+        // Half-domain contiguous selection: the heavy, realistic case.
+        let on: Vec<u64> = (0..m / 2).collect();
+        group.bench_with_input(BenchmarkId::new("contiguous_half", k), &on, |b, on| {
+            b.iter(|| black_box(qm::minimize(on, &[], k)));
+        });
+        // Scattered selection (every third code).
+        let scattered: Vec<u64> = (0..m).step_by(3).collect();
+        group.bench_with_input(BenchmarkId::new("scattered_third", k), &scattered, |b, on| {
+            b.iter(|| black_box(qm::minimize(on, &[], k)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_min_support(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_support");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for (m, delta) in [(50u64, 31u64), (1000, 500)] {
+        let k = if m <= 2 { 1 } else { (m - 1).ilog2() + 1 };
+        let on: Vec<u64> = (0..delta).collect();
+        let dc: Vec<u64> = (m..(1u64 << k)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("prefix", format!("m{m}_d{delta}")),
+            &(on, dc),
+            |b, (on, dc)| {
+                b.iter(|| black_box(support::min_vectors(on, dc, k)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qm, bench_min_support);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Experiment E15 — maintenance cost (§3.1): appends are O(h) for both
+//! bitmap indexes, but h = m for simple and h = ceil(log2 m) for
+//! encoded; domain expansion costs O(|T|) for simple (a whole new
+//! vector) and amortises for encoded.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ebi_baselines::SimpleBitmapIndex;
+use ebi_bench::uniform_cells;
+use ebi_core::EncodedBitmapIndex;
+use ebi_storage::Cell;
+use std::hint::black_box;
+use std::time::Duration;
+
+const APPENDS: usize = 2_000;
+
+fn bench_appends(c: &mut Criterion) {
+    let rows = 20_000usize;
+    let mut group = c.benchmark_group("maintenance_append");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(APPENDS as u64));
+    for m in [64u64, 1024] {
+        let cells = uniform_cells(m, rows, 0xA9 + m);
+        group.bench_with_input(BenchmarkId::new("encoded", m), &cells, |b, cells| {
+            b.iter_batched(
+                || EncodedBitmapIndex::build(cells.iter().copied()).unwrap(),
+                |mut idx| {
+                    for i in 0..APPENDS {
+                        idx.append(Cell::Value((i as u64) % m)).unwrap();
+                    }
+                    black_box(idx)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("simple", m), &cells, |b, cells| {
+            b.iter_batched(
+                || SimpleBitmapIndex::build(cells.iter().copied()),
+                |mut idx| {
+                    for i in 0..APPENDS {
+                        idx.append(Cell::Value((i as u64) % m));
+                    }
+                    black_box(idx)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_domain_expansion(c: &mut Criterion) {
+    // Appends that each introduce a brand-new value: simple must create
+    // a whole vector per append; encoded mostly reuses free codes.
+    let rows = 20_000usize;
+    let m = 256u64;
+    let cells = uniform_cells(m, rows, 0xAE);
+    let mut group = c.benchmark_group("maintenance_expansion");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(200));
+    group.bench_function("encoded_new_values", |b| {
+        b.iter_batched(
+            || EncodedBitmapIndex::build(cells.iter().copied()).unwrap(),
+            |mut idx| {
+                for i in 0..200u64 {
+                    idx.append(Cell::Value(m + i)).unwrap();
+                }
+                black_box(idx)
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("simple_new_values", |b| {
+        b.iter_batched(
+            || SimpleBitmapIndex::build(cells.iter().copied()),
+            |mut idx| {
+                for i in 0..200u64 {
+                    idx.append(Cell::Value(m + i));
+                }
+                black_box(idx)
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_appends, bench_domain_expansion);
+criterion_main!(benches);

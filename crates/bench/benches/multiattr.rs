@@ -1,0 +1,76 @@
+//! Experiment E16 — index cooperativity (§2.1): conjunctions over
+//! several attributes are answered by ANDing single-attribute bitmap
+//! results, no compound index required. Compares 1-, 2- and 3-clause
+//! conjunctions through the executor.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ebi_bench::{uniform_cells, zipf_cells, DEFAULT_ROWS};
+use ebi_core::EncodedBitmapIndex;
+use ebi_warehouse::{ConjunctiveQuery, Executor, Predicate, Query};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn clause(column: &str, predicate: Predicate) -> Query {
+    Query {
+        column: column.into(),
+        predicate,
+    }
+}
+
+fn bench_multiattr(c: &mut Criterion) {
+    let rows = DEFAULT_ROWS;
+    let a = uniform_cells(100, rows, 0x3A);
+    let b = zipf_cells(1000, 0.7, rows, 0x3B);
+    let d = uniform_cells(12, rows, 0x3C);
+    let ia = EncodedBitmapIndex::build(a.iter().copied()).unwrap();
+    let ib = EncodedBitmapIndex::build(b.iter().copied()).unwrap();
+    let id = EncodedBitmapIndex::build(d.iter().copied()).unwrap();
+    let mut exec = Executor::new(rows);
+    exec.register("a", &ia);
+    exec.register("b", &ib);
+    exec.register("d", &id);
+
+    let queries = [
+        (
+            1usize,
+            ConjunctiveQuery {
+                clauses: vec![clause("a", Predicate::Range(10, 40))],
+            },
+        ),
+        (
+            2,
+            ConjunctiveQuery {
+                clauses: vec![
+                    clause("a", Predicate::Range(10, 40)),
+                    clause("b", Predicate::Range(0, 255)),
+                ],
+            },
+        ),
+        (
+            3,
+            ConjunctiveQuery {
+                clauses: vec![
+                    clause("a", Predicate::Range(10, 40)),
+                    clause("b", Predicate::Range(0, 255)),
+                    clause("d", Predicate::InList(vec![1, 2, 3, 4])),
+                ],
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("multiattr_conjunction");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for (n, q) in &queries {
+        group.bench_with_input(BenchmarkId::from_parameter(n), q, |bch, q| {
+            bch.iter(|| black_box(exec.run(q)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiattr);
+criterion_main!(benches);

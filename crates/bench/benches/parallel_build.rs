@@ -1,0 +1,36 @@
+//! Extension — parallel index construction: thread-count scaling of the
+//! chunked builder against the serial baseline (bit-identical output).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ebi_bench::uniform_cells;
+use ebi_core::index::BuildOptions;
+use ebi_core::parallel::build_parallel;
+use ebi_core::EncodedBitmapIndex;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_parallel_build(c: &mut Criterion) {
+    let rows = 400_000usize;
+    let m = 1024u64;
+    let cells = uniform_cells(m, rows, 0x9B);
+
+    let mut group = c.benchmark_group("parallel_build");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(rows as u64));
+    group.bench_function(BenchmarkId::new("threads", 1), |b| {
+        b.iter(|| black_box(EncodedBitmapIndex::build(cells.iter().copied()).unwrap()));
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(build_parallel(&cells, BuildOptions::default(), t).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_build);
+criterion_main!(benches);

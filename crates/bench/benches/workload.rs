@@ -1,0 +1,66 @@
+//! Experiment E18 — the full TPC-D-style mix (12/17 range searches)
+//! through every index family, wall-clock edition of `tpcd_mix`.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ebi_baselines::{
+    BitSlicedIndex, HybridBTreeBitmapIndex, RangeBasedBitmapIndex, SelectionIndex,
+    SimpleBitmapIndex, ValueListIndex,
+};
+use ebi_bench::zipf_cells;
+use ebi_core::EncodedBitmapIndex;
+use ebi_warehouse::workload::{Predicate, Query, WorkloadSpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn run_workload(idx: &dyn SelectionIndex, workload: &[Query]) -> usize {
+    workload
+        .iter()
+        .map(|q| {
+            let r = match &q.predicate {
+                Predicate::Eq(v) => idx.eq(*v),
+                Predicate::InList(vs) => idx.in_list(vs),
+                Predicate::Range(lo, hi) => idx.range(*lo, *hi),
+            };
+            r.bitmap.count_ones()
+        })
+        .sum()
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let m = 1000u64;
+    let rows = 50_000usize;
+    let cells = zipf_cells(m, 0.5, rows, 0x4D);
+    let workload = WorkloadSpec::tpcd_like("a", m, 50, 0x4E).generate();
+
+    let encoded = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+    let simple = SimpleBitmapIndex::build(cells.iter().copied());
+    let sliced = BitSlicedIndex::build(cells.iter().copied());
+    let ranged = RangeBasedBitmapIndex::build(cells.iter().copied(), 16);
+    let hybrid = HybridBTreeBitmapIndex::build(cells.iter().copied());
+    let vlist = ValueListIndex::build(cells.iter().copied());
+    let indexes: Vec<(&str, &dyn SelectionIndex)> = vec![
+        ("encoded", &encoded),
+        ("simple", &simple),
+        ("bit_sliced", &sliced),
+        ("range_based", &ranged),
+        ("hybrid", &hybrid),
+        ("value_list", &vlist),
+    ];
+
+    let mut group = c.benchmark_group("tpcd_workload");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    for (name, idx) in indexes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &workload, |b, w| {
+            b.iter(|| black_box(run_workload(idx, w)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

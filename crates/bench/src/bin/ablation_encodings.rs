@@ -1,0 +1,117 @@
+//! Experiment E20 — ablation over encoding strategies (the design
+//! choice DESIGN.md highlights): identity vs Gray vs affinity vs
+//! annealing, scored by Theorem 2.3's objective (total reduced vector
+//! count over a predicate workload).
+//!
+//! Workloads: contiguous ranges (where Gray shines), clustered
+//! co-access sets (where affinity shines), and the paper's Figure 3 /
+//! Figure 5 scenarios.
+
+use ebi_analysis::report::TextTable;
+use ebi_bench::write_result;
+use ebi_core::encoding::{
+    workload_cost, AffinityEncoding, AnnealingEncoding, EncodingProblem, EncodingStrategy,
+    GrayEncoding, IdentityEncoding,
+};
+use ebi_core::hierarchy::{paper_figure5_mapping, paper_salespoint_hierarchy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random clustered predicates: `count` sets, each grouping a random
+/// cluster of values.
+fn clustered_predicates(m: u64, count: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let size = rng.random_range(2..=(m / 2).max(3));
+            let mut vs: Vec<u64> = (0..size).map(|_| rng.random_range(0..m)).collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        })
+        .collect()
+}
+
+/// Contiguous range predicates.
+fn range_predicates(m: u64, count: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let width = rng.random_range(2..=(m / 2).max(3));
+            let lo = rng.random_range(0..m - width + 1);
+            (lo..lo + width).collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let strategies: Vec<(&str, Box<dyn EncodingStrategy>)> = vec![
+        ("identity", Box::new(IdentityEncoding)),
+        ("gray", Box::new(GrayEncoding)),
+        ("affinity", Box::new(AffinityEncoding)),
+        (
+            "annealing",
+            Box::new(AnnealingEncoding {
+                iterations: 1500,
+                seed: 0xAB1,
+            }),
+        ),
+    ];
+
+    let mut table = TextTable::new(["workload", "m", "identity", "gray", "affinity", "annealing"]);
+
+    let mut scenarios: Vec<(String, u64, Vec<Vec<u64>>)> = Vec::new();
+    for m in [16u64, 64, 256] {
+        scenarios.push((
+            format!("ranges(m={m})"),
+            m,
+            range_predicates(m, 8, 0x1000 + m),
+        ));
+        scenarios.push((
+            format!("clusters(m={m})"),
+            m,
+            clustered_predicates(m, 8, 0x2000 + m),
+        ));
+    }
+    // The paper's own scenarios.
+    scenarios.push((
+        "fig3 {a..d},{c..f}".into(),
+        8,
+        vec![vec![0, 1, 2, 3], vec![2, 3, 4, 5]],
+    ));
+    let hier = paper_salespoint_hierarchy();
+    scenarios.push(("fig5 hierarchy".into(), 13, hier.predicates()));
+
+    for (name, m, preds) in &scenarios {
+        let values: Vec<u64> = if name.starts_with("fig5") {
+            (1..=12).collect()
+        } else {
+            (0..*m).collect()
+        };
+        let width = ebi_core::Mapping::width_for(values.len());
+        let problem = EncodingProblem {
+            values: &values,
+            predicates: preds,
+            width,
+            forbidden_codes: &[],
+        };
+        let costs: Vec<String> = strategies
+            .iter()
+            .map(|(_, s)| {
+                let mapping = s.encode(&problem).expect("encode");
+                workload_cost(&mapping, preds).to_string()
+            })
+            .collect();
+        let mut row = vec![name.clone(), m.to_string()];
+        row.extend(costs);
+        table.row(row);
+    }
+
+    println!("== encoding-strategy ablation (total vectors accessed per workload) ==");
+    println!("{}", table.render());
+    println!(
+        "reference: the paper's hand-crafted Figure 5 mapping costs {}",
+        workload_cost(&paper_figure5_mapping(), &hier.predicates())
+    );
+    write_result("ablation_encodings.csv", &table.to_csv());
+}

@@ -1,0 +1,101 @@
+//! Experiment E22 (extension) — working-set behaviour under a bounded
+//! buffer pool: the encoded index's `ceil(log2 m)` vectors fit in a
+//! small pool and stop touching disk, while the simple index's `m`
+//! vectors thrash the same pool under a range-search workload.
+//!
+//! Sweeps the pool capacity and reports disk reads per query for both.
+
+use ebi_analysis::report::TextTable;
+use ebi_baselines::{SelectionIndex, SimpleBitmapIndex};
+use ebi_bench::{uniform_cells, write_result};
+use ebi_core::paged::persist_and_open;
+use ebi_core::EncodedBitmapIndex;
+use ebi_storage::buffer::BufferPool;
+use ebi_storage::pager::Pager;
+use ebi_storage::segment::{read_segment_buffered, write_segment, SegmentHandle};
+use ebi_warehouse::workload::{Predicate, WorkloadSpec};
+
+fn main() {
+    let m = 256u64;
+    let rows = 100_000usize;
+    let page = 4096usize;
+    let cells = uniform_cells(m, rows, 0xB5);
+    let workload = WorkloadSpec::tpcd_like("a", m, 100, 0xB6).generate();
+
+    // Encoded: persisted index, queried through its pool.
+    let encoded = EncodedBitmapIndex::build(cells.iter().copied()).expect("build");
+    // Simple: persist each value vector as a segment; a query ORs the
+    // vectors it needs, reading them through the same-size pool.
+    let simple = SimpleBitmapIndex::build(cells.iter().copied());
+    let simple_pager = Pager::with_page_size(page);
+    let simple_segments: Vec<(u64, SegmentHandle)> = simple
+        .values()
+        .iter()
+        .map(|&v| {
+            let bitmap = SelectionIndex::eq(&simple, v).bitmap;
+            (v, write_segment(&simple_pager, &bitmap.to_bytes()).expect("persist"))
+        })
+        .collect();
+
+    let vector_pages = (rows / 8 + 8).div_ceil(page);
+    println!(
+        "working sets: encoded {} vectors ({} pages), simple {} vectors ({} pages)",
+        encoded.width(),
+        encoded.width() as usize * vector_pages,
+        m,
+        m as usize * vector_pages
+    );
+
+    let mut table = TextTable::new([
+        "pool_pages",
+        "encoded_disk_reads",
+        "encoded_hit_ratio",
+        "simple_disk_reads",
+        "simple_hit_ratio",
+    ]);
+    for pool_pages in [4usize, 8, 16, 32, 64, 128, 512, 2048] {
+        // Encoded side.
+        let enc_pager = Pager::with_page_size(page);
+        let paged = persist_and_open(&encoded, &enc_pager, pool_pages).expect("open");
+        enc_pager.reset_stats();
+        for q in &workload {
+            let _ = match &q.predicate {
+                Predicate::Eq(v) => paged.eq(*v),
+                Predicate::InList(vs) => paged.in_list(vs),
+                Predicate::Range(lo, hi) => paged.range(*lo, *hi),
+            }
+            .expect("query");
+        }
+        let enc_reads = enc_pager.stats().page_reads;
+        let enc_ratio = paged.pool_stats().hit_ratio();
+
+        // Simple side: same workload through an LRU pool of equal size.
+        let pool = BufferPool::new(&simple_pager, pool_pages);
+        simple_pager.reset_stats();
+        for q in &workload {
+            let values: Vec<u64> = match &q.predicate {
+                Predicate::Eq(v) => vec![*v],
+                Predicate::InList(vs) => vs.clone(),
+                Predicate::Range(lo, hi) => (*lo..=*hi).collect(),
+            };
+            for v in values {
+                if let Some((_, h)) = simple_segments.iter().find(|(sv, _)| *sv == v) {
+                    let _ = read_segment_buffered(&pool, page, h).expect("read");
+                }
+            }
+        }
+        let sim_reads = simple_pager.stats().page_reads;
+        let sim_ratio = pool.stats().hit_ratio();
+
+        table.row([
+            pool_pages.to_string(),
+            enc_reads.to_string(),
+            format!("{enc_ratio:.3}"),
+            sim_reads.to_string(),
+            format!("{sim_ratio:.3}"),
+        ]);
+    }
+    println!("== buffer-pool sweep: disk page reads over 100 queries (m = {m}, {rows} rows) ==");
+    println!("{}", table.render());
+    write_result("buffer_sweep.csv", &table.to_csv());
+}

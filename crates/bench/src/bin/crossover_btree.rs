@@ -1,0 +1,58 @@
+//! Experiment E12 — §2.1 space crossover between simple bitmap indexes
+//! and B-trees: `m < 11.52 · p / M` (≈ 93 at p = 4K, M = 512).
+//!
+//! Prints the analytic model next to measured footprints of real
+//! structures over the same data and locates the measured crossover.
+
+use ebi_analysis::report::TextTable;
+use ebi_baselines::{SelectionIndex, SimpleBitmapIndex, ValueListIndex};
+use ebi_bench::{uniform_cells, write_result};
+use ebi_btree::model;
+
+fn main() {
+    let rows = 200_000usize;
+    let (degree_m, page_p) = (512usize, 4096usize);
+    println!(
+        "analytic crossover: m < {:.2}",
+        model::bitmap_smaller_than_btree_cardinality(page_p as u64, degree_m as u64)
+    );
+
+    let mut table = TextTable::new([
+        "m",
+        "bitmap_bytes(model)",
+        "bitmap_bytes(measured)",
+        "btree_bytes(model)",
+        "btree_bytes(measured)",
+        "bitmap_smaller",
+    ]);
+    let mut measured_crossover: Option<u64> = None;
+    for m in [2u64, 8, 16, 32, 48, 64, 80, 92, 96, 112, 128, 192, 256, 512] {
+        let cells = uniform_cells(m, rows, 0xC40 + m);
+        let bitmap = SimpleBitmapIndex::build(cells.iter().copied());
+        let btree = ValueListIndex::build_with(cells.iter().copied(), degree_m, page_p);
+        let bitmap_bytes = SelectionIndex::storage_bytes(&bitmap);
+        let btree_bytes = SelectionIndex::storage_bytes(&btree);
+        let smaller = bitmap_bytes < btree_bytes;
+        if !smaller && measured_crossover.is_none() {
+            measured_crossover = Some(m);
+        }
+        table.row([
+            m.to_string(),
+            format!("{:.0}", model::simple_bitmap_space_bytes(rows as u64, m)),
+            bitmap_bytes.to_string(),
+            format!(
+                "{:.0}",
+                model::btree_space_bytes(rows as u64, degree_m as u64, page_p as u64)
+            ),
+            btree_bytes.to_string(),
+            smaller.to_string(),
+        ]);
+    }
+    println!("== §2.1 bitmap vs B-tree space, {rows} rows, M={degree_m}, p={page_p} ==");
+    println!("{}", table.render());
+    match measured_crossover {
+        Some(m) => println!("measured crossover at m ≈ {m} (paper: 93)"),
+        None => println!("bitmap stayed smaller over the whole sweep"),
+    }
+    write_result("crossover_btree.csv", &table.to_csv());
+}

@@ -1,0 +1,52 @@
+//! Experiment E10 — **Figure 10**: space requirement vs attribute
+//! cardinality.
+//!
+//! Analytical: simple needs `m` bitmap vectors, encoded
+//! `ceil(log2 m)`. Measured: actual vector counts and byte footprints
+//! of both indexes built over generated data (the encoded side includes
+//! its mapping table).
+
+use ebi_analysis::fig10::fig10_series;
+use ebi_analysis::report::TextTable;
+use ebi_baselines::{SelectionIndex, SimpleBitmapIndex};
+use ebi_bench::{uniform_cells, write_result};
+use ebi_core::EncodedBitmapIndex;
+
+fn main() {
+    let cardinalities: Vec<u64> = vec![2, 4, 8, 16, 32, 50, 64, 128, 256, 512, 1000, 2048, 4096, 12000];
+    let rows = 50_000usize;
+    let mut table = TextTable::new([
+        "m",
+        "simple_vecs(analytic)",
+        "simple_vecs(measured)",
+        "simple_bytes",
+        "encoded_vecs(analytic)",
+        "encoded_vecs(measured)",
+        "encoded_bytes",
+        "ratio_bytes",
+    ]);
+    for point in fig10_series(&cardinalities) {
+        let m = point.cardinality;
+        let cells = uniform_cells(m, rows, 0xF10 + m);
+        let simple = SimpleBitmapIndex::build(cells.iter().copied());
+        let encoded = EncodedBitmapIndex::build(cells.iter().copied()).expect("build EBI");
+        // With 50k uniform rows every value of small m appears, so the
+        // measured vector count should match the analytic one.
+        table.row([
+            m.to_string(),
+            point.simple_vectors.to_string(),
+            simple.bitmap_vector_count().to_string(),
+            SelectionIndex::storage_bytes(&simple).to_string(),
+            point.encoded_vectors.to_string(),
+            encoded.bitmap_vector_count().to_string(),
+            encoded.storage_bytes().to_string(),
+            format!(
+                "{:.1}",
+                SelectionIndex::storage_bytes(&simple) as f64 / encoded.storage_bytes() as f64
+            ),
+        ]);
+    }
+    println!("== Figure 10: space vs cardinality ({rows} rows) ==");
+    println!("{}", table.render());
+    write_result("fig10_space.csv", &table.to_csv());
+}

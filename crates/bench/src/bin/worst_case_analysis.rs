@@ -1,0 +1,34 @@
+//! Experiment E11 — §3.2 worst-case analysis: the area ratios between
+//! the Figure 9 best-case curve and the worst-case line, and the peak
+//! savings.
+//!
+//! Paper values: ratio ≈ 0.84 at |A| = 50, ≈ 0.90 at |A| = 1000;
+//! savings up to 83% (δ = 32, |A| = 50) and 90% (δ = 512, |A| = 1000).
+
+use ebi_analysis::report::TextTable;
+use ebi_analysis::worst_case::summary;
+
+fn main() {
+    let mut table = TextTable::new([
+        "|A|",
+        "area_ratio(measured)",
+        "area_ratio(paper)",
+        "peak_saving(measured)",
+        "peak_delta",
+        "peak_saving(paper)",
+    ]);
+    for (m, paper_ratio, paper_saving) in [(50u64, 0.84, "83% @ δ=32"), (1000, 0.90, "90% @ δ=512")] {
+        let s = summary(m);
+        table.row([
+            m.to_string(),
+            format!("{:.3}", s.area_ratio),
+            format!("{paper_ratio:.2}"),
+            format!("{:.1}%", s.peak_saving * 100.0),
+            s.peak_delta.to_string(),
+            paper_saving.to_string(),
+        ]);
+    }
+    println!("== §3.2 worst-case analysis ==");
+    println!("{}", table.render());
+    ebi_bench::write_result("worst_case.csv", &table.to_csv());
+}

@@ -1,0 +1,65 @@
+//! Error type for fallible bit-vector operations (deserialisation).
+
+use std::fmt;
+
+/// Errors returned by fallible [`crate::BitVec`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitVecError {
+    /// The byte buffer is too short or structurally malformed.
+    Corrupt {
+        /// Human-readable description of what failed to parse.
+        detail: String,
+    },
+    /// The serialised length field is inconsistent with the payload size.
+    LengthMismatch {
+        /// Bit length declared in the header.
+        declared_bits: usize,
+        /// Number of payload words actually present.
+        payload_words: usize,
+    },
+    /// The compressed stream declared more bits than the container allows.
+    Overflow,
+}
+
+impl fmt::Display for BitVecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Corrupt { detail } => write!(f, "corrupt bitmap encoding: {detail}"),
+            Self::LengthMismatch {
+                declared_bits,
+                payload_words,
+            } => write!(
+                f,
+                "bitmap header declares {declared_bits} bits but payload has {payload_words} words"
+            ),
+            Self::Overflow => write!(f, "compressed bitmap length overflows usize"),
+        }
+    }
+}
+
+impl std::error::Error for BitVecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BitVecError::LengthMismatch {
+            declared_bits: 100,
+            payload_words: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("100 bits"));
+        assert!(msg.contains("1 words"));
+        assert!(BitVecError::Overflow.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&BitVecError::Corrupt {
+            detail: "x".into(),
+        });
+    }
+}

@@ -1,0 +1,158 @@
+//! Iterators over [`BitVec`] contents.
+
+use crate::core::{BitVec, WORD_BITS};
+
+/// Iterator over every bit of a [`BitVec`], in position order.
+#[derive(Debug, Clone)]
+pub struct BitIter<'a> {
+    vec: &'a BitVec,
+    pos: usize,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let b = self.vec.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for BitIter<'_> {}
+
+/// Iterator over the positions of set bits, ascending.
+///
+/// Skips zero words wholesale, so iterating a sparse bitmap costs
+/// `O(words + ones)` — this is what makes bitmap-index result decoding
+/// cheap even on very sparse vectors.
+#[derive(Debug, Clone)]
+pub struct OnesIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> OnesIter<'a> {
+    fn new(vec: &'a BitVec) -> Self {
+        let words = vec.words();
+        Self {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + tz)
+    }
+}
+
+impl BitVec {
+    /// Iterates every bit in position order.
+    #[must_use]
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter { vec: self, pos: 0 }
+    }
+
+    /// Iterates the positions of set bits, ascending. For an index query
+    /// result this yields the matching tuple-ids.
+    #[must_use]
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter::new(self)
+    }
+
+    /// Collects the positions of set bits into a vector.
+    #[must_use]
+    pub fn to_positions(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        out.extend(self.iter_ones());
+        out
+    }
+
+    /// Position of the first set bit, if any.
+    #[must_use]
+    pub fn first_one(&self) -> Option<usize> {
+        self.iter_ones().next()
+    }
+}
+
+impl<'a> IntoIterator for &'a BitVec {
+    type Item = bool;
+    type IntoIter = BitIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_iter_matches_get() {
+        let v: BitVec = (0..130).map(|i| i % 7 == 0).collect();
+        let collected: Vec<bool> = v.iter().collect();
+        assert_eq!(collected.len(), 130);
+        for (i, &b) in collected.iter().enumerate() {
+            assert_eq!(b, v.bit(i));
+        }
+    }
+
+    #[test]
+    fn ones_iter_yields_sorted_positions() {
+        let positions = vec![0usize, 1, 63, 64, 65, 127, 128, 199];
+        let v = BitVec::from_positions(200, &positions);
+        assert_eq!(v.to_positions(), positions);
+    }
+
+    #[test]
+    fn ones_iter_on_empty_and_dense() {
+        assert_eq!(BitVec::zeros(500).to_positions(), Vec::<usize>::new());
+        assert_eq!(BitVec::new().to_positions(), Vec::<usize>::new());
+        let dense = BitVec::ones(100);
+        assert_eq!(dense.to_positions(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ones_iter_skips_long_zero_runs() {
+        let v = BitVec::from_positions(10_000, &[9_999]);
+        assert_eq!(v.to_positions(), vec![9_999]);
+        assert_eq!(v.first_one(), Some(9_999));
+        assert_eq!(BitVec::zeros(10).first_one(), None);
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let v = BitVec::zeros(42);
+        let mut it = v.iter();
+        assert_eq!(it.len(), 42);
+        it.next();
+        assert_eq!(it.len(), 41);
+    }
+
+    #[test]
+    fn into_iterator_for_reference() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        let total: usize = (&v).into_iter().filter(|&b| b).count();
+        assert_eq!(total, 2);
+    }
+}

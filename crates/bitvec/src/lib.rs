@@ -1,0 +1,49 @@
+//! Bit-vector substrate for encoded bitmap indexing.
+//!
+//! This crate provides the low-level bitmap machinery that every index in
+//! the workspace is built from:
+//!
+//! * [`BitVec`] — a growable, word-packed vector of bits with bulk logical
+//!   operations (`AND`, `OR`, `XOR`, `NOT`, `AND NOT`), population count,
+//!   and position iterators. This is the physical representation of one
+//!   *bitmap vector* in the sense of Wu & Buchmann (ICDE 1998): bit `j`
+//!   corresponds to tuple `j` of the indexed table.
+//! * [`rank::RankIndex`] — an auxiliary rank/select directory for
+//!   positional queries over a frozen bitmap.
+//! * [`wah::WahBitmap`] — a word-aligned-hybrid run-length-compressed
+//!   bitmap, covering the "compression techniques (e.g. run-length) for
+//!   simple bitmap indexes" the paper lists as related work, and used by
+//!   the sparsity experiments.
+//! * [`builder::BitVecBuilder`] — streaming construction helpers used by
+//!   the index builders.
+//!
+//! # Invariant
+//!
+//! All operations maintain the invariant that bits at positions `>= len()`
+//! inside the last storage word are zero, so `count_ones` and word-level
+//! comparisons are always exact.
+//!
+//! # Example
+//!
+//! ```
+//! use ebi_bitvec::BitVec;
+//!
+//! let mut b = BitVec::from_bools([true, false, true, true]);
+//! let mask = BitVec::from_bools([true, true, false, true]);
+//! b &= &mask;
+//! assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 3]);
+//! ```
+
+pub mod builder;
+mod core;
+pub mod error;
+mod iter;
+mod ops;
+pub mod rank;
+pub mod serial;
+mod serde_impl;
+pub mod wah;
+
+pub use crate::core::{BitVec, WORD_BITS};
+pub use crate::error::BitVecError;
+pub use crate::iter::{BitIter, OnesIter};

@@ -1,0 +1,190 @@
+//! Rank/select directory over a frozen [`BitVec`].
+//!
+//! `rank1(i)` (ones strictly before position `i`) and `select1(k)` (position
+//! of the `k`-th one, zero-based) are the positional primitives used when a
+//! bitmap query result must be joined back to physical tuple slots — e.g.
+//! when a selection bitmap addresses rows of a compacted projection index.
+
+use crate::core::{BitVec, WORD_BITS};
+
+/// Words per superblock of the rank directory.
+const SUPER_WORDS: usize = 8; // 512 bits per superblock
+
+/// Precomputed rank/select directory for one bitmap.
+///
+/// ```
+/// use ebi_bitvec::{rank::RankIndex, BitVec};
+///
+/// let bits = BitVec::from_positions(100, &[3, 40, 90]);
+/// let idx = RankIndex::new(&bits);
+/// assert_eq!(idx.rank1(&bits, 41), 2); // ones strictly before 41
+/// assert_eq!(idx.select1(&bits, 2), Some(90)); // the third one
+/// ```
+///
+/// Construction is `O(n / 64)`; `rank1` is `O(1)` plus at most
+/// `SUPER_WORDS` popcounts; `select1` binary-searches superblocks then
+/// scans within one.
+#[derive(Debug, Clone)]
+pub struct RankIndex {
+    /// Cumulative ones before each superblock.
+    supers: Vec<usize>,
+    total_ones: usize,
+    len: usize,
+}
+
+impl RankIndex {
+    /// Builds the directory for `bits`.
+    #[must_use]
+    pub fn new(bits: &BitVec) -> Self {
+        let words = bits.words();
+        let n_super = words.len().div_ceil(SUPER_WORDS);
+        let mut supers = Vec::with_capacity(n_super + 1);
+        let mut acc = 0usize;
+        for chunk_start in (0..words.len()).step_by(SUPER_WORDS) {
+            supers.push(acc);
+            let end = (chunk_start + SUPER_WORDS).min(words.len());
+            acc += words[chunk_start..end]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>();
+        }
+        supers.push(acc);
+        Self {
+            supers,
+            total_ones: acc,
+            len: bits.len(),
+        }
+    }
+
+    /// Total number of ones in the indexed bitmap.
+    #[must_use]
+    pub fn total_ones(&self) -> usize {
+        self.total_ones
+    }
+
+    /// Number of ones strictly before position `i` in `bits`.
+    ///
+    /// `bits` must be the same bitmap the directory was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > bits.len()` or the directory does not match `bits`.
+    #[must_use]
+    pub fn rank1(&self, bits: &BitVec, i: usize) -> usize {
+        assert_eq!(bits.len(), self.len, "RankIndex built for a different bitmap");
+        assert!(i <= bits.len(), "rank position {i} out of range");
+        let word = i / WORD_BITS;
+        let sb = word / SUPER_WORDS;
+        let mut r = self.supers[sb];
+        let words = bits.words();
+        for w in &words[sb * SUPER_WORDS..word] {
+            r += w.count_ones() as usize;
+        }
+        let rem = i % WORD_BITS;
+        if rem != 0 {
+            r += (words[word] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Position of the `k`-th set bit (zero-based), or `None` if there are
+    /// at most `k` ones.
+    #[must_use]
+    pub fn select1(&self, bits: &BitVec, k: usize) -> Option<usize> {
+        assert_eq!(bits.len(), self.len, "RankIndex built for a different bitmap");
+        if k >= self.total_ones {
+            return None;
+        }
+        // Binary search for the superblock containing the k-th one.
+        let sb = self.supers.partition_point(|&c| c <= k) - 1;
+        let words = bits.words();
+        let mut remaining = k - self.supers[sb];
+        let start = sb * SUPER_WORDS;
+        for (off, &w) in words[start..].iter().enumerate() {
+            let pop = w.count_ones() as usize;
+            if remaining < pop {
+                return Some((start + off) * WORD_BITS + select_in_word(w, remaining));
+            }
+            remaining -= pop;
+        }
+        None
+    }
+}
+
+/// Position of the `k`-th set bit within a single word (`k < popcount(w)`).
+fn select_in_word(mut w: u64, mut k: usize) -> usize {
+    loop {
+        let tz = w.trailing_zeros() as usize;
+        if k == 0 {
+            return tz;
+        }
+        w &= w - 1;
+        k -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_rank(bits: &BitVec, i: usize) -> usize {
+        (0..i).filter(|&j| bits.bit(j)).count()
+    }
+
+    #[test]
+    fn rank_matches_naive_on_pattern() {
+        let bits: BitVec = (0..1500).map(|i| i % 5 == 0 || i % 7 == 0).collect();
+        let idx = RankIndex::new(&bits);
+        for i in [0usize, 1, 63, 64, 65, 511, 512, 513, 1024, 1499, 1500] {
+            assert_eq!(idx.rank1(&bits, i), naive_rank(&bits, i), "rank({i})");
+        }
+        assert_eq!(idx.total_ones(), bits.count_ones());
+    }
+
+    #[test]
+    fn select_inverts_rank() {
+        let bits: BitVec = (0..2000).map(|i| i % 3 == 1).collect();
+        let idx = RankIndex::new(&bits);
+        let ones: Vec<usize> = bits.iter_ones().collect();
+        for (k, &pos) in ones.iter().enumerate() {
+            assert_eq!(idx.select1(&bits, k), Some(pos), "select({k})");
+            assert_eq!(idx.rank1(&bits, pos), k);
+        }
+        assert_eq!(idx.select1(&bits, ones.len()), None);
+    }
+
+    #[test]
+    fn select_on_all_zero_bitmap() {
+        let bits = BitVec::zeros(700);
+        let idx = RankIndex::new(&bits);
+        assert_eq!(idx.select1(&bits, 0), None);
+        assert_eq!(idx.rank1(&bits, 700), 0);
+    }
+
+    #[test]
+    fn select_on_dense_bitmap() {
+        let bits = BitVec::ones(600);
+        let idx = RankIndex::new(&bits);
+        for k in [0usize, 1, 63, 64, 511, 512, 599] {
+            assert_eq!(idx.select1(&bits, k), Some(k));
+        }
+        assert_eq!(idx.select1(&bits, 600), None);
+    }
+
+    #[test]
+    fn select_in_word_positions() {
+        assert_eq!(select_in_word(0b1011, 0), 0);
+        assert_eq!(select_in_word(0b1011, 1), 1);
+        assert_eq!(select_in_word(0b1011, 2), 3);
+        assert_eq!(select_in_word(1u64 << 63, 0), 63);
+    }
+
+    #[test]
+    fn empty_bitmap_directory() {
+        let bits = BitVec::new();
+        let idx = RankIndex::new(&bits);
+        assert_eq!(idx.total_ones(), 0);
+        assert_eq!(idx.rank1(&bits, 0), 0);
+        assert_eq!(idx.select1(&bits, 0), None);
+    }
+}

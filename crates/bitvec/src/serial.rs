@@ -1,0 +1,114 @@
+//! Byte-level (de)serialisation of bitmaps.
+//!
+//! The storage substrate persists bitmap vectors as page payloads; this
+//! module defines the on-disk layout:
+//!
+//! ```text
+//! [ u64 little-endian: bit length | u64 × ceil(len/64): payload words ]
+//! ```
+//!
+//! The layout is deliberately trivial — the interesting storage behaviour
+//! (page granularity, read counting) lives in `ebi-storage`.
+
+use crate::core::{BitVec, WORD_BITS};
+use crate::error::BitVecError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+impl BitVec {
+    /// Serialises to the length-prefixed little-endian word layout.
+    #[must_use]
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.words().len() * 8);
+        buf.put_u64_le(self.len() as u64);
+        for &w in self.words() {
+            buf.put_u64_le(w);
+        }
+        buf.freeze()
+    }
+
+    /// Parses the layout produced by [`BitVec::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitVecError`] when the buffer is truncated, has a
+    /// length/payload mismatch, or carries set bits beyond the declared
+    /// length (which would silently corrupt population counts).
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, BitVecError> {
+        if bytes.len() < 8 {
+            return Err(BitVecError::Corrupt {
+                detail: format!("buffer of {} bytes has no length header", bytes.len()),
+            });
+        }
+        let len_u64 = bytes.get_u64_le();
+        let len = usize::try_from(len_u64).map_err(|_| BitVecError::Overflow)?;
+        let expected_words = len.div_ceil(WORD_BITS);
+        if bytes.len() != expected_words * 8 {
+            return Err(BitVecError::LengthMismatch {
+                declared_bits: len,
+                payload_words: bytes.len() / 8,
+            });
+        }
+        let mut words = Vec::with_capacity(expected_words);
+        for _ in 0..expected_words {
+            words.push(bytes.get_u64_le());
+        }
+        let v = BitVec { words, len };
+        // Reject payloads that violate the tail invariant rather than
+        // silently masking: a mismatch means the producer was buggy.
+        let mut masked = v.clone();
+        masked.mask_tail();
+        if masked.words != v.words {
+            return Err(BitVecError::Corrupt {
+                detail: "set bits beyond declared length".into(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        for len in [0usize, 1, 63, 64, 65, 1000] {
+            let v: BitVec = (0..len).map(|i| i % 3 == 0).collect();
+            let restored = BitVec::from_bytes(v.to_bytes()).unwrap();
+            assert_eq!(restored, v, "len {len}");
+        }
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let err = BitVec::from_bytes(Bytes::from_static(&[1, 2, 3])).unwrap_err();
+        assert!(matches!(err, BitVecError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn payload_length_mismatch_rejected() {
+        let v = BitVec::ones(100);
+        let mut raw = v.to_bytes().to_vec();
+        raw.truncate(raw.len() - 8); // drop one payload word
+        let err = BitVec::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, BitVecError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn tail_garbage_rejected() {
+        // Declare 4 bits but set bit 5 in the payload word.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(4);
+        buf.put_u64_le(0b10_0001);
+        let err = BitVec::from_bytes(buf.freeze()).unwrap_err();
+        assert!(matches!(err, BitVecError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn empty_bitmap_serialises_to_header_only() {
+        let v = BitVec::new();
+        let raw = v.to_bytes();
+        assert_eq!(raw.len(), 8);
+        assert_eq!(BitVec::from_bytes(raw).unwrap(), v);
+    }
+}

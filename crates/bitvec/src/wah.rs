@@ -1,0 +1,407 @@
+//! Word-Aligned-Hybrid (WAH) run-length-compressed bitmaps.
+//!
+//! The paper notes (§2.1, §4) that the sparsity of simple bitmap vectors —
+//! on average `(m-1)/m` ones are zero for a cardinality-`m` attribute — is
+//! usually attacked with run-length compression. This module implements a
+//! 64-bit WAH variant so the sparsity/space experiments can compare:
+//!
+//! * uncompressed simple bitmaps,
+//! * WAH-compressed simple bitmaps, and
+//! * encoded bitmaps (which have density ≈ 1/2 and barely compress —
+//!   exactly the trade-off the encoded index makes: fewer, denser vectors).
+//!
+//! ## Layout
+//!
+//! Each code word is a `u64`:
+//!
+//! * **Literal** (`MSB = 0`): 63 payload bits verbatim.
+//! * **Fill** (`MSB = 1`): bit 62 is the fill value, bits 0..62 count how
+//!   many 63-bit groups the run covers.
+//!
+//! The final group may be partial; `len` records the exact bit count.
+
+use crate::core::BitVec;
+use crate::error::BitVecError;
+
+/// Bits covered by one WAH group.
+pub const GROUP_BITS: usize = 63;
+
+const FILL_FLAG: u64 = 1 << 63;
+const FILL_VALUE: u64 = 1 << 62;
+const COUNT_MASK: u64 = FILL_VALUE - 1;
+const PAYLOAD_MASK: u64 = (1 << 63) - 1;
+
+/// A WAH-compressed, immutable bitmap.
+///
+/// ```
+/// use ebi_bitvec::{wah::WahBitmap, BitVec};
+///
+/// let sparse = BitVec::from_positions(100_000, &[5, 70_000]);
+/// let wah = WahBitmap::compress(&sparse);
+/// assert_eq!(wah.count_ones(), 2);
+/// assert!(wah.compression_ratio() < 0.01, "long zero runs collapse");
+/// assert_eq!(wah.decompress(), sparse);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WahBitmap {
+    code: Vec<u64>,
+    len: usize,
+}
+
+impl WahBitmap {
+    /// Compresses `bits`.
+    #[must_use]
+    pub fn compress(bits: &BitVec) -> Self {
+        let mut code: Vec<u64> = Vec::new();
+        let n_groups = bits.len().div_ceil(GROUP_BITS);
+        for g in 0..n_groups {
+            let start = g * GROUP_BITS;
+            let end = (start + GROUP_BITS).min(bits.len());
+            let mut payload = 0u64;
+            for (off, i) in (start..end).enumerate() {
+                if bits.bit(i) {
+                    payload |= 1u64 << off;
+                }
+            }
+            let width = end - start;
+            let full_ones = width == GROUP_BITS && payload == PAYLOAD_MASK;
+            let full_zeros = width == GROUP_BITS && payload == 0;
+            if full_ones || full_zeros {
+                let value = full_ones;
+                if let Some(last) = code.last_mut() {
+                    if *last & FILL_FLAG != 0
+                        && (*last & FILL_VALUE != 0) == value
+                        && (*last & COUNT_MASK) < COUNT_MASK
+                    {
+                        *last += 1;
+                        continue;
+                    }
+                }
+                code.push(FILL_FLAG | if value { FILL_VALUE } else { 0 } | 1);
+            } else {
+                code.push(payload);
+            }
+        }
+        Self {
+            code,
+            len: bits.len(),
+        }
+    }
+
+    /// Decompresses back to a plain [`BitVec`].
+    #[must_use]
+    pub fn decompress(&self) -> BitVec {
+        let mut out = BitVec::with_capacity(self.len);
+        let mut remaining = self.len;
+        for &w in &self.code {
+            if w & FILL_FLAG != 0 {
+                let value = w & FILL_VALUE != 0;
+                let groups = (w & COUNT_MASK) as usize;
+                let bits = (groups * GROUP_BITS).min(remaining);
+                out.push_run(value, bits);
+                remaining -= bits;
+            } else {
+                let width = GROUP_BITS.min(remaining);
+                for off in 0..width {
+                    out.push(w >> off & 1 == 1);
+                }
+                remaining -= width;
+            }
+        }
+        debug_assert_eq!(remaining, 0);
+        out
+    }
+
+    /// Number of bits represented.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no bits are represented.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed size in bytes (code words only).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.code.len() * 8
+    }
+
+    /// Compression ratio versus the uncompressed word-packed form
+    /// (`< 1.0` means the compressed form is smaller).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        let raw = BitVec::zeros(self.len).storage_bytes();
+        if raw == 0 {
+            return 1.0;
+        }
+        self.storage_bytes() as f64 / raw as f64
+    }
+
+    /// Population count, computed directly on the compressed form.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        let mut total = 0usize;
+        let mut covered = 0usize;
+        for &w in &self.code {
+            if w & FILL_FLAG != 0 {
+                let groups = (w & COUNT_MASK) as usize;
+                let bits = (groups * GROUP_BITS).min(self.len - covered);
+                if w & FILL_VALUE != 0 {
+                    total += bits;
+                }
+                covered += bits;
+            } else {
+                // Literal payloads beyond `len` are zero by construction.
+                total += w.count_ones() as usize;
+                covered = (covered + GROUP_BITS).min(self.len);
+            }
+        }
+        total
+    }
+
+    /// Bitwise AND directly on the compressed forms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn and(&self, other: &Self) -> Self {
+        self.binary_op(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR directly on the compressed forms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn or(&self, other: &Self) -> Self {
+        self.binary_op(other, |a, b| a | b)
+    }
+
+    fn binary_op(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        assert_eq!(self.len, other.len, "WAH length mismatch");
+        let mut out_groups: Vec<u64> = Vec::new();
+        let mut a = GroupCursor::new(&self.code);
+        let mut b = GroupCursor::new(&other.code);
+        let n_groups = self.len.div_ceil(GROUP_BITS);
+        for _ in 0..n_groups {
+            let ga = a.next_group();
+            let gb = b.next_group();
+            out_groups.push(f(ga, gb) & PAYLOAD_MASK);
+        }
+        Self::from_groups(&out_groups, self.len)
+    }
+
+    /// Re-encodes a sequence of raw 63-bit groups.
+    fn from_groups(groups: &[u64], len: usize) -> Self {
+        let mut code: Vec<u64> = Vec::new();
+        let last = groups.len().saturating_sub(1);
+        for (g, &payload) in groups.iter().enumerate() {
+            // The trailing (possibly partial) group is stored literally to
+            // keep `count_ones` exact without tail masks.
+            let tail_partial = g == last && !len.is_multiple_of(GROUP_BITS);
+            let fillable =
+                !tail_partial && (payload == 0 || payload == PAYLOAD_MASK);
+            if fillable {
+                let value = payload == PAYLOAD_MASK;
+                if let Some(w) = code.last_mut() {
+                    if *w & FILL_FLAG != 0
+                        && (*w & FILL_VALUE != 0) == value
+                        && (*w & COUNT_MASK) < COUNT_MASK
+                    {
+                        *w += 1;
+                        continue;
+                    }
+                }
+                code.push(FILL_FLAG | if value { FILL_VALUE } else { 0 } | 1);
+            } else {
+                code.push(payload);
+            }
+        }
+        Self { code, len }
+    }
+
+    /// Serialises as `[u64 len][u64 code words...]`, little-endian.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.code.len() * 8);
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for &w in &self.code {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the layout from [`WahBitmap::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitVecError::Corrupt`] if the buffer is truncated or the
+    /// code words do not cover exactly the declared bit count.
+    pub fn from_bytes(raw: &[u8]) -> Result<Self, BitVecError> {
+        if raw.len() < 8 || !raw.len().is_multiple_of(8) {
+            return Err(BitVecError::Corrupt {
+                detail: format!("WAH buffer of {} bytes is not word-aligned", raw.len()),
+            });
+        }
+        let len = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes")) as usize;
+        let code: Vec<u64> = raw[8..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        let covered: usize = code
+            .iter()
+            .map(|&w| {
+                if w & FILL_FLAG != 0 {
+                    (w & COUNT_MASK) as usize * GROUP_BITS
+                } else {
+                    GROUP_BITS
+                }
+            })
+            .sum();
+        // The last group may be partial, so coverage must reach len and
+        // not exceed it by more than one group.
+        if covered < len || covered >= len + GROUP_BITS {
+            return Err(BitVecError::Corrupt {
+                detail: format!("WAH code covers {covered} bits but header declares {len}"),
+            });
+        }
+        Ok(Self { code, len })
+    }
+}
+
+/// Streams 63-bit groups out of a WAH code sequence.
+struct GroupCursor<'a> {
+    code: &'a [u64],
+    idx: usize,
+    /// Remaining groups in the current fill word.
+    fill_remaining: u64,
+    fill_payload: u64,
+}
+
+impl<'a> GroupCursor<'a> {
+    fn new(code: &'a [u64]) -> Self {
+        Self {
+            code,
+            idx: 0,
+            fill_remaining: 0,
+            fill_payload: 0,
+        }
+    }
+
+    fn next_group(&mut self) -> u64 {
+        if self.fill_remaining > 0 {
+            self.fill_remaining -= 1;
+            return self.fill_payload;
+        }
+        let w = self.code[self.idx];
+        self.idx += 1;
+        if w & FILL_FLAG != 0 {
+            self.fill_payload = if w & FILL_VALUE != 0 { PAYLOAD_MASK } else { 0 };
+            self.fill_remaining = (w & COUNT_MASK) - 1;
+            self.fill_payload
+        } else {
+            w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterned(len: usize, f: impl Fn(usize) -> bool) -> BitVec {
+        (0..len).map(f).collect()
+    }
+
+    #[test]
+    fn roundtrip_various_shapes() {
+        for (name, bits) in [
+            ("empty", BitVec::new()),
+            ("all zero", BitVec::zeros(1000)),
+            ("all one", BitVec::ones(1000)),
+            ("sparse", BitVec::from_positions(10_000, &[3, 5000, 9999])),
+            ("alternating", patterned(500, |i| i % 2 == 0)),
+            ("partial tail", patterned(GROUP_BITS * 3 + 7, |i| i % 5 == 0)),
+        ] {
+            let wah = WahBitmap::compress(&bits);
+            assert_eq!(wah.decompress(), bits, "{name}");
+            assert_eq!(wah.count_ones(), bits.count_ones(), "{name} popcount");
+            assert_eq!(wah.len(), bits.len(), "{name} len");
+        }
+    }
+
+    #[test]
+    fn sparse_bitmap_compresses_well() {
+        let bits = BitVec::from_positions(1_000_000, &[0, 999_999]);
+        let wah = WahBitmap::compress(&bits);
+        assert!(
+            wah.compression_ratio() < 0.01,
+            "ratio {}",
+            wah.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn dense_random_bitmap_barely_compresses() {
+        // Density ≈ 1/2 is the encoded-index regime: RLE gains nothing.
+        let bits = patterned(100_000, |i| (i * 2654435761) % 97 < 48);
+        let wah = WahBitmap::compress(&bits);
+        assert!(
+            wah.compression_ratio() > 0.9,
+            "ratio {}",
+            wah.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn compressed_and_or_match_plain_ops() {
+        let a = patterned(5000, |i| i % 7 == 0 || i > 4000);
+        let b = patterned(5000, |i| i % 11 == 0 || i < 600);
+        let (wa, wb) = (WahBitmap::compress(&a), WahBitmap::compress(&b));
+        assert_eq!(wa.and(&wb).decompress(), &a & &b);
+        assert_eq!(wa.or(&wb).decompress(), &a | &b);
+    }
+
+    #[test]
+    fn compressed_ops_on_long_fills() {
+        let a = BitVec::zeros(GROUP_BITS * 100);
+        let b = BitVec::ones(GROUP_BITS * 100);
+        let (wa, wb) = (WahBitmap::compress(&a), WahBitmap::compress(&b));
+        assert_eq!(wa.or(&wb).count_ones(), GROUP_BITS * 100);
+        assert_eq!(wa.and(&wb).count_ones(), 0);
+        // Fill runs should have merged into very few code words.
+        assert!(wa.storage_bytes() <= 16);
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        let bits = patterned(12_345, |i| i % 13 == 0);
+        let wah = WahBitmap::compress(&bits);
+        let restored = WahBitmap::from_bytes(&wah.to_bytes()).unwrap();
+        assert_eq!(restored, wah);
+    }
+
+    #[test]
+    fn serialisation_rejects_bad_coverage() {
+        let wah = WahBitmap::compress(&BitVec::ones(200));
+        let mut raw = wah.to_bytes();
+        // Corrupt the declared length upward beyond coverage.
+        raw[..8].copy_from_slice(&10_000u64.to_le_bytes());
+        assert!(WahBitmap::from_bytes(&raw).is_err());
+        assert!(WahBitmap::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn binary_op_length_mismatch_panics() {
+        let a = WahBitmap::compress(&BitVec::zeros(10));
+        let b = WahBitmap::compress(&BitVec::zeros(20));
+        let _ = a.and(&b);
+    }
+}

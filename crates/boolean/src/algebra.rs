@@ -1,0 +1,124 @@
+//! Boolean algebra over [`DnfExpr`]: conjunction, disjunction and
+//! complement with re-minimisation.
+//!
+//! Compound selections on one attribute — `(A IN s1 AND A NOT IN s2) OR
+//! A = v` — reduce to a single retrieval expression instead of several
+//! bitmap round trips; the combinators below build that expression and
+//! re-run logical reduction so the vector count stays minimal.
+//!
+//! All operations work on the truth sets (`2^k` enumeration), so they
+//! are intended for the index widths the paper deals in (`k ≤ ~20`),
+//! not arbitrary formulas.
+
+use crate::expr::DnfExpr;
+use crate::qm;
+
+/// Disjunction: `a + b`, re-minimised against the shared don't-cares.
+#[must_use]
+pub fn or(a: &DnfExpr, b: &DnfExpr, dc: &[u64]) -> DnfExpr {
+    assert_eq!(a.k(), b.k(), "operands over different variable counts");
+    let mut on = a.truth_set();
+    on.extend(b.truth_set());
+    on.sort_unstable();
+    on.dedup();
+    let on: Vec<u64> = on.into_iter().filter(|c| !dc.contains(c)).collect();
+    qm::minimize(&on, dc, a.k())
+}
+
+/// Conjunction: `a · b`, re-minimised against the shared don't-cares.
+#[must_use]
+pub fn and(a: &DnfExpr, b: &DnfExpr, dc: &[u64]) -> DnfExpr {
+    assert_eq!(a.k(), b.k(), "operands over different variable counts");
+    let tb = b.truth_set();
+    let on: Vec<u64> = a
+        .truth_set()
+        .into_iter()
+        .filter(|c| tb.binary_search(c).is_ok())
+        .filter(|c| !dc.contains(c))
+        .collect();
+    qm::minimize(&on, dc, a.k())
+}
+
+/// Complement: `a'`, re-minimised against the don't-cares. Codes in
+/// `dc` stay free (they belong to no selection either way).
+#[must_use]
+pub fn complement(a: &DnfExpr, dc: &[u64]) -> DnfExpr {
+    let ta = a.truth_set();
+    let on: Vec<u64> = (0..(1u64 << a.k()))
+        .filter(|c| ta.binary_search(c).is_err())
+        .filter(|c| !dc.contains(c))
+        .collect();
+    qm::minimize(&on, dc, a.k())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(text: &str, k: u32) -> DnfExpr {
+        DnfExpr::parse(text, k).unwrap()
+    }
+
+    #[test]
+    fn or_reduces_adjacent_minterms() {
+        let a = expr("B1'B0'", 2);
+        let b = expr("B1'B0", 2);
+        assert_eq!(or(&a, &b, &[]), expr("B1'", 2));
+    }
+
+    #[test]
+    fn and_intersects_truth_sets() {
+        let a = expr("B1'", 2); // {00, 01}
+        let b = expr("B0", 2); // {01, 11}
+        assert_eq!(and(&a, &b, &[]), expr("B1'B0", 2));
+        // Disjoint conjunction is false.
+        assert!(and(&expr("B1", 2), &expr("B1'", 2), &[]).is_false());
+    }
+
+    #[test]
+    fn complement_respects_dontcares() {
+        // k=2, a covers {00}; dc {11}: complement covers {01, 10} and
+        // may cover 11 freely.
+        let a = expr("B1'B0'", 2);
+        let c = complement(&a, &[0b11]);
+        assert!(!c.covers(0b00));
+        assert!(c.covers(0b01) && c.covers(0b10));
+        // With the dc the reduction is B1 + B0 (2 literals).
+        assert_eq!(c, expr("B1 + B0", 2));
+        // Without: the XOR shape.
+        let c2 = complement(&a, &[]);
+        assert!(c2.equivalent(&expr("B1'B0 + B1B0'", 2).clone()) || c2.covers(0b11));
+    }
+
+    #[test]
+    fn de_morgan_holds_semantically() {
+        let a = expr("B2'B1", 3);
+        let b = expr("B0", 3);
+        let lhs = complement(&or(&a, &b, &[]), &[]);
+        let rhs = and(&complement(&a, &[]), &complement(&b, &[]), &[]);
+        assert!(lhs.equivalent(&rhs));
+    }
+
+    #[test]
+    fn double_complement_is_identity_modulo_dontcares() {
+        let a = expr("B2B1' + B2'B0", 3);
+        let back = complement(&complement(&a, &[]), &[]);
+        assert!(back.equivalent(&a));
+    }
+
+    #[test]
+    fn composition_keeps_vector_counts_minimal() {
+        // ({00,01} OR {10,11}) = everything → tautology, 0 vectors.
+        let a = expr("B1'", 2);
+        let b = expr("B1", 2);
+        let u = or(&a, &b, &[]);
+        assert!(u.is_true());
+        assert_eq!(u.vectors_accessed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different variable counts")]
+    fn mismatched_widths_panic() {
+        let _ = or(&expr("B0", 1), &expr("B1", 2), &[]);
+    }
+}

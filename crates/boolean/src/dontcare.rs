@@ -1,0 +1,120 @@
+//! Footnote 3: exploiting don't-care codes during reduction.
+//!
+//! When `|A| < 2^k`, the codes not assigned to any value are *don't-cares*
+//! — no tuple can carry them, so the retrieval expression may cover them
+//! freely. The paper's footnote 3 works the example: for domain
+//! `{a=00, b=01, c=10}` and selection `A = b OR A = c`,
+//!
+//! * without don't-cares: `f_b + f_c = B1'B0 + B1B0' = B1 ⊕ B0`,
+//! * adding the don't-care `11`:  `B1 + B0`,
+//!
+//! and a machine without a hardware XOR prefers the latter. More
+//! generally the don't-cares never *increase* the vector count and often
+//! decrease literal counts.
+
+use crate::expr::DnfExpr;
+use crate::qm;
+
+/// Both reductions of a selection: ignoring and exploiting the
+/// don't-care codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DontCareComparison {
+    /// Reduction treating don't-cares as off-set codes.
+    pub without: DnfExpr,
+    /// Reduction allowed to cover don't-cares.
+    pub with: DnfExpr,
+}
+
+impl DontCareComparison {
+    /// The cheaper of the two by (vectors accessed, literal count) —
+    /// footnote 3's choice rule.
+    #[must_use]
+    pub fn best(&self) -> &DnfExpr {
+        let kw = (self.with.vectors_accessed(), self.with.literal_count());
+        let kn = (self.without.vectors_accessed(), self.without.literal_count());
+        if kw <= kn {
+            &self.with
+        } else {
+            &self.without
+        }
+    }
+
+    /// `true` if exploiting don't-cares strictly reduced cost.
+    #[must_use]
+    pub fn dontcares_helped(&self) -> bool {
+        (self.with.vectors_accessed(), self.with.literal_count())
+            < (self.without.vectors_accessed(), self.without.literal_count())
+    }
+}
+
+/// Reduces the selection `on` over `k` variables both with and without the
+/// don't-care set `dc`.
+#[must_use]
+pub fn compare(on: &[u64], dc: &[u64], k: u32) -> DontCareComparison {
+    DontCareComparison {
+        without: qm::minimize(on, &[], k),
+        with: qm::minimize(on, dc, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footnote3_example() {
+        // Domain {a=00, b=01, c=10}; select {b, c}; don't-care 11.
+        let cmp = compare(&[0b01, 0b10], &[0b11], 2);
+        // Without: the XOR shape, 4 literals over 2 vectors.
+        assert!(cmp
+            .without
+            .equivalent(&DnfExpr::parse("B1'B0 + B1B0'", 2).unwrap()));
+        assert_eq!(cmp.without.literal_count(), 4);
+        // With the don't-care: B1 + B0 — same 2 vectors, 2 literals.
+        assert!(cmp.with.covers(0b01) && cmp.with.covers(0b10));
+        assert_eq!(cmp.with, DnfExpr::parse("B1 + B0", 2).unwrap());
+        assert_eq!(cmp.with.literal_count(), 2);
+        assert!(cmp.dontcares_helped());
+        assert_eq!(cmp.best(), &cmp.with);
+    }
+
+    #[test]
+    fn dontcares_never_increase_vector_count() {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let k = 4u32;
+            let mut on = Vec::new();
+            let mut dc = Vec::new();
+            for code in 0..(1u64 << k) {
+                match next() % 4 {
+                    0 => on.push(code),
+                    1 => dc.push(code),
+                    _ => {}
+                }
+            }
+            if on.is_empty() {
+                continue;
+            }
+            let cmp = compare(&on, &dc, k);
+            assert!(
+                cmp.with.vectors_accessed() <= cmp.without.vectors_accessed(),
+                "on={on:?} dc={dc:?}: {} vs {}",
+                cmp.with,
+                cmp.without
+            );
+        }
+    }
+
+    #[test]
+    fn no_dontcares_means_identical_reductions() {
+        let cmp = compare(&[0b00, 0b01], &[], 2);
+        assert_eq!(cmp.with, cmp.without);
+        assert!(!cmp.dontcares_helped());
+    }
+}

@@ -1,0 +1,232 @@
+//! Evaluating retrieval expressions over bitmap slices.
+//!
+//! Given the `k` bitmap vectors `B_{k-1} … B_0` of an encoded bitmap index
+//! and a reduced retrieval expression, evaluation produces the selection
+//! bitmap: each product term ANDs together its slices (negated where the
+//! literal is `B_i'`), and the terms are ORed.
+//!
+//! [`AccessTracker`] records the paper's cost metric while doing so: the
+//! set of *distinct bitmap vectors touched* (footnote 4 — "the number of
+//! bitmaps which need to be accessed is considered as one" per vector,
+//! however many literals reference it), plus secondary counters.
+
+use crate::expr::DnfExpr;
+use ebi_bitvec::BitVec;
+
+/// Cost counters for one or more expression evaluations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessTracker {
+    /// Bitmask of slice indices touched.
+    touched: u64,
+    /// Product terms evaluated.
+    pub cube_evals: usize,
+    /// Literal operations performed (one AND or NOT-AND per literal).
+    pub literal_ops: usize,
+    /// OR operations joining product terms.
+    pub or_ops: usize,
+}
+
+impl AccessTracker {
+    /// Fresh tracker with all counters zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct bitmap vectors accessed so far — the paper's
+    /// `c_e` / `c_s`.
+    #[must_use]
+    pub fn vectors_accessed(&self) -> usize {
+        self.touched.count_ones() as usize
+    }
+
+    /// Bitmask of accessed slice indices.
+    #[must_use]
+    pub fn touched_mask(&self) -> u64 {
+        self.touched
+    }
+
+    /// Merges another tracker's counters into this one.
+    pub fn merge(&mut self, other: &AccessTracker) {
+        self.touched |= other.touched;
+        self.cube_evals += other.cube_evals;
+        self.literal_ops += other.literal_ops;
+        self.or_ops += other.or_ops;
+    }
+
+    /// Records a touch of slice `i` (used by index implementations for
+    /// vectors read outside expression evaluation, e.g. existence bitmaps).
+    pub fn touch(&mut self, i: u32) {
+        self.touched |= 1 << i;
+    }
+}
+
+/// Evaluates `expr` over `slices` (slice `i` = bitmap vector `B_i`),
+/// returning the selection bitmap of length `row_count`.
+///
+/// # Panics
+///
+/// Panics if the expression references a slice index `>= slices.len()`,
+/// or the slices have differing lengths.
+#[must_use]
+pub fn eval_expr(expr: &DnfExpr, slices: &[BitVec], row_count: usize) -> BitVec {
+    let mut tracker = AccessTracker::new();
+    eval_expr_tracked(expr, slices, row_count, &mut tracker)
+}
+
+/// Like [`eval_expr`] but records cost in `tracker`.
+#[must_use]
+pub fn eval_expr_tracked(
+    expr: &DnfExpr,
+    slices: &[BitVec],
+    row_count: usize,
+    tracker: &mut AccessTracker,
+) -> BitVec {
+    for s in slices {
+        assert_eq!(s.len(), row_count, "slice length != row count");
+    }
+    assert!(
+        expr.support() >> slices.len().min(63) == 0 || slices.len() >= 64,
+        "expression references slice beyond the {} provided",
+        slices.len()
+    );
+
+    let mut result: Option<BitVec> = None;
+    for cube in expr.cubes() {
+        tracker.cube_evals += 1;
+        let mut acc: Option<BitVec> = None;
+        for i in 0..64u32 {
+            if cube.mask() >> i & 1 == 0 {
+                continue;
+            }
+            tracker.touch(i);
+            tracker.literal_ops += 1;
+            let positive = cube.value() >> i & 1 == 1;
+            let slice = &slices[i as usize];
+            match &mut acc {
+                None => {
+                    acc = Some(if positive { slice.clone() } else { slice.negated() });
+                }
+                Some(a) => {
+                    if positive {
+                        a.and_assign(slice);
+                    } else {
+                        a.and_not_assign(slice);
+                    }
+                }
+            }
+        }
+        // The empty product is the tautology.
+        let cube_bits = acc.unwrap_or_else(|| BitVec::ones(row_count));
+        match &mut result {
+            None => result = Some(cube_bits),
+            Some(r) => {
+                tracker.or_ops += 1;
+                r.or_assign(&cube_bits);
+            }
+        }
+    }
+    result.unwrap_or_else(|| BitVec::zeros(row_count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qm;
+    use ebi_bitvec::builder::SliceFamilyBuilder;
+
+    /// Builds slices for a column of codes (LSB-first slices).
+    fn slices_for(codes: &[u64], k: u32) -> Vec<BitVec> {
+        let mut fam = SliceFamilyBuilder::new(k as usize);
+        for &c in codes {
+            fam.push_code(c);
+        }
+        fam.finish()
+    }
+
+    #[test]
+    fn figure1_evaluation() {
+        // Column [a, b, c, b, a, c] with a=00, b=01, c=10 (Figure 1).
+        let codes = [0b00u64, 0b01, 0b10, 0b01, 0b00, 0b10];
+        let slices = slices_for(&codes, 2);
+        // Q1: A = a  → f_a = B1'B0' → rows 0 and 4.
+        let fa = DnfExpr::minterm_sum(&[0b00], 2);
+        let r = eval_expr(&fa, &slices, 6);
+        assert_eq!(r.to_positions(), vec![0, 4]);
+        // Q2: A IN {a, b} → reduces to B1' → rows 0,1,3,4.
+        let fab = qm::minimize(&[0b00, 0b01], &[], 2);
+        let mut t = AccessTracker::new();
+        let r2 = eval_expr_tracked(&fab, &slices, 6, &mut t);
+        assert_eq!(r2.to_positions(), vec![0, 1, 3, 4]);
+        assert_eq!(t.vectors_accessed(), 1, "Q2 reads only B1");
+    }
+
+    #[test]
+    fn tracker_counts_distinct_vectors_once() {
+        // B1B0 + B1'B0 touches vectors {0, 1} — three cube literals over
+        // two distinct vectors.
+        let e = DnfExpr::parse("B1B0 + B1'B0", 2).unwrap();
+        let slices = slices_for(&[0b00, 0b01, 0b10, 0b11], 2);
+        let mut t = AccessTracker::new();
+        let _ = eval_expr_tracked(&e, &slices, 4, &mut t);
+        assert_eq!(t.vectors_accessed(), 2);
+        assert_eq!(t.literal_ops, 4);
+        assert_eq!(t.cube_evals, 2);
+        assert_eq!(t.or_ops, 1);
+    }
+
+    #[test]
+    fn reduced_and_unreduced_expressions_agree() {
+        let codes: Vec<u64> = (0..64u64).map(|i| i * 7 % 16).collect();
+        let slices = slices_for(&codes, 4);
+        let selection: Vec<u64> = vec![1, 2, 3, 5, 8, 13];
+        let raw = DnfExpr::minterm_sum(&selection, 4);
+        let reduced = qm::minimize(&selection, &[], 4);
+        let r1 = eval_expr(&raw, &slices, 64);
+        let r2 = eval_expr(&reduced, &slices, 64);
+        assert_eq!(r1, r2);
+        // Ground truth by scanning codes.
+        for (row, &c) in codes.iter().enumerate() {
+            assert_eq!(r1.bit(row), selection.contains(&c), "row {row}");
+        }
+    }
+
+    #[test]
+    fn constant_expressions() {
+        let slices = slices_for(&[0, 1, 2], 2);
+        let f = eval_expr(&DnfExpr::empty(2), &slices, 3);
+        assert_eq!(f.count_ones(), 0);
+        let t = eval_expr(&DnfExpr::parse("1", 2).unwrap(), &slices, 3);
+        assert_eq!(t.count_ones(), 3);
+    }
+
+    #[test]
+    fn tautology_reads_no_vectors() {
+        let slices = slices_for(&[0, 1], 1);
+        let mut t = AccessTracker::new();
+        let _ = eval_expr_tracked(&DnfExpr::parse("1", 1).unwrap(), &slices, 2, &mut t);
+        assert_eq!(t.vectors_accessed(), 0);
+    }
+
+    #[test]
+    fn tracker_merge_accumulates() {
+        let mut a = AccessTracker::new();
+        a.touch(0);
+        a.cube_evals = 2;
+        let mut b = AccessTracker::new();
+        b.touch(3);
+        b.literal_ops = 5;
+        a.merge(&b);
+        assert_eq!(a.vectors_accessed(), 2);
+        assert_eq!(a.cube_evals, 2);
+        assert_eq!(a.literal_ops, 5);
+        assert_eq!(a.touched_mask(), 0b1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice length")]
+    fn mismatched_slice_lengths_panic() {
+        let slices = vec![BitVec::zeros(3), BitVec::zeros(4)];
+        let _ = eval_expr(&DnfExpr::parse("B1B0", 2).unwrap(), &slices, 3);
+    }
+}

@@ -1,0 +1,292 @@
+//! Exact minimum bitmap-vector support of a selection.
+//!
+//! Independent of *which* reduced expression is chosen, a selection with
+//! on-set `ON` and off-set `OFF` can be expressed using only the bitmap
+//! vectors in a variable set `V` **iff** no on-code and off-code agree on
+//! every variable of `V` — i.e. `V` hits the XOR-difference mask of every
+//! (on, off) pair. The minimum number of vectors any retrieval expression
+//! must read is therefore a *minimum hitting set* over those difference
+//! masks.
+//!
+//! This gives the exact lower bound the paper's Theorems 2.2/2.3 speak
+//! about ("the number of bit vectors which need to be accessed is
+//! minimized") and drives the best-case `c_e` curve of Figure 9.
+
+use crate::expr::DnfExpr;
+use crate::qm;
+use std::collections::HashSet;
+
+/// Practical cap on `k` for exact support computation: the off-set is
+/// enumerated, so `2^k` must stay small.
+pub const MAX_SUPPORT_VARS: u32 = 22;
+
+/// Returns the lexicographically-smallest minimum-cardinality variable set
+/// (as a bitmask) sufficient to express the selection, or `0` when the
+/// selection is constant (empty on-set, or on ∪ dc = universe).
+///
+/// # Panics
+///
+/// Panics if `k > MAX_SUPPORT_VARS`.
+#[must_use]
+pub fn min_support(on: &[u64], dc: &[u64], k: u32) -> u64 {
+    let masks = difference_masks(on, dc, k);
+    minimum_hitting_set(&masks, k)
+}
+
+/// Number of vectors in the minimum support — the exact optimal `c_e`.
+#[must_use]
+pub fn min_vectors(on: &[u64], dc: &[u64], k: u32) -> usize {
+    min_support(on, dc, k).count_ones() as usize
+}
+
+/// Produces a reduced expression that achieves the minimum vector count:
+/// projects the selection onto the minimum support and runs
+/// Quine–McCluskey in the projected space.
+///
+/// The result is semantically equivalent to `minimize(on, dc, k)` on all
+/// non-don't-care codes, but is guaranteed vector-optimal.
+#[must_use]
+pub fn minimize_vectors(on: &[u64], dc: &[u64], k: u32) -> DnfExpr {
+    if on.is_empty() {
+        return DnfExpr::empty(k);
+    }
+    let support = min_support(on, dc, k);
+    let vars: Vec<u32> = (0..k).filter(|&i| support >> i & 1 == 1).collect();
+    let kk = vars.len() as u32;
+
+    let project = |code: u64| -> u64 {
+        vars.iter()
+            .enumerate()
+            .fold(0u64, |acc, (slot, &v)| acc | ((code >> v & 1) << slot))
+    };
+    // A projected code is ON if any on-code projects to it; OFF if any
+    // off-code does (support validity guarantees no overlap); DC otherwise.
+    let on_proj: HashSet<u64> = on.iter().map(|&c| project(c)).collect();
+    let mut off_proj: HashSet<u64> = HashSet::new();
+    let dc_set: HashSet<u64> = dc.iter().copied().collect();
+    let on_set: HashSet<u64> = on.iter().copied().collect();
+    for code in 0..(1u64 << k) {
+        if !on_set.contains(&code) && !dc_set.contains(&code) {
+            off_proj.insert(project(code));
+        }
+    }
+    let dc_proj: Vec<u64> = (0..(1u64 << kk))
+        .filter(|p| !on_proj.contains(p) && !off_proj.contains(p))
+        .collect();
+    let on_proj_vec: Vec<u64> = {
+        let mut v: Vec<u64> = on_proj.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    let reduced = qm::minimize(&on_proj_vec, &dc_proj, kk);
+
+    // Lift the projected cubes back to the original variable indices.
+    let cubes = reduced
+        .cubes()
+        .iter()
+        .map(|c| {
+            let mut value = 0u64;
+            let mut mask = 0u64;
+            for (slot, &v) in vars.iter().enumerate() {
+                if c.mask() >> slot & 1 == 1 {
+                    mask |= 1 << v;
+                    if c.value() >> slot & 1 == 1 {
+                        value |= 1 << v;
+                    }
+                }
+            }
+            crate::cube::Cube::new(value, mask)
+        })
+        .collect();
+    DnfExpr::from_cubes(cubes, k)
+}
+
+/// Collects the distinct XOR-difference masks between the on-set and the
+/// off-set (universe minus on minus dc).
+fn difference_masks(on: &[u64], dc: &[u64], k: u32) -> Vec<u64> {
+    assert!(
+        k <= MAX_SUPPORT_VARS,
+        "min_support limited to k <= {MAX_SUPPORT_VARS}, got {k}"
+    );
+    let on_set: HashSet<u64> = on.iter().copied().collect();
+    let dc_set: HashSet<u64> = dc.iter().copied().collect();
+    let mut masks: HashSet<u64> = HashSet::new();
+    for code in 0..(1u64 << k) {
+        if on_set.contains(&code) || dc_set.contains(&code) {
+            continue;
+        }
+        for &o in &on_set {
+            masks.insert(o ^ code);
+        }
+    }
+    let mut v: Vec<u64> = masks.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Minimum hitting set over difference masks, found by branch-and-bound.
+/// Ties are broken toward the lexicographically smallest variable mask.
+fn minimum_hitting_set(masks: &[u64], k: u32) -> u64 {
+    if masks.is_empty() {
+        return 0;
+    }
+    // Remove masks that are supersets of other masks — hitting the subset
+    // hits the superset too.
+    let mut reduced: Vec<u64> = Vec::new();
+    let mut sorted = masks.to_vec();
+    sorted.sort_unstable_by_key(|m| m.count_ones());
+    for &m in &sorted {
+        // Not a `contains`: r ranges over reduced (clippy false positive).
+        #[allow(clippy::manual_contains)]
+        if !reduced.iter().any(|&r| m & r == r) {
+            reduced.push(m);
+        }
+    }
+
+    // Seed branch-and-bound with a greedy hitting set so pruning bites
+    // immediately even on adversarial mask families.
+    let mut best: u64 = greedy_hitting_set(&reduced, k);
+    let mut best_size = best.count_ones();
+    search(&reduced, 0, 0, &mut best, &mut best_size);
+    best
+}
+
+/// Greedy hitting set: repeatedly take the variable hitting the most
+/// still-unhit masks.
+fn greedy_hitting_set(masks: &[u64], k: u32) -> u64 {
+    let mut chosen = 0u64;
+    let mut unhit: Vec<u64> = masks.to_vec();
+    while !unhit.is_empty() {
+        let var = (0..k)
+            .max_by_key(|&v| unhit.iter().filter(|&&m| m >> v & 1 == 1).count())
+            .expect("k > 0 when masks remain");
+        chosen |= 1 << var;
+        unhit.retain(|&m| m & chosen == 0);
+    }
+    chosen
+}
+
+fn search(masks: &[u64], chosen: u64, depth: u32, best: &mut u64, best_size: &mut u32) {
+    // Find the first mask not yet hit.
+    let unhit = masks.iter().copied().find(|&m| m & chosen == 0);
+    let Some(m) = unhit else {
+        if depth < *best_size || (depth == *best_size && chosen < *best) {
+            *best = chosen;
+            *best_size = depth;
+        }
+        return;
+    };
+    if depth + 1 > *best_size {
+        return; // cannot improve
+    }
+    let mut bits = m;
+    while bits != 0 {
+        let bit = bits & bits.wrapping_neg();
+        bits &= bits - 1;
+        search(masks, chosen | bit, depth + 1, best, best_size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_block_support() {
+        // Codes 0..2^j out of 2^k need exactly the top k-j vectors.
+        let k = 6u32;
+        for j in 0..=k {
+            let on: Vec<u64> = (0..(1u64 << j)).collect();
+            assert_eq!(min_vectors(&on, &[], k), (k - j) as usize, "j={j}");
+        }
+    }
+
+    #[test]
+    fn full_and_empty_selection_need_no_vectors() {
+        let all: Vec<u64> = (0..8).collect();
+        assert_eq!(min_vectors(&all, &[], 3), 0);
+        assert_eq!(min_vectors(&[], &[], 3), 0);
+    }
+
+    #[test]
+    fn single_value_needs_all_vectors_without_dontcares() {
+        assert_eq!(min_vectors(&[0b101], &[], 3), 3);
+        // ...but don't-cares can reduce it: with only codes {101, 010}
+        // meaningful (everything else dc), one variable separates them.
+        let dc: Vec<u64> = (0..8).filter(|&c| c != 0b101 && c != 0b010).collect();
+        assert_eq!(min_vectors(&[0b101], &dc, 3), 1);
+    }
+
+    #[test]
+    fn matches_figure3_costs() {
+        // Figure 3(a): {000,100,001,101} needs 1 vector (B1).
+        assert_eq!(min_vectors(&[0b000, 0b100, 0b001, 0b101], &[], 3), 1);
+        // Figure 3(b): {000,011,001,101} needs 3.
+        assert_eq!(min_vectors(&[0b000, 0b011, 0b001, 0b101], &[], 3), 3);
+    }
+
+    #[test]
+    fn minimize_vectors_is_vector_optimal_and_correct() {
+        let mut state = 0xDEADBEEFCAFEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for k in [3u32, 4, 5] {
+            for _ in 0..25 {
+                let mut on = Vec::new();
+                let mut dc = Vec::new();
+                for code in 0..(1u64 << k) {
+                    match next() % 5 {
+                        0 | 1 => on.push(code),
+                        2 => dc.push(code),
+                        _ => {}
+                    }
+                }
+                let opt = minimize_vectors(&on, &dc, k);
+                assert_eq!(
+                    opt.vectors_accessed(),
+                    min_vectors(&on, &dc, k),
+                    "on={on:?} dc={dc:?}"
+                );
+                // Correctness on all non-dc codes.
+                let dc_set: HashSet<u64> = dc.iter().copied().collect();
+                for code in 0..(1u64 << k) {
+                    if dc_set.contains(&code) {
+                        continue;
+                    }
+                    assert_eq!(opt.covers(code), on.contains(&code), "code {code:#b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qm_minimize_matches_exact_bound_on_small_cases() {
+        // For small instances the Petrick path of qm::minimize should
+        // reach the exact vector optimum.
+        for on in [
+            vec![0b00u64, 0b01],
+            vec![0b000, 0b100, 0b001, 0b101],
+            vec![0b001, 0b101, 0b011, 0b111],
+            vec![0b0u64],
+        ] {
+            let k = 3;
+            let e = qm::minimize(&on, &[], k);
+            assert_eq!(
+                e.vectors_accessed(),
+                min_vectors(&on, &[], k),
+                "on={on:?} expr={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn hitting_set_prefers_smallest_lexicographic() {
+        // Two symmetric options {var0} or {var1}: picks var0.
+        let masks = vec![0b11u64];
+        assert_eq!(minimum_hitting_set(&masks, 2), 0b01);
+    }
+}

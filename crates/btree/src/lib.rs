@@ -1,0 +1,19 @@
+//! Page-oriented B+tree — the value-list-index baseline.
+//!
+//! The paper's §2.1 compares simple bitmap indexes against "B-trees and
+//! their variants", using the classic estimates
+//!
+//! * space: `1.44 · n / M × p` bytes (degree `M`, page size `p`),
+//! * build: `O(n · log_{M/2} m) + O(n · log2(p/4))`,
+//!
+//! and derives the space crossover `m < 11.52 · p / M` (≈ 93 distinct
+//! values at `p = 4K`, `M = 512`). This crate supplies both the *measured*
+//! side (a real B+tree storing one RID list per key, with node-visit
+//! counters, one node = one page) and the *analytic* side
+//! ([`model`]) so experiment E12/E13 can print the two next to each other.
+
+pub mod model;
+mod node;
+mod tree;
+
+pub use tree::{BTreeIndex, BTreeStats};

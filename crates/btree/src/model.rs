@@ -1,0 +1,163 @@
+//! The paper's §2.1 analytic cost model for B-trees vs simple bitmaps.
+//!
+//! All quantities use the paper's symbols: `n = |T|` tuples, `m = |A|`
+//! distinct attribute values, `M` B-tree degree, `p` page size in bytes.
+
+/// Space of a B-tree on `n` keys: `1.44 · n / M × p` bytes (§2.1, after
+/// Comer/Chu-Knott).
+#[must_use]
+pub fn btree_space_bytes(n: u64, degree_m: u64, page_size_p: u64) -> f64 {
+    1.44 * n as f64 / degree_m as f64 * page_size_p as f64
+}
+
+/// Space of a simple bitmap index: `n × m / 8` bytes (§2.1).
+#[must_use]
+pub fn simple_bitmap_space_bytes(n: u64, m: u64) -> f64 {
+    n as f64 * m as f64 / 8.0
+}
+
+/// Space of an encoded bitmap index: `n × ceil(log2 m) / 8` bytes plus a
+/// mapping table of `m` entries (§3.1). The mapping-table term uses
+/// `entry_bytes` per entry.
+#[must_use]
+pub fn encoded_bitmap_space_bytes(n: u64, m: u64, entry_bytes: u64) -> f64 {
+    n as f64 * f64::from(slices_for_cardinality(m)) / 8.0 + (m * entry_bytes) as f64
+}
+
+/// `ceil(log2 m)` — bitmap vectors needed by an encoded index. Defined as
+/// 1 for `m <= 2` (a one-value domain still needs one vector to exist).
+#[must_use]
+pub fn slices_for_cardinality(m: u64) -> u32 {
+    match m {
+        0..=2 => 1,
+        _ => (m - 1).ilog2() + 1,
+    }
+}
+
+/// The §2.1 crossover: a simple bitmap index is smaller than a B-tree iff
+/// `m < 11.52 · p / M`.
+#[must_use]
+pub fn bitmap_smaller_than_btree_cardinality(page_size_p: u64, degree_m: u64) -> f64 {
+    11.52 * page_size_p as f64 / degree_m as f64
+}
+
+/// Build-cost model of a B-tree (§2.1): `n · log_{M/2}(m) + n · log2(p/4)`
+/// abstract operations (descend + leaf insert).
+#[must_use]
+pub fn btree_build_ops(n: u64, m: u64, degree_m: u64, page_size_p: u64) -> f64 {
+    let half_m = degree_m as f64 / 2.0;
+    let descend = if m <= 1 {
+        0.0
+    } else {
+        (m as f64).ln() / half_m.ln()
+    };
+    let leaf = (page_size_p as f64 / 4.0).log2();
+    n as f64 * (descend + leaf)
+}
+
+/// Build-cost model of a simple bitmap index (§2.1): `O(n × m)`.
+#[must_use]
+pub fn simple_bitmap_build_ops(n: u64, m: u64) -> f64 {
+    (n * m) as f64
+}
+
+/// Build-cost model of an encoded bitmap index: `O(n × ceil(log2 m))`.
+#[must_use]
+pub fn encoded_bitmap_build_ops(n: u64, m: u64) -> f64 {
+    n as f64 * f64::from(slices_for_cardinality(m))
+}
+
+/// Average sparsity of a simple bitmap vector: `(m-1)/m` (§2.1).
+#[must_use]
+pub fn simple_bitmap_sparsity(m: u64) -> f64 {
+    assert!(m > 0, "cardinality must be positive");
+    (m - 1) as f64 / m as f64
+}
+
+/// Expected sparsity of an encoded bitmap vector ≈ 1/2, independent of
+/// `m` (§3.1).
+#[must_use]
+pub fn encoded_bitmap_sparsity() -> f64 {
+    0.5
+}
+
+/// Number of compound B-trees needed to cover every conjunction over `n`
+/// attributes: `2^n − 1` (§2.1, "cooperativity of indexes").
+#[must_use]
+pub fn compound_btrees_needed(attributes: u32) -> u64 {
+    (1u64 << attributes) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_crossover_is_93() {
+        // p = 4K, M = 512 ⇒ m < 92.16, i.e. "smaller than 93".
+        let x = bitmap_smaller_than_btree_cardinality(4096, 512);
+        assert!((x - 92.16).abs() < 1e-9);
+        assert!(simple_bitmap_space_bytes(1_000_000, 92) < btree_space_bytes(1_000_000, 512, 4096));
+        assert!(simple_bitmap_space_bytes(1_000_000, 93) > btree_space_bytes(1_000_000, 512, 4096));
+    }
+
+    #[test]
+    fn slices_match_ceil_log2() {
+        let cases = [
+            (1u64, 1u32),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (50, 6),
+            (1000, 10),
+            (1024, 10),
+            (1025, 11),
+            (12000, 14), // the paper's PRODUCTS example
+        ];
+        for (m, k) in cases {
+            assert_eq!(slices_for_cardinality(m), k, "m={m}");
+        }
+    }
+
+    #[test]
+    fn encoded_space_is_logarithmic() {
+        let n = 1_000_000;
+        let simple = simple_bitmap_space_bytes(n, 12000);
+        let encoded = encoded_bitmap_space_bytes(n, 12000, 8);
+        // 12000 vectors vs 14: roughly three orders of magnitude.
+        assert!(simple / encoded > 500.0, "{simple} vs {encoded}");
+    }
+
+    #[test]
+    fn build_ops_ordering_for_small_cardinality() {
+        // §2.1: for very large n and very small m, the B-tree build beats
+        // O(n·m) only when m is large; at m = 2 the bitmap wins.
+        let n = 10_000_000;
+        assert!(simple_bitmap_build_ops(n, 2) < btree_build_ops(n, 2, 512, 4096));
+        // ...and loses at high cardinality.
+        assert!(simple_bitmap_build_ops(n, 10_000) > btree_build_ops(n, 10_000, 512, 4096));
+    }
+
+    #[test]
+    fn sparsity_formulas() {
+        assert!((simple_bitmap_sparsity(2) - 0.5).abs() < 1e-12);
+        assert!((simple_bitmap_sparsity(1000) - 0.999).abs() < 1e-12);
+        assert!((encoded_bitmap_sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cooperativity_counts() {
+        assert_eq!(compound_btrees_needed(1), 1);
+        assert_eq!(compound_btrees_needed(3), 7);
+        assert_eq!(compound_btrees_needed(10), 1023);
+    }
+
+    #[test]
+    fn encoded_build_ops_beat_simple_at_high_cardinality() {
+        let n = 1_000_000;
+        assert!(encoded_bitmap_build_ops(n, 12000) < simple_bitmap_build_ops(n, 12000) / 100.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! B+tree node representation (one node = one page).
+
+/// Index of a node in the tree's arena.
+pub(crate) type NodeId = usize;
+
+/// A B+tree node.
+///
+/// Internal nodes hold `keys.len() + 1` children; `keys[i]` is the lowest
+/// key reachable under `children[i + 1]`. Leaves hold one RID list per
+/// key and are chained left-to-right for range scans.
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    Internal {
+        keys: Vec<u64>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        /// Tuple-id list per key — the "value list" of a value-list index.
+        rids: Vec<Vec<u32>>,
+        next: Option<NodeId>,
+    },
+}
+

@@ -1,0 +1,238 @@
+//! Binary distance, chains and prime chains (Definitions 2.2–2.4).
+//!
+//! These are the combinatorial tools the paper uses to characterise
+//! *well-defined* encodings: a subdomain whose codes form a (prime) chain
+//! admits a maximally reduced retrieval function.
+
+/// Definition 2.2: `λ(x, y) = Count(x ⊕ y)` — the Hamming distance of two
+/// codes.
+///
+/// ```
+/// // The paper's example: λ(011, 111) = 1.
+/// assert_eq!(ebi_core::distance::binary_distance(0b011, 0b111), 1);
+/// ```
+#[must_use]
+pub fn binary_distance(x: u64, y: u64) -> u32 {
+    (x ^ y).count_ones()
+}
+
+/// Definition 2.3: a *chain* on a set of distinct codes is a cyclic
+/// ordering in which consecutive codes (including last → first) have
+/// binary distance 1.
+///
+/// Returns `true` if `sequence` (taken in order) is such a cycle.
+/// Sequences shorter than 2 are not chains.
+#[must_use]
+pub fn is_chain(sequence: &[u64]) -> bool {
+    if sequence.len() < 2 {
+        return false;
+    }
+    // Distinctness.
+    let mut sorted = sequence.to_vec();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    sequence
+        .iter()
+        .zip(sequence.iter().cycle().skip(1))
+        .take(sequence.len())
+        .all(|(&a, &b)| binary_distance(a, b) == 1)
+}
+
+/// Searches for a chain (Hamming cycle) over `codes`, returning one
+/// ordering if it exists.
+///
+/// A cycle in the hypercube must alternate parities, so a set with
+/// unequal counts of even- and odd-popcount codes has no chain — that
+/// filter plus backtracking keeps the search fast at warehouse sizes.
+#[must_use]
+pub fn find_chain(codes: &[u64]) -> Option<Vec<u64>> {
+    let n = codes.len();
+    if n < 2 || !n.is_multiple_of(2) {
+        // A Hamming cycle is bipartite (parity alternates), so odd-length
+        // cycles are impossible; length-2 "cycles" (a,b,a) are allowed by
+        // Definition 2.3 since λ(a,b)=1 is checked both ways.
+        return if n == 2 && binary_distance(codes[0], codes[1]) == 1 {
+            Some(codes.to_vec())
+        } else {
+            None
+        };
+    }
+    let even = codes.iter().filter(|c| c.count_ones() % 2 == 0).count();
+    if even * 2 != n {
+        return None;
+    }
+    let mut order = vec![codes[0]];
+    let mut used = vec![false; n];
+    used[0] = true;
+    if backtrack(codes, &mut used, &mut order) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+fn backtrack(codes: &[u64], used: &mut [bool], order: &mut Vec<u64>) -> bool {
+    if order.len() == codes.len() {
+        return binary_distance(*order.last().expect("nonempty"), order[0]) == 1;
+    }
+    let last = *order.last().expect("nonempty");
+    for (i, &c) in codes.iter().enumerate() {
+        if !used[i] && binary_distance(last, c) == 1 {
+            used[i] = true;
+            order.push(c);
+            if backtrack(codes, used, order) {
+                return true;
+            }
+            order.pop();
+            used[i] = false;
+        }
+    }
+    false
+}
+
+/// Definition 2.4: a chain on a set of `2^p` codes is *prime* if all
+/// pairwise distances are at most `p`.
+///
+/// Returns `true` if `codes` (as a set) admits a prime chain.
+#[must_use]
+pub fn has_prime_chain(codes: &[u64]) -> bool {
+    let n = codes.len();
+    if n < 2 || !n.is_power_of_two() {
+        return false;
+    }
+    let p = n.trailing_zeros();
+    for (i, &a) in codes.iter().enumerate() {
+        for &b in &codes[i + 1..] {
+            if binary_distance(a, b) > p {
+                return false;
+            }
+        }
+    }
+    find_chain(codes).is_some()
+}
+
+/// A set of `2^p` codes with pairwise distance ≤ p and a Hamming cycle is
+/// exactly a `p`-dimensional subcube: all codes agree outside some `p`
+/// free bit positions. Returns the `(fixed_value, fixed_mask)` of that
+/// subcube if `codes` is one.
+#[must_use]
+pub fn as_subcube(codes: &[u64]) -> Option<(u64, u64)> {
+    let n = codes.len();
+    if n == 0 || !n.is_power_of_two() {
+        return None;
+    }
+    let p = n.trailing_zeros();
+    let varying = codes.iter().fold(0u64, |acc, &c| acc | (c ^ codes[0]));
+    if varying.count_ones() != p {
+        return None;
+    }
+    // All 2^p combinations of the varying bits must be present.
+    let mut seen: Vec<u64> = codes.iter().map(|&c| c & varying).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    if seen.len() != n {
+        return None;
+    }
+    let fixed_mask = !varying;
+    Some((codes[0] & fixed_mask, fixed_mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_distance_example() {
+        // a = 011, b = 111 ⇒ λ(a, b) = 1.
+        assert_eq!(binary_distance(0b011, 0b111), 1);
+        assert_eq!(binary_distance(0b000, 0b111), 3);
+        assert_eq!(binary_distance(5, 5), 0);
+    }
+
+    #[test]
+    fn paper_prime_chain_example() {
+        // "<000, 100, 110, 010> is a prime chain on {000,110,010,100}".
+        assert!(is_chain(&[0b000, 0b100, 0b110, 0b010]));
+        assert!(has_prime_chain(&[0b000, 0b110, 0b010, 0b100]));
+        // "no chain can be defined on {001, 011, 111}".
+        assert!(find_chain(&[0b001, 0b011, 0b111]).is_none());
+        assert!(!has_prime_chain(&[0b001, 0b011, 0b111]));
+    }
+
+    #[test]
+    fn is_chain_checks_the_wraparound() {
+        // Path but not cycle: 000-001-011-111 (distance(111,000)=3).
+        assert!(!is_chain(&[0b000, 0b001, 0b011, 0b111]));
+        // Proper 4-cycle.
+        assert!(is_chain(&[0b00, 0b01, 0b11, 0b10]));
+        // Duplicates are not a chain.
+        assert!(!is_chain(&[0b00, 0b01, 0b00, 0b01]));
+        // Too short.
+        assert!(!is_chain(&[0b0]));
+    }
+
+    #[test]
+    fn find_chain_recovers_gray_cycles() {
+        let codes: Vec<u64> = (0..8).collect();
+        let chain = find_chain(&codes).expect("the 3-cube has a Hamming cycle");
+        assert!(is_chain(&chain));
+        assert_eq!(chain.len(), 8);
+    }
+
+    #[test]
+    fn parity_filter_rejects_imbalanced_sets() {
+        // Three even-parity codes and one odd: no cycle.
+        assert!(find_chain(&[0b000, 0b011, 0b101, 0b001]).is_none());
+    }
+
+    #[test]
+    fn pair_chain_is_allowed() {
+        assert!(find_chain(&[0b10, 0b11]).is_some());
+        assert!(find_chain(&[0b10, 0b01]).is_none());
+        assert!(has_prime_chain(&[0b10, 0b11]));
+    }
+
+    #[test]
+    fn prime_chain_requires_bounded_diameter() {
+        // {000, 001, 110, 111} has a cycle? distances: 000-001=1,
+        // 001-111=2 … pairwise max distance 3 > p=2 ⇒ not prime.
+        assert!(!has_prime_chain(&[0b000, 0b001, 0b110, 0b111]));
+        // A 2-subcube {000,001,010,011} is prime.
+        assert!(has_prime_chain(&[0b000, 0b001, 0b010, 0b011]));
+    }
+
+    #[test]
+    fn subcube_recognition() {
+        let (v, m) = as_subcube(&[0b000, 0b001, 0b010, 0b011]).unwrap();
+        assert_eq!(v, 0);
+        assert_eq!(m, !0b011u64, "everything but the two low bits is fixed");
+        let (v, m) = as_subcube(&[0b100, 0b101]).unwrap();
+        assert_eq!(m & 0b111, 0b110);
+        assert_eq!(v & 0b111, 0b100);
+        assert!(as_subcube(&[0b000, 0b011]).is_none(), "distance-2 pair");
+        assert!(as_subcube(&[0b000, 0b001, 0b010, 0b111]).is_none());
+        assert!(as_subcube(&[0b0, 0b1, 0b10]).is_none(), "non power of two");
+    }
+
+    #[test]
+    fn prime_chain_iff_subcube_on_samples() {
+        // Exhaustive over all 4-subsets of the 3-cube: prime chain ⇔ subcube.
+        let all: Vec<u64> = (0..8).collect();
+        for a in 0..8 {
+            for b in a + 1..8 {
+                for c in b + 1..8 {
+                    for d in c + 1..8 {
+                        let set = [all[a], all[b], all[c], all[d]];
+                        assert_eq!(
+                            has_prime_chain(&set),
+                            as_subcube(&set).is_some(),
+                            "{set:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Encoding construction: finding good mappings for a predicate workload.
+//!
+//! The paper proves what a *well-defined* encoding buys (Theorems
+//! 2.2/2.3) but leaves the search algorithm open: "We have explored some
+//! heuristics for finding a well-defined encoding. However, they are
+//! beyond the scope of this paper." This module supplies that missing
+//! piece as four strategies of increasing effort:
+//!
+//! | strategy | idea | cost |
+//! |---|---|---|
+//! | [`IdentityEncoding`] | codes in value order (the *dynamic bitmap* baseline) | `O(m)` |
+//! | [`GrayEncoding`] | codes along the Gray cycle — neighbours differ in one bit, so contiguous IN-lists reduce well | `O(m)` |
+//! | [`AffinityEncoding`] | recursive bipartition of the co-access graph: each bit splits the domain minimising cut predicates | `O(k · m² )` |
+//! | [`AnnealingEncoding`] | simulated-annealing refinement of any start, scored by actual reduced vector counts | configurable |
+//!
+//! All strategies honour a `forbidden_codes` list so the reserved void /
+//! NULL codes of §2.2 stay free.
+
+mod affinity;
+mod annealing;
+mod basic;
+
+pub use affinity::AffinityEncoding;
+pub use annealing::AnnealingEncoding;
+pub use basic::{GrayEncoding, IdentityEncoding};
+
+use crate::error::CoreError;
+use crate::mapping::Mapping;
+
+/// Inputs to an encoding search.
+#[derive(Debug, Clone)]
+pub struct EncodingProblem<'a> {
+    /// Distinct value ids to encode.
+    pub values: &'a [u64],
+    /// Predicate workload: each entry is the value set of one
+    /// `A IN {…}` selection (Theorem 2.3's predicate set).
+    pub predicates: &'a [Vec<u64>],
+    /// Code width `k`; must satisfy `2^k ≥ values.len() + forbidden`.
+    pub width: u32,
+    /// Codes that must stay unassigned (reserved void/NULL codes).
+    pub forbidden_codes: &'a [u64],
+}
+
+impl EncodingProblem<'_> {
+    /// Validates capacity: enough allowed codes for all values.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Encoding`] when the code space is too small.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let capacity = (1u64 << self.width) as usize - self.forbidden_codes.len();
+        if self.values.len() > capacity {
+            return Err(CoreError::Encoding {
+                detail: format!(
+                    "{} values cannot fit {} allowed codes at width {}",
+                    self.values.len(),
+                    capacity,
+                    self.width
+                ),
+            });
+        }
+        let mut sorted = self.values.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != self.values.len() {
+            return Err(CoreError::Encoding {
+                detail: "duplicate values in encoding problem".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Allowed codes at the problem's width, ascending.
+    #[must_use]
+    pub fn allowed_codes(&self) -> Vec<u64> {
+        (0..(1u64 << self.width))
+            .filter(|c| !self.forbidden_codes.contains(c))
+            .collect()
+    }
+}
+
+/// An algorithm that assigns codes to values given a workload.
+pub trait EncodingStrategy {
+    /// Short identifier for reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Produces a mapping for `problem`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Encoding`] on invalid problems.
+    fn encode(&self, problem: &EncodingProblem<'_>) -> Result<Mapping, CoreError>;
+}
+
+/// Convenience: total reduced vector count of `mapping` over the
+/// workload (lower is better) — re-exported from [`crate::well_defined`].
+#[must_use]
+pub fn workload_cost(mapping: &Mapping, predicates: &[Vec<u64>]) -> usize {
+    crate::well_defined::workload_cost(mapping, predicates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_checks_capacity_and_duplicates() {
+        let values = [1u64, 2, 3, 4];
+        let preds: Vec<Vec<u64>> = vec![];
+        let p = EncodingProblem {
+            values: &values,
+            predicates: &preds,
+            width: 2,
+            forbidden_codes: &[0],
+        };
+        assert!(p.validate().is_err(), "4 values, 3 allowed codes");
+        let ok = EncodingProblem { width: 3, ..p.clone() };
+        assert!(ok.validate().is_ok());
+        let dup_values = [1u64, 1];
+        let dup = EncodingProblem {
+            values: &dup_values,
+            predicates: &preds,
+            width: 3,
+            forbidden_codes: &[],
+        };
+        assert!(dup.validate().is_err());
+    }
+
+    #[test]
+    fn allowed_codes_skip_forbidden() {
+        let values = [1u64];
+        let preds: Vec<Vec<u64>> = vec![];
+        let p = EncodingProblem {
+            values: &values,
+            predicates: &preds,
+            width: 2,
+            forbidden_codes: &[0, 2],
+        };
+        assert_eq!(p.allowed_codes(), vec![1, 3]);
+    }
+}

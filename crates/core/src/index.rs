@@ -1,0 +1,726 @@
+//! The encoded bitmap index (Definition 2.1).
+
+use crate::error::CoreError;
+use crate::mapping::Mapping;
+use crate::nulls::{NullPolicy, VOID_CODE};
+use crate::stats::QueryStats;
+use ebi_bitvec::builder::SliceFamilyBuilder;
+use ebi_bitvec::BitVec;
+use ebi_boolean::{eval_expr_tracked, qm, AccessTracker, DnfExpr};
+use ebi_storage::Cell;
+
+/// Result of one query: the selection bitmap (bit `j` set iff live row
+/// `j` matches) plus cost accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Matching rows.
+    pub bitmap: BitVec,
+    /// Cost of producing it.
+    pub stats: QueryStats,
+}
+
+/// Options for [`EncodedBitmapIndex::build_with`].
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// NULL/void representation.
+    pub policy: NullPolicy,
+    /// Explicit mapping table; `None` assigns codes in first-seen value
+    /// order.
+    pub mapping: Option<Mapping>,
+}
+
+/// An encoded bitmap index on one attribute.
+///
+/// Per Definition 2.1 the index is a set of `k = ceil(log2 m)` bitmap
+/// vectors, a one-to-one mapping `M^A`, and the retrieval functions
+/// (materialised on demand as reduced [`DnfExpr`]s). Companion vectors
+/// `B_NotExist` / `B_NULL` exist only under
+/// [`NullPolicy::SeparateVectors`] and only once a deletion/NULL occurs.
+#[derive(Debug, Clone)]
+pub struct EncodedBitmapIndex {
+    pub(crate) mapping: Mapping,
+    pub(crate) slices: Vec<BitVec>,
+    pub(crate) rows: usize,
+    pub(crate) policy: NullPolicy,
+    /// Reserved codes (void, NULL) under `EncodedReserved`.
+    pub(crate) reserved: Vec<u64>,
+    pub(crate) null_code: Option<u64>,
+    pub(crate) b_not_exist: Option<BitVec>,
+    pub(crate) b_null: Option<BitVec>,
+    /// Precomputed reduced expressions for predefined predicates
+    /// (normalised sorted value lists) — §3.2's "the retrieval functions
+    /// for all the predefined predicates can also be reduced" offline.
+    pub(crate) expr_cache: std::collections::HashMap<Vec<u64>, DnfExpr>,
+}
+
+impl EncodedBitmapIndex {
+    /// Builds with default options: [`NullPolicy::SeparateVectors`] and
+    /// codes assigned in first-seen order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from mapping construction.
+    pub fn build<I: IntoIterator<Item = Cell>>(cells: I) -> Result<Self, CoreError> {
+        Self::build_with(cells, BuildOptions::default())
+    }
+
+    /// Builds with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Encoding`] if a provided mapping misses values of the
+    /// column, uses the reserved void code under
+    /// [`NullPolicy::EncodedReserved`], or has no room for a NULL code.
+    pub fn build_with<I: IntoIterator<Item = Cell>>(
+        cells: I,
+        options: BuildOptions,
+    ) -> Result<Self, CoreError> {
+        let cells: Vec<Cell> = cells.into_iter().collect();
+        let mut distinct: Vec<u64> = cells.iter().filter_map(Cell::value).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let has_nulls = cells.iter().any(Cell::is_null);
+
+        // First-seen order for default code assignment keeps build
+        // deterministic without requiring pre-sorted data.
+        let first_seen: Vec<u64> = {
+            let mut seen = std::collections::HashSet::new();
+            cells
+                .iter()
+                .filter_map(Cell::value)
+                .filter(|v| seen.insert(*v))
+                .collect()
+        };
+
+        let (mapping, reserved, null_code) = match options.policy {
+            NullPolicy::SeparateVectors => {
+                let mapping = match options.mapping {
+                    Some(m) => {
+                        ensure_covers(&m, &distinct)?;
+                        m
+                    }
+                    None => Mapping::from_values(&first_seen)?,
+                };
+                (mapping, Vec::new(), None)
+            }
+            NullPolicy::EncodedReserved => {
+                let special = 1 + usize::from(has_nulls);
+                let mapping = match options.mapping {
+                    Some(m) => {
+                        ensure_covers(&m, &distinct)?;
+                        if m.value_of(VOID_CODE).is_some() {
+                            return Err(CoreError::Encoding {
+                                detail: "EncodedReserved requires code 0 to stay free for void tuples"
+                                    .into(),
+                            });
+                        }
+                        m
+                    }
+                    None => {
+                        let width = Mapping::width_for(first_seen.len() + special);
+                        let mut m = Mapping::new(width);
+                        // Codes: 0 = void, 1 = NULL (when present), then values.
+                        let base = 1 + u64::from(has_nulls);
+                        for (i, &v) in first_seen.iter().enumerate() {
+                            m.insert(v, base + i as u64)?;
+                        }
+                        m
+                    }
+                };
+                let mut reserved = vec![VOID_CODE];
+                let null_code = if has_nulls {
+                    let code = (0..(1u64 << mapping.width()))
+                        .find(|&c| c != VOID_CODE && mapping.value_of(c).is_none())
+                        .ok_or(CoreError::DomainFull {
+                            width: mapping.width(),
+                        })?;
+                    reserved.push(code);
+                    Some(code)
+                } else {
+                    None
+                };
+                (mapping, reserved, null_code)
+            }
+        };
+
+        let mut fam = SliceFamilyBuilder::new(mapping.width() as usize);
+        let mut b_null: Option<BitVec> = None;
+        for (row, cell) in cells.iter().enumerate() {
+            match cell {
+                Cell::Value(v) => {
+                    let code = mapping.code_of(*v).expect("mapping covers the column");
+                    fam.push_code(code);
+                }
+                Cell::Null => match options.policy {
+                    NullPolicy::SeparateVectors => {
+                        // Placeholder code; B_NULL masks these rows.
+                        fam.push_code(0);
+                        let bn = b_null.get_or_insert_with(|| BitVec::zeros(cells.len()));
+                        bn.set(row, true);
+                    }
+                    NullPolicy::EncodedReserved => {
+                        fam.push_code(null_code.expect("null code reserved"));
+                    }
+                },
+            }
+        }
+
+        Ok(Self {
+            mapping,
+            slices: fam.finish(),
+            rows: cells.len(),
+            policy: options.policy,
+            reserved,
+            null_code,
+            b_not_exist: None,
+            b_null,
+            expr_cache: std::collections::HashMap::new(),
+        })
+    }
+
+    /// Number of rows indexed (including deleted slots).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Code width `k` — the number of encoded bitmap vectors.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.mapping.width()
+    }
+
+    /// The mapping table.
+    #[must_use]
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The NULL policy chosen at build time.
+    #[must_use]
+    pub fn policy(&self) -> NullPolicy {
+        self.policy
+    }
+
+    /// The encoded bitmap vectors, LSB (`B_0`) first.
+    #[must_use]
+    pub fn slices(&self) -> &[BitVec] {
+        &self.slices
+    }
+
+    /// Total bitmap vectors held, companions included.
+    #[must_use]
+    pub fn bitmap_vector_count(&self) -> usize {
+        self.slices.len()
+            + usize::from(self.b_not_exist.is_some())
+            + usize::from(self.b_null.is_some())
+    }
+
+    /// Storage footprint: bitmap vectors plus the mapping table.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        let vectors: usize = self
+            .slices
+            .iter()
+            .chain(self.b_not_exist.iter())
+            .chain(self.b_null.iter())
+            .map(BitVec::storage_bytes)
+            .sum();
+        vectors + self.mapping.to_bytes().len()
+    }
+
+    /// Mean fraction of zero bits across the encoded vectors — compare
+    /// with the simple index's `(m-1)/m` (§3.1).
+    #[must_use]
+    pub fn mean_sparsity(&self) -> f64 {
+        if self.slices.is_empty() {
+            return 0.0;
+        }
+        self.slices.iter().map(BitVec::sparsity).sum::<f64>() / self.slices.len() as f64
+    }
+
+    /// Don't-care codes: unassigned and unreserved at the current width.
+    #[must_use]
+    pub fn dont_care_codes(&self) -> Vec<u64> {
+        let null = self.null_code;
+        self.mapping
+            .unassigned_codes()
+            .into_iter()
+            .filter(|c| !self.reserved.contains(c) && Some(*c) != null)
+            .collect()
+    }
+
+    /// The reduced retrieval expression for `A IN values` (values missing
+    /// from the domain contribute nothing). Served from the precomputed
+    /// cache when the predicate was declared via
+    /// [`EncodedBitmapIndex::precompute_predicates`].
+    #[must_use]
+    pub fn explain_in_list(&self, values: &[u64]) -> DnfExpr {
+        if !self.expr_cache.is_empty() {
+            if let Some(cached) = self.expr_cache.get(&normalise_values(values)) {
+                return cached.clone();
+            }
+        }
+        let codes: Vec<u64> = values.iter().filter_map(|&v| self.mapping.code_of(v)).collect();
+        qm::minimize(&codes, &self.dont_care_codes(), self.width())
+    }
+
+    /// Reduces and caches the retrieval expressions of predefined
+    /// predicates — §3.2: logical reduction is a one-time cost when the
+    /// selection predicates are pre-declared. Subsequent `in_list`/
+    /// `range` calls matching a cached predicate skip Quine–McCluskey
+    /// entirely. Maintenance that changes the code space (domain
+    /// expansion, re-encoding) clears the cache.
+    pub fn precompute_predicates(&mut self, predicates: &[Vec<u64>]) {
+        for pred in predicates {
+            let key = normalise_values(pred);
+            let codes: Vec<u64> =
+                key.iter().filter_map(|&v| self.mapping.code_of(v)).collect();
+            let expr = qm::minimize(&codes, &self.dont_care_codes(), self.width());
+            self.expr_cache.insert(key, expr);
+        }
+    }
+
+    /// Number of precomputed predicates currently cached.
+    #[must_use]
+    pub fn cached_predicates(&self) -> usize {
+        self.expr_cache.len()
+    }
+
+    /// Point selection `A = value` (Q1 of §3.1).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for unknown values (they match nothing), but
+    /// kept fallible for interface stability.
+    pub fn eq(&self, value: u64) -> Result<QueryResult, CoreError> {
+        self.in_list(&[value])
+    }
+
+    /// IN-list selection `A IN values` (the paper's range search).
+    ///
+    /// # Errors
+    ///
+    /// See [`EncodedBitmapIndex::eq`].
+    pub fn in_list(&self, values: &[u64]) -> Result<QueryResult, CoreError> {
+        let expr = self.explain_in_list(values);
+        Ok(self.run_expr(&expr))
+    }
+
+    /// Range selection over value ids: `lo <= A <= hi`. For discrete
+    /// domains this is the IN-list over the mapped values in the
+    /// interval, exactly as §2.2 rewrites `j < A < i`.
+    ///
+    /// # Errors
+    ///
+    /// See [`EncodedBitmapIndex::eq`].
+    pub fn range(&self, lo: u64, hi: u64) -> Result<QueryResult, CoreError> {
+        let values: Vec<u64> = self
+            .mapping
+            .iter()
+            .map(|(v, _)| v)
+            .filter(|&v| v >= lo && v <= hi)
+            .collect();
+        self.in_list(&values)
+    }
+
+    /// Negated selection `A NOT IN values` over live, non-NULL rows.
+    ///
+    /// Evaluated as the *positive* selection of the complement value
+    /// set, so deleted rows and NULLs are excluded by construction —
+    /// never by complementing a bitmap (which would resurrect them).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; fallible for interface stability.
+    pub fn not_in_list(&self, values: &[u64]) -> Result<QueryResult, CoreError> {
+        let excluded: std::collections::HashSet<u64> = values.iter().copied().collect();
+        let complement: Vec<u64> = self
+            .mapping
+            .iter()
+            .map(|(v, _)| v)
+            .filter(|v| !excluded.contains(v))
+            .collect();
+        self.in_list(&complement)
+    }
+
+    /// `A <> value` over live, non-NULL rows (SQL semantics: NULL rows
+    /// do not match).
+    ///
+    /// # Errors
+    ///
+    /// See [`EncodedBitmapIndex::not_in_list`].
+    pub fn neq(&self, value: u64) -> Result<QueryResult, CoreError> {
+        self.not_in_list(&[value])
+    }
+
+    /// Rows whose attribute is NULL (live rows only).
+    #[must_use]
+    pub fn is_null(&self) -> QueryResult {
+        match self.policy {
+            NullPolicy::SeparateVectors => {
+                let mut tracker = AccessTracker::new();
+                let mut bitmap = match &self.b_null {
+                    Some(b) => {
+                        tracker.touch(self.width());
+                        b.clone()
+                    }
+                    None => BitVec::zeros(self.rows),
+                };
+                if let Some(ne) = &self.b_not_exist {
+                    tracker.touch(self.width() + 1);
+                    tracker.literal_ops += 1;
+                    bitmap.and_not_assign(ne);
+                }
+                QueryResult {
+                    bitmap,
+                    stats: QueryStats::from_tracker(&tracker, "B_NULL".into()),
+                }
+            }
+            NullPolicy::EncodedReserved => {
+                let expr = match self.null_code {
+                    Some(code) => {
+                        qm::minimize(&[code], &self.dont_care_codes(), self.width())
+                    }
+                    None => DnfExpr::empty(self.width()),
+                };
+                self.run_expr(&expr)
+            }
+        }
+    }
+
+    /// Evaluates a reduced expression and applies the policy's masks.
+    pub(crate) fn run_expr(&self, expr: &DnfExpr) -> QueryResult {
+        let mut tracker = AccessTracker::new();
+        let mut bitmap = eval_expr_tracked(expr, &self.slices, self.rows, &mut tracker);
+        let mut rendered = expr.to_string();
+        if self.policy == NullPolicy::SeparateVectors && !expr.is_false() {
+            // Method 1 of §2.2: value selections must mask NULL rows
+            // (their slice bits are placeholders) and deleted rows.
+            if let Some(bn) = &self.b_null {
+                tracker.touch(self.width());
+                tracker.literal_ops += 1;
+                bitmap.and_not_assign(bn);
+                rendered.push_str(" · B_NULL'");
+            }
+            if let Some(ne) = &self.b_not_exist {
+                tracker.touch(self.width() + 1);
+                tracker.literal_ops += 1;
+                bitmap.and_not_assign(ne);
+                rendered.push_str(" · B_NotExist'");
+            }
+        }
+        // Under EncodedReserved nothing is masked: Theorem 2.1 (void = 0
+        // sits in the off-set of every value selection, and the NULL code
+        // likewise).
+        QueryResult {
+            bitmap,
+            stats: QueryStats::from_tracker(&tracker, rendered),
+        }
+    }
+
+    /// Decodes the value of a live row (for verification / projection).
+    /// Returns `None` for deleted rows, NULL rows, or rows out of range.
+    #[must_use]
+    pub fn decode_row(&self, row: usize) -> Option<u64> {
+        if row >= self.rows {
+            return None;
+        }
+        if let Some(ne) = &self.b_not_exist {
+            if ne.bit(row) {
+                return None;
+            }
+        }
+        if let Some(bn) = &self.b_null {
+            if bn.bit(row) {
+                return None;
+            }
+        }
+        let code = self.row_code(row);
+        if self.policy == NullPolicy::EncodedReserved
+            && (code == VOID_CODE || Some(code) == self.null_code)
+        {
+            return None;
+        }
+        self.mapping.value_of(code)
+    }
+
+    /// Raw code stored at `row`.
+    pub(crate) fn row_code(&self, row: usize) -> u64 {
+        self.slices
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, s)| acc | (u64::from(s.bit(row)) << i))
+    }
+}
+
+/// Sorted, deduplicated predicate key for the expression cache.
+fn normalise_values(values: &[u64]) -> Vec<u64> {
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn ensure_covers(mapping: &Mapping, distinct: &[u64]) -> Result<(), CoreError> {
+    for &v in distinct {
+        if mapping.code_of(v).is_none() {
+            return Err(CoreError::Encoding {
+                detail: format!("provided mapping misses value {v}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_cells() -> Vec<Cell> {
+        // Column [a, b, c, b, a, c] with ids a=0, b=1, c=2.
+        [0u64, 1, 2, 1, 0, 2].map(Cell::Value).to_vec()
+    }
+
+    #[test]
+    fn figure1_build_shape() {
+        let idx = EncodedBitmapIndex::build(figure1_cells()).unwrap();
+        assert_eq!(idx.width(), 2, "3 values -> 2 vectors");
+        assert_eq!(idx.rows(), 6);
+        assert_eq!(idx.bitmap_vector_count(), 2);
+        // a=00, b=01, c=10 in first-seen order, matching Figure 1.
+        assert_eq!(idx.mapping().code_of(0), Some(0b00));
+        assert_eq!(idx.mapping().code_of(1), Some(0b01));
+        assert_eq!(idx.mapping().code_of(2), Some(0b10));
+        // B0 = 010100, B1 = 001001 (LSB-first rows).
+        assert_eq!(idx.slices()[0].to_positions(), vec![1, 3]);
+        assert_eq!(idx.slices()[1].to_positions(), vec![2, 5]);
+    }
+
+    #[test]
+    fn figure1_queries() {
+        let idx = EncodedBitmapIndex::build(figure1_cells()).unwrap();
+        // Q1: A = a — min-term, both vectors read.
+        let q1 = idx.eq(0).unwrap();
+        assert_eq!(q1.bitmap.to_positions(), vec![0, 4]);
+        assert_eq!(q1.stats.vectors_accessed, 2);
+        assert_eq!(q1.stats.expression, "B1'B0'");
+        // Q2: A IN {a, b} — reduces to B1', one vector.
+        let q2 = idx.in_list(&[0, 1]).unwrap();
+        assert_eq!(q2.bitmap.to_positions(), vec![0, 1, 3, 4]);
+        assert_eq!(q2.stats.vectors_accessed, 1);
+        assert_eq!(q2.stats.expression, "B1'");
+    }
+
+    #[test]
+    fn unknown_values_match_nothing() {
+        let idx = EncodedBitmapIndex::build(figure1_cells()).unwrap();
+        let r = idx.eq(99).unwrap();
+        assert_eq!(r.bitmap.count_ones(), 0);
+        assert_eq!(r.stats.vectors_accessed, 0);
+        let mixed = idx.in_list(&[99, 1]).unwrap();
+        assert_eq!(mixed.bitmap.to_positions(), vec![1, 3]);
+    }
+
+    #[test]
+    fn range_is_inlist_over_value_ids() {
+        let idx = EncodedBitmapIndex::build(figure1_cells()).unwrap();
+        let r = idx.range(0, 1).unwrap();
+        assert_eq!(r.bitmap.to_positions(), vec![0, 1, 3, 4]);
+        let all = idx.range(0, 2).unwrap();
+        assert_eq!(all.bitmap.count_ones(), 6);
+        assert_eq!(all.stats.vectors_accessed, 0, "whole domain is a tautology");
+        let none = idx.range(50, 60).unwrap();
+        assert_eq!(none.bitmap.count_ones(), 0);
+    }
+
+    #[test]
+    fn nulls_under_separate_vectors() {
+        let cells = vec![
+            Cell::Value(0),
+            Cell::Null,
+            Cell::Value(1),
+            Cell::Null,
+            Cell::Value(0),
+        ];
+        let idx = EncodedBitmapIndex::build(cells).unwrap();
+        assert_eq!(idx.bitmap_vector_count(), 2, "1 slice + B_NULL");
+        // NULL rows carry placeholder code 0 = a's code, but must not
+        // match A = a.
+        let r = idx.eq(0).unwrap();
+        assert_eq!(r.bitmap.to_positions(), vec![0, 4]);
+        assert!(r.stats.expression.contains("B_NULL'"));
+        // The mask costs one extra vector read.
+        assert_eq!(r.stats.vectors_accessed, 2);
+        let nulls = idx.is_null();
+        assert_eq!(nulls.bitmap.to_positions(), vec![1, 3]);
+    }
+
+    #[test]
+    fn nulls_under_encoded_reserved() {
+        let cells = vec![
+            Cell::Value(10),
+            Cell::Null,
+            Cell::Value(20),
+            Cell::Null,
+            Cell::Value(10),
+        ];
+        let idx = EncodedBitmapIndex::build_with(
+            cells,
+            BuildOptions {
+                policy: NullPolicy::EncodedReserved,
+                mapping: None,
+            },
+        )
+        .unwrap();
+        // Domain = {void, NULL, 10, 20} -> k = 2, codes 0,1,2,3.
+        assert_eq!(idx.width(), 2);
+        assert_eq!(idx.bitmap_vector_count(), 2, "no companion vectors");
+        let r = idx.eq(10).unwrap();
+        assert_eq!(r.bitmap.to_positions(), vec![0, 4]);
+        assert!(
+            !r.stats.expression.contains("B_NULL"),
+            "no masking under Theorem 2.1"
+        );
+        let nulls = idx.is_null();
+        assert_eq!(nulls.bitmap.to_positions(), vec![1, 3]);
+    }
+
+    #[test]
+    fn encoded_reserved_keeps_code_zero_free() {
+        let idx = EncodedBitmapIndex::build_with(
+            figure1_cells(),
+            BuildOptions {
+                policy: NullPolicy::EncodedReserved,
+                mapping: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(idx.mapping().value_of(VOID_CODE), None);
+        // 3 values + void = 4 codes -> still k = 2.
+        assert_eq!(idx.width(), 2);
+        // A provided mapping that uses code 0 is rejected.
+        let bad = Mapping::from_pairs(&[(0, 0), (1, 1), (2, 2)]).unwrap();
+        let err = EncodedBitmapIndex::build_with(
+            figure1_cells(),
+            BuildOptions {
+                policy: NullPolicy::EncodedReserved,
+                mapping: Some(bad),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Encoding { .. }));
+    }
+
+    #[test]
+    fn custom_mapping_is_honoured() {
+        let custom = Mapping::from_pairs(&[(0, 0b10), (1, 0b00), (2, 0b01)]).unwrap();
+        let idx = EncodedBitmapIndex::build_with(
+            figure1_cells(),
+            BuildOptions {
+                policy: NullPolicy::SeparateVectors,
+                mapping: Some(custom),
+            },
+        )
+        .unwrap();
+        let r = idx.eq(1).unwrap();
+        assert_eq!(r.stats.expression, "B1'B0'");
+        assert_eq!(r.bitmap.to_positions(), vec![1, 3]);
+        // Missing values are rejected.
+        let incomplete = Mapping::from_pairs(&[(0, 0)]).unwrap();
+        assert!(EncodedBitmapIndex::build_with(
+            figure1_cells(),
+            BuildOptions {
+                policy: NullPolicy::SeparateVectors,
+                mapping: Some(incomplete),
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn decode_row_inverts_the_index() {
+        let cells = vec![Cell::Value(5), Cell::Null, Cell::Value(7)];
+        let idx = EncodedBitmapIndex::build(cells).unwrap();
+        assert_eq!(idx.decode_row(0), Some(5));
+        assert_eq!(idx.decode_row(1), None, "NULL row");
+        assert_eq!(idx.decode_row(2), Some(7));
+        assert_eq!(idx.decode_row(3), None, "out of range");
+    }
+
+    #[test]
+    fn sparsity_is_about_half_for_dense_domains() {
+        // 256 values uniformly: each of the 8 slices is half ones.
+        let cells: Vec<Cell> = (0..4096u64).map(|i| Cell::Value(i % 256)).collect();
+        let idx = EncodedBitmapIndex::build(cells).unwrap();
+        let s = idx.mean_sparsity();
+        assert!((s - 0.5).abs() < 0.02, "sparsity {s}");
+    }
+
+    #[test]
+    fn empty_column_builds() {
+        let idx = EncodedBitmapIndex::build(Vec::<Cell>::new()).unwrap();
+        assert_eq!(idx.rows(), 0);
+        let r = idx.eq(0).unwrap();
+        assert_eq!(r.bitmap.len(), 0);
+    }
+
+    #[test]
+    fn precomputed_predicates_answer_identically() {
+        let cells: Vec<Cell> = (0..2000u64).map(|i| Cell::Value(i % 100)).collect();
+        let mut idx = EncodedBitmapIndex::build(cells).unwrap();
+        let predicates: Vec<Vec<u64>> = vec![
+            (0..40).collect(),
+            vec![5, 10, 15],
+            (60..100).collect(),
+        ];
+        let before: Vec<_> = predicates
+            .iter()
+            .map(|p| idx.in_list(p).unwrap())
+            .collect();
+        idx.precompute_predicates(&predicates);
+        assert_eq!(idx.cached_predicates(), 3);
+        for (p, expect) in predicates.iter().zip(&before) {
+            let got = idx.in_list(p).unwrap();
+            assert_eq!(got.bitmap, expect.bitmap);
+            assert_eq!(got.stats.vectors_accessed, expect.stats.vectors_accessed);
+        }
+        // Order/duplicates in the query don't miss the cache.
+        let mut shuffled = predicates[1].clone();
+        shuffled.reverse();
+        shuffled.push(5);
+        assert_eq!(
+            idx.in_list(&shuffled).unwrap().bitmap,
+            before[1].bitmap,
+            "normalised key matches"
+        );
+    }
+
+    #[test]
+    fn cache_invalidated_by_domain_growth() {
+        let mut idx = EncodedBitmapIndex::build([0u64, 1, 2].map(Cell::Value)).unwrap();
+        idx.precompute_predicates(&[vec![0, 1]]);
+        assert_eq!(idx.cached_predicates(), 1);
+        // Admitting value 3 takes the don't-care code 11: the cached
+        // reduction B1' would now wrongly cover it.
+        idx.append(Cell::Value(3)).unwrap();
+        assert_eq!(idx.cached_predicates(), 0, "stale cache cleared");
+        let r = idx.in_list(&[0, 1]).unwrap();
+        assert_eq!(r.bitmap.to_positions(), vec![0, 1], "correct after growth");
+    }
+
+    #[test]
+    fn dont_cares_exclude_reserved_codes() {
+        let cells = vec![Cell::Value(1), Cell::Null];
+        let idx = EncodedBitmapIndex::build_with(
+            cells,
+            BuildOptions {
+                policy: NullPolicy::EncodedReserved,
+                mapping: None,
+            },
+        )
+        .unwrap();
+        // Domain {void=0, null=1, value@2} at k=2: only code 3 is dc.
+        assert_eq!(idx.dont_care_codes(), vec![3]);
+    }
+}

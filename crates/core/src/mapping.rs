@@ -1,0 +1,369 @@
+//! The mapping table `M^A : A → {<b_{k-1} … b_0>}` of Definition 2.1.
+
+use crate::error::CoreError;
+use std::collections::BTreeMap;
+
+/// A one-to-one mapping from value ids to `k`-bit codes.
+///
+/// This is the paper's *mapping table*: the component that turns a simple
+/// bitmap index into an encoded one, and the object every encoding
+/// strategy (Gray, hierarchy, total-order, range-based, …) produces.
+///
+/// Values are dictionary ids (`u64`); translating strings/dates to ids is
+/// the warehouse layer's job.
+///
+/// ```
+/// use ebi_core::Mapping;
+///
+/// // Figure 1: {a, b, c} as ids 0..3 on 2-bit codes.
+/// let m = Mapping::sequential(3);
+/// assert_eq!(m.width(), 2);
+/// assert_eq!(m.code_of(1), Some(0b01));
+/// // Code 11 is unassigned: the don't-care of footnote 3.
+/// assert_eq!(m.unassigned_codes(), vec![0b11]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    width: u32,
+    code_of: BTreeMap<u64, u64>,
+    value_of: BTreeMap<u64, u64>,
+}
+
+impl Mapping {
+    /// An empty mapping of the given code width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 63`.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!(width <= 63, "mapping width {width} exceeds 63 bits");
+        Self {
+            width,
+            code_of: BTreeMap::new(),
+            value_of: BTreeMap::new(),
+        }
+    }
+
+    /// The minimal width for a domain of `m` values: `ceil(log2 m)`,
+    /// with a floor of 1.
+    #[must_use]
+    pub fn width_for(m: usize) -> u32 {
+        match m {
+            0..=2 => 1,
+            _ => (m as u64 - 1).ilog2() + 1,
+        }
+    }
+
+    /// Sequential mapping `value i ↦ code i` for values `0..m` — the
+    /// *dynamic bitmap* encoding of Sarawagi (§4), also the default
+    /// build-time encoding.
+    #[must_use]
+    pub fn sequential(m: usize) -> Self {
+        let mut map = Self::new(Self::width_for(m));
+        for v in 0..m as u64 {
+            map.insert(v, v).expect("sequential codes are unique and fit");
+        }
+        map
+    }
+
+    /// Sequential mapping over an explicit value list (first value gets
+    /// code 0, and so on).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidCode`] if `values` contains duplicates.
+    pub fn from_values(values: &[u64]) -> Result<Self, CoreError> {
+        let mut map = Self::new(Self::width_for(values.len()));
+        for (code, &v) in values.iter().enumerate() {
+            map.insert(v, code as u64)?;
+        }
+        Ok(map)
+    }
+
+    /// Builds from explicit `(value, code)` pairs, inferring the width
+    /// from the largest code.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidCode`] on duplicate values or codes.
+    pub fn from_pairs(pairs: &[(u64, u64)]) -> Result<Self, CoreError> {
+        let max_code = pairs.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        let width = Self::width_for((max_code + 1) as usize).max(1);
+        let mut map = Self::new(width);
+        for &(v, c) in pairs {
+            map.insert(v, c)?;
+        }
+        Ok(map)
+    }
+
+    /// Inserts `value ↦ code`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidCode`] if the value or code is already mapped,
+    /// or the code does not fit the width.
+    pub fn insert(&mut self, value: u64, code: u64) -> Result<(), CoreError> {
+        if self.width < 64 && code >> self.width != 0 {
+            return Err(CoreError::InvalidCode {
+                detail: format!("code {code:#b} does not fit width {}", self.width),
+            });
+        }
+        if self.code_of.contains_key(&value) {
+            return Err(CoreError::InvalidCode {
+                detail: format!("value {value} already mapped"),
+            });
+        }
+        if self.value_of.contains_key(&code) {
+            return Err(CoreError::InvalidCode {
+                detail: format!("code {code:#b} already assigned"),
+            });
+        }
+        self.code_of.insert(value, code);
+        self.value_of.insert(code, value);
+        Ok(())
+    }
+
+    /// Code width `k` — the number of bitmap vectors of the index.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of mapped values (`m`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code_of.len()
+    }
+
+    /// `true` if no values are mapped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code_of.is_empty()
+    }
+
+    /// The code of `value`.
+    #[must_use]
+    pub fn code_of(&self, value: u64) -> Option<u64> {
+        self.code_of.get(&value).copied()
+    }
+
+    /// The value holding `code`.
+    #[must_use]
+    pub fn value_of(&self, code: u64) -> Option<u64> {
+        self.value_of.get(&code).copied()
+    }
+
+    /// Codes for a set of values; fails on the first unknown one.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownValue`] for any unmapped value.
+    pub fn codes_of(&self, values: &[u64]) -> Result<Vec<u64>, CoreError> {
+        values
+            .iter()
+            .map(|&v| self.code_of(v).ok_or(CoreError::UnknownValue { value: v }))
+            .collect()
+    }
+
+    /// `(value, code)` pairs in value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.code_of.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Codes in `0..2^width` not assigned to any value — the don't-care
+    /// set for logical reduction (footnote 3).
+    #[must_use]
+    pub fn unassigned_codes(&self) -> Vec<u64> {
+        (0..(1u64 << self.width))
+            .filter(|c| !self.value_of.contains_key(c))
+            .collect()
+    }
+
+    /// Smallest unassigned code, if any.
+    #[must_use]
+    pub fn first_free_code(&self) -> Option<u64> {
+        (0..(1u64 << self.width)).find(|c| !self.value_of.contains_key(c))
+    }
+
+    /// `true` once every code at the current width is taken.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.code_of.len() as u64 == 1u64 << self.width
+    }
+
+    /// Widens the mapping by one bit (existing codes keep their value —
+    /// the new MSB is 0 for all of them), as in the Figure 2(b) expansion.
+    pub fn widen(&mut self) {
+        assert!(self.width < 63, "cannot widen past 63 bits");
+        self.width += 1;
+    }
+
+    /// `true` if the numeric order of values matches the numeric order of
+    /// codes — the *total-order preserving* property of §2.3.
+    #[must_use]
+    pub fn is_total_order_preserving(&self) -> bool {
+        // code_of iterates by ascending value; codes must then ascend.
+        let codes: Vec<u64> = self.code_of.values().copied().collect();
+        codes.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// Serialises as `(value, code)` pairs — the physical mapping table
+    /// (16 bytes per entry).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.code_of.len() * 16 + 12);
+        out.extend_from_slice(&self.width.to_le_bytes());
+        out.extend_from_slice(&(self.code_of.len() as u64).to_le_bytes());
+        for (&v, &c) in &self.code_of {
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the layout of [`Mapping::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidCode`] on truncated or inconsistent input.
+    pub fn from_bytes(raw: &[u8]) -> Result<Self, CoreError> {
+        if raw.len() < 12 {
+            return Err(CoreError::InvalidCode {
+                detail: "mapping blob too short".into(),
+            });
+        }
+        let width = u32::from_le_bytes(raw[0..4].try_into().expect("4 bytes"));
+        let n = u64::from_le_bytes(raw[4..12].try_into().expect("8 bytes")) as usize;
+        if raw.len() != 12 + n * 16 || width > 63 {
+            return Err(CoreError::InvalidCode {
+                detail: format!("mapping blob of {} bytes inconsistent with {n} entries", raw.len()),
+            });
+        }
+        let mut map = Self::new(width);
+        for i in 0..n {
+            let off = 12 + i * 16;
+            let v = u64::from_le_bytes(raw[off..off + 8].try_into().expect("8 bytes"));
+            let c = u64::from_le_bytes(raw[off + 8..off + 16].try_into().expect("8 bytes"));
+            map.insert(v, c)?;
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_for_matches_paper_examples() {
+        assert_eq!(Mapping::width_for(3), 2, "domain {{a,b,c}} needs 2 vectors");
+        assert_eq!(Mapping::width_for(12000), 14, "12000 products need 14");
+        assert_eq!(Mapping::width_for(4), 2);
+        assert_eq!(Mapping::width_for(5), 3);
+        assert_eq!(Mapping::width_for(1), 1);
+        assert_eq!(Mapping::width_for(0), 1);
+    }
+
+    #[test]
+    fn sequential_mapping_is_identity_on_ids() {
+        let m = Mapping::sequential(5);
+        assert_eq!(m.width(), 3);
+        assert_eq!(m.len(), 5);
+        for v in 0..5 {
+            assert_eq!(m.code_of(v), Some(v));
+            assert_eq!(m.value_of(v), Some(v));
+        }
+        assert_eq!(m.code_of(5), None);
+        assert!(m.is_total_order_preserving());
+    }
+
+    #[test]
+    fn bijectivity_enforced() {
+        let mut m = Mapping::new(2);
+        m.insert(10, 0b01).unwrap();
+        assert!(m.insert(10, 0b10).is_err(), "duplicate value");
+        assert!(m.insert(11, 0b01).is_err(), "duplicate code");
+        assert!(m.insert(12, 0b100).is_err(), "code too wide");
+        m.insert(11, 0b10).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn unassigned_codes_are_the_dontcares() {
+        // Domain {a,b,c} at k=2 leaves code 11 unassigned (footnote 3).
+        let m = Mapping::sequential(3);
+        assert_eq!(m.unassigned_codes(), vec![0b11]);
+        assert_eq!(m.first_free_code(), Some(0b11));
+        assert!(!m.is_full());
+        let full = Mapping::sequential(4);
+        assert!(full.is_full());
+        assert_eq!(full.first_free_code(), None);
+    }
+
+    #[test]
+    fn widen_keeps_codes_and_doubles_space() {
+        let mut m = Mapping::sequential(4);
+        assert!(m.is_full());
+        m.widen();
+        assert_eq!(m.width(), 3);
+        assert!(!m.is_full());
+        assert_eq!(m.code_of(3), Some(3));
+        assert_eq!(m.first_free_code(), Some(4));
+    }
+
+    #[test]
+    fn total_order_detection() {
+        // Figure 6: {101..106} mapped to {000,001,010,100,101,110} —
+        // order preserving despite skipping 011 and 111.
+        let m = Mapping::from_pairs(&[
+            (101, 0b000),
+            (102, 0b001),
+            (103, 0b010),
+            (104, 0b100),
+            (105, 0b101),
+            (106, 0b110),
+        ])
+        .unwrap();
+        assert!(m.is_total_order_preserving());
+        // Swap two codes: order broken.
+        let broken = Mapping::from_pairs(&[(101, 0b001), (102, 0b000)]).unwrap();
+        assert!(!broken.is_total_order_preserving());
+    }
+
+    #[test]
+    fn codes_of_batch_lookup() {
+        let m = Mapping::sequential(4);
+        assert_eq!(m.codes_of(&[2, 0]).unwrap(), vec![2, 0]);
+        assert!(matches!(
+            m.codes_of(&[9]),
+            Err(CoreError::UnknownValue { value: 9 })
+        ));
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        let m = Mapping::from_pairs(&[(7, 0), (99, 3), (4, 1)]).unwrap();
+        let restored = Mapping::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(restored, m);
+        assert!(Mapping::from_bytes(&[1, 2]).is_err());
+        let mut raw = m.to_bytes();
+        raw.pop();
+        assert!(Mapping::from_bytes(&raw).is_err());
+    }
+
+    #[test]
+    fn from_pairs_infers_width() {
+        let m = Mapping::from_pairs(&[(1, 0b1110)]).unwrap();
+        assert_eq!(m.width(), 4);
+        let tiny = Mapping::from_pairs(&[(1, 0)]).unwrap();
+        assert_eq!(tiny.width(), 1);
+    }
+
+    #[test]
+    fn iter_is_value_ordered() {
+        let m = Mapping::from_pairs(&[(30, 0), (10, 1), (20, 2)]).unwrap();
+        let values: Vec<u64> = m.iter().map(|(v, _)| v).collect();
+        assert_eq!(values, vec![10, 20, 30]);
+    }
+}

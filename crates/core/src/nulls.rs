@@ -1,0 +1,46 @@
+//! NULL and non-existing-tuple handling (§2.2) and Theorem 2.1.
+//!
+//! The paper offers two representations:
+//!
+//! 1. **Separate vectors** — extra bitmaps `B_NotExist` and `B_NULL`
+//!    mark void/NULL rows; every value query must mask with them
+//!    (costing up to two extra vector reads).
+//! 2. **Reserved codes** — void and NULL become artificial domain values
+//!    encoded alongside the real ones. Theorem 2.1: reserving the
+//!    all-zero code for void tuples makes the existence mask *redundant*
+//!    — any selection of real values already excludes code 0 — so value
+//!    queries pay no masking cost at all.
+//!
+//! Both are implemented; the index picks one via [`NullPolicy`].
+
+/// How the index represents deleted (void) rows and NULLs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NullPolicy {
+    /// Lazily-created `B_NotExist` / `B_NULL` companion vectors (§2.2,
+    /// method 1). Matches Definition 2.1 exactly for the value domain.
+    #[default]
+    SeparateVectors,
+    /// Void is the reserved all-zero code and NULL a reserved non-zero
+    /// code (§2.2, method 2 + Theorem 2.1). The code space must leave
+    /// room for them.
+    EncodedReserved,
+}
+
+/// The reserved code for void (deleted / non-existing) tuples under
+/// [`NullPolicy::EncodedReserved`] — Theorem 2.1 mandates zero.
+pub const VOID_CODE: u64 = 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_separate_vectors() {
+        assert_eq!(NullPolicy::default(), NullPolicy::SeparateVectors);
+    }
+
+    #[test]
+    fn void_code_is_zero_per_theorem_2_1() {
+        assert_eq!(VOID_CODE, 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Disk-resident query path: an encoded bitmap index queried through a
+//! buffer pool.
+//!
+//! [`crate::persist`] lays the index out as page segments;
+//! [`PagedIndex`] keeps only the mapping table and metadata in memory
+//! and fetches bitmap vectors *per query* through an LRU
+//! [`BufferPool`] — the paper's operating regime, where the dominant
+//! cost is pages fetched from disk. Because the encoded index's whole
+//! working set is `ceil(log2 m)` vectors, a small pool captures it
+//! entirely; a simple bitmap index with `m` vectors thrashes the same
+//! pool. The `buffer_sweep` bench bin quantifies exactly that.
+
+use crate::error::CoreError;
+use crate::index::QueryResult;
+use crate::mapping::Mapping;
+use crate::nulls::NullPolicy;
+use crate::persist::IndexHandle;
+use crate::stats::QueryStats;
+use ebi_bitvec::BitVec;
+use ebi_boolean::{eval_expr_tracked, qm, AccessTracker};
+use ebi_storage::buffer::{BufferPool, BufferStats};
+use ebi_storage::segment::{read_segment_buffered, SegmentHandle};
+use ebi_storage::pager::Pager;
+
+/// An encoded bitmap index resident in the page store, queried through
+/// an LRU buffer pool.
+pub struct PagedIndex<'a> {
+    handle: IndexHandle,
+    mapping: Mapping,
+    rows: usize,
+    policy: NullPolicy,
+    null_code: Option<u64>,
+    reserved: Vec<u64>,
+    pool: BufferPool<'a>,
+    page_size: usize,
+}
+
+impl<'a> PagedIndex<'a> {
+    /// Opens a persisted index: reads the mapping and metadata segments
+    /// once (directly, uncached), and installs a pool of
+    /// `pool_capacity` pages for the bitmap vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidCode`] for corrupt segments.
+    pub fn open(
+        pager: &'a Pager,
+        handle: IndexHandle,
+        pool_capacity: usize,
+    ) -> Result<Self, CoreError> {
+        // Reuse persist's full loader for validation, then drop the
+        // in-memory vectors — we only keep the small parts.
+        let loaded = crate::persist::load_index(pager, &handle)?;
+        Ok(Self {
+            mapping: loaded.mapping().clone(),
+            rows: loaded.rows(),
+            policy: loaded.policy(),
+            null_code: loaded.null_code,
+            reserved: loaded.reserved.clone(),
+            handle,
+            pool: BufferPool::new(pager, pool_capacity),
+            page_size: pager.page_size(),
+        })
+    }
+
+    /// Rows covered.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Code width `k`.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.mapping.width()
+    }
+
+    /// Buffer-pool counters (hits/misses/evictions).
+    #[must_use]
+    pub fn pool_stats(&self) -> BufferStats {
+        self.pool.stats()
+    }
+
+    /// Resets the pool counters.
+    pub fn reset_pool_stats(&self) {
+        self.pool.reset_stats();
+    }
+
+    fn fetch_vector(&self, h: &SegmentHandle) -> Result<BitVec, CoreError> {
+        let raw = read_segment_buffered(&self.pool, self.page_size, h).map_err(|e| {
+            CoreError::InvalidCode {
+                detail: format!("storage error while reading vector: {e}"),
+            }
+        })?;
+        BitVec::from_bytes(raw.into()).map_err(|e| CoreError::InvalidCode {
+            detail: format!("corrupt bitmap vector: {e}"),
+        })
+    }
+
+    fn dont_care_codes(&self) -> Vec<u64> {
+        let null = self.null_code;
+        self.mapping
+            .unassigned_codes()
+            .into_iter()
+            .filter(|c| !self.reserved.contains(c) && Some(*c) != null)
+            .collect()
+    }
+
+    /// `A IN values`, fetching only the bitmap vectors the reduced
+    /// expression references.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidCode`] on storage corruption.
+    pub fn in_list(&self, values: &[u64]) -> Result<QueryResult, CoreError> {
+        let codes: Vec<u64> = values
+            .iter()
+            .filter_map(|&v| self.mapping.code_of(v))
+            .collect();
+        let expr = qm::minimize(&codes, &self.dont_care_codes(), self.width());
+        // Materialise exactly the slices in the expression's support;
+        // placeholders elsewhere (never touched by evaluation).
+        let mut slices: Vec<BitVec> = Vec::with_capacity(self.handle.slices.len());
+        for (i, h) in self.handle.slices.iter().enumerate() {
+            if expr.support() >> i & 1 == 1 {
+                slices.push(self.fetch_vector(h)?);
+            } else {
+                slices.push(BitVec::zeros(self.rows));
+            }
+        }
+        let mut tracker = AccessTracker::new();
+        let mut bitmap = eval_expr_tracked(&expr, &slices, self.rows, &mut tracker);
+        let mut rendered = expr.to_string();
+        if self.policy == NullPolicy::SeparateVectors && !expr.is_false() {
+            if let Some(h) = &self.handle.b_null {
+                let bn = self.fetch_vector(h)?;
+                tracker.touch(self.width());
+                tracker.literal_ops += 1;
+                bitmap.and_not_assign(&bn);
+                rendered.push_str(" · B_NULL'");
+            }
+            if let Some(h) = &self.handle.b_not_exist {
+                let ne = self.fetch_vector(h)?;
+                tracker.touch(self.width() + 1);
+                tracker.literal_ops += 1;
+                bitmap.and_not_assign(&ne);
+                rendered.push_str(" · B_NotExist'");
+            }
+        }
+        Ok(QueryResult {
+            bitmap,
+            stats: QueryStats::from_tracker(&tracker, rendered),
+        })
+    }
+
+    /// Point selection `A = value`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PagedIndex::in_list`].
+    pub fn eq(&self, value: u64) -> Result<QueryResult, CoreError> {
+        self.in_list(&[value])
+    }
+
+    /// Range selection over value ids (`lo <= A <= hi`).
+    ///
+    /// # Errors
+    ///
+    /// See [`PagedIndex::in_list`].
+    pub fn range(&self, lo: u64, hi: u64) -> Result<QueryResult, CoreError> {
+        let values: Vec<u64> = self
+            .mapping
+            .iter()
+            .map(|(v, _)| v)
+            .filter(|&v| v >= lo && v <= hi)
+            .collect();
+        self.in_list(&values)
+    }
+}
+
+impl std::fmt::Debug for PagedIndex<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedIndex")
+            .field("rows", &self.rows)
+            .field("width", &self.width())
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+/// Convenience: persists `index` and opens it paged in one step.
+///
+/// # Errors
+///
+/// Propagates persistence and open errors.
+pub fn persist_and_open<'a>(
+    index: &crate::index::EncodedBitmapIndex,
+    pager: &'a Pager,
+    pool_capacity: usize,
+) -> Result<PagedIndex<'a>, CoreError> {
+    let handle = crate::persist::save_index(index, pager).map_err(|e| CoreError::InvalidCode {
+        detail: format!("storage error while persisting: {e}"),
+    })?;
+    PagedIndex::open(pager, handle, pool_capacity)
+}
+
+// Re-exported for bench/example convenience.
+pub use crate::persist::save_index;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::EncodedBitmapIndex;
+    use ebi_storage::Cell;
+
+    fn sample_cells(rows: usize, m: u64) -> Vec<Cell> {
+        (0..rows as u64).map(|i| Cell::Value(i % m)).collect()
+    }
+
+    #[test]
+    fn paged_queries_match_in_memory() {
+        let cells = sample_cells(5_000, 32);
+        let idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        let pager = Pager::with_page_size(256);
+        let paged = persist_and_open(&idx, &pager, 64).unwrap();
+        for sel in [vec![0u64], vec![1, 2, 3], (0..16).collect::<Vec<_>>()] {
+            let a = idx.in_list(&sel).unwrap();
+            let b = paged.in_list(&sel).unwrap();
+            assert_eq!(a.bitmap, b.bitmap, "{sel:?}");
+            assert_eq!(a.stats.vectors_accessed, b.stats.vectors_accessed);
+        }
+        assert_eq!(paged.rows(), 5_000);
+        assert_eq!(paged.width(), 5);
+    }
+
+    #[test]
+    fn only_supporting_vectors_are_fetched() {
+        // IN [0,16) over 32 values = B4' alone: exactly one vector's
+        // pages should miss.
+        let cells = sample_cells(4_096, 32);
+        let idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        let pager = Pager::with_page_size(128);
+        let paged = persist_and_open(&idx, &pager, 1024).unwrap();
+        paged.reset_pool_stats();
+        let r = paged.in_list(&(0..16).collect::<Vec<_>>()).unwrap();
+        assert_eq!(r.stats.vectors_accessed, 1);
+        // Serialised vector = 8-byte length header + 4096/8 payload.
+        let pages_per_vector = (8 + 4_096usize / 8).div_ceil(128) as u64;
+        assert_eq!(paged.pool_stats().misses, pages_per_vector);
+    }
+
+    #[test]
+    fn warm_pool_serves_repeat_queries_from_cache() {
+        let cells = sample_cells(2_000, 16);
+        let idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        let pager = Pager::with_page_size(128);
+        let paged = persist_and_open(&idx, &pager, 256).unwrap();
+        let _ = paged.eq(3).unwrap();
+        pager.reset_stats();
+        paged.reset_pool_stats();
+        let _ = paged.eq(3).unwrap();
+        assert_eq!(pager.stats().page_reads, 0, "second run never hits disk");
+        assert!(paged.pool_stats().hit_ratio() > 0.99);
+    }
+
+    #[test]
+    fn tiny_pool_thrashes() {
+        let cells = sample_cells(8_000, 16);
+        let idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        let pager = Pager::with_page_size(64);
+        // 4 slices × ceil(1000/64)=16 pages each = 64 pages working set;
+        // a 4-frame pool cannot hold even one vector.
+        let paged = persist_and_open(&idx, &pager, 4).unwrap();
+        let _ = paged.eq(7).unwrap();
+        paged.reset_pool_stats();
+        let _ = paged.eq(7).unwrap();
+        let s = paged.pool_stats();
+        assert!(s.misses > 0, "thrashing pool must miss: {s:?}");
+    }
+
+    #[test]
+    fn nulls_and_deletes_survive_the_paged_path() {
+        let mut cells = sample_cells(500, 8);
+        cells[10] = Cell::Null;
+        cells[20] = Cell::Null;
+        let mut idx = EncodedBitmapIndex::build(cells).unwrap();
+        idx.delete(30).unwrap();
+        let pager = Pager::new();
+        let paged = persist_and_open(&idx, &pager, 32).unwrap();
+        for v in 0..8u64 {
+            assert_eq!(
+                paged.eq(v).unwrap().bitmap,
+                idx.eq(v).unwrap().bitmap,
+                "value {v}"
+            );
+        }
+        let r = paged.range(2, 5).unwrap();
+        assert_eq!(r.bitmap, idx.range(2, 5).unwrap().bitmap);
+    }
+}

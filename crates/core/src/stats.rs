@@ -1,0 +1,75 @@
+//! Per-query cost accounting.
+
+use ebi_boolean::AccessTracker;
+
+/// Cost of one index query, in the units of the paper's analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Distinct bitmap vectors read — the paper's `c_e` (or `c_s` for the
+    /// simple index). Includes any existence/NULL mask vectors.
+    pub vectors_accessed: usize,
+    /// Word-level literal operations (AND / AND-NOT per product term).
+    pub literal_ops: usize,
+    /// Product terms evaluated.
+    pub cube_evals: usize,
+    /// The reduced retrieval expression, in the paper's notation
+    /// (diagnostic; empty for non-expression indexes).
+    pub expression: String,
+}
+
+impl QueryStats {
+    /// Builds stats from an evaluation tracker plus the rendered
+    /// expression.
+    #[must_use]
+    pub fn from_tracker(tracker: &AccessTracker, expression: String) -> Self {
+        Self {
+            vectors_accessed: tracker.vectors_accessed(),
+            literal_ops: tracker.literal_ops,
+            cube_evals: tracker.cube_evals,
+            expression,
+        }
+    }
+
+    /// Disk pages read under the paper's storage model: every accessed
+    /// bitmap vector spans `ceil(rows / 8 / page_size)` pages.
+    #[must_use]
+    pub fn page_reads(&self, rows: usize, page_size: usize) -> u64 {
+        let pages_per_vector = rows.div_ceil(8).div_ceil(page_size) as u64;
+        self.vectors_accessed as u64 * pages_per_vector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_reads_scale_with_rows_and_vectors() {
+        let s = QueryStats {
+            vectors_accessed: 3,
+            literal_ops: 0,
+            cube_evals: 0,
+            expression: String::new(),
+        };
+        // 1M rows = 125_000 bytes per vector = 31 pages at 4K.
+        assert_eq!(s.page_reads(1_000_000, 4096), 3 * 31);
+        // Tiny table: still one page per vector.
+        assert_eq!(s.page_reads(100, 4096), 3);
+        // Zero rows: no pages.
+        assert_eq!(s.page_reads(0, 4096), 0);
+    }
+
+    #[test]
+    fn from_tracker_copies_counters() {
+        let mut t = AccessTracker::new();
+        t.touch(0);
+        t.touch(5);
+        t.literal_ops = 7;
+        t.cube_evals = 2;
+        let s = QueryStats::from_tracker(&t, "B5B0".into());
+        assert_eq!(s.vectors_accessed, 2);
+        assert_eq!(s.literal_ops, 7);
+        assert_eq!(s.cube_evals, 2);
+        assert_eq!(s.expression, "B5B0");
+    }
+}

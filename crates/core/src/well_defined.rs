@@ -1,0 +1,348 @@
+//! Well-defined encodings (Definition 2.5) and the optimality claims of
+//! Theorems 2.2 and 2.3.
+//!
+//! A mapping is *well-defined* with respect to a selection `A IN s` when
+//! the codes of `s` are arranged so that logical reduction collapses the
+//! retrieval expression maximally — condition (i) says a power-of-two
+//! subdomain must sit on a prime chain (equivalently, a subcube), and
+//! (ii)/(iii) relax that for in-between sizes.
+
+use crate::distance::{binary_distance, find_chain, has_prime_chain};
+use crate::mapping::Mapping;
+use ebi_boolean::{qm, support};
+use std::collections::HashSet;
+
+/// Outcome of a Definition 2.5 check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellDefined {
+    /// Condition (i): `|s| = 2^p` and the codes form a prime chain.
+    PrimeChain,
+    /// Condition (ii): even `|s|` strictly between powers of two.
+    EvenBetween,
+    /// Condition (iii): odd `|s|`, completed by a helper code `w`.
+    OddWithHelper {
+        /// The code of the helper value `w ∉ s`.
+        helper: u64,
+    },
+    /// The mapping is not well-defined for this subdomain.
+    No {
+        /// Which requirement failed.
+        reason: String,
+    },
+}
+
+impl WellDefined {
+    /// `true` for any of the satisfied conditions.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        !matches!(self, Self::No { .. })
+    }
+}
+
+/// Checks Definition 2.5 for the selection `A IN subdomain` under
+/// `mapping`. `subdomain` holds *value ids*; the rest of the mapped
+/// domain provides candidate helper values for condition (iii).
+///
+/// # Panics
+///
+/// Panics if any subdomain value is unmapped or `|subdomain| < 2`
+/// (the definition requires `n ≥ 2`).
+#[must_use]
+pub fn check(mapping: &Mapping, subdomain: &[u64]) -> WellDefined {
+    assert!(subdomain.len() >= 2, "Definition 2.5 requires |s| >= 2");
+    let codes: Vec<u64> = subdomain
+        .iter()
+        .map(|&v| mapping.code_of(v).expect("subdomain value must be mapped"))
+        .collect();
+    let n = codes.len();
+    let k = mapping.width();
+    let p = n.ilog2(); // floor(log2 n)
+
+    if n.is_power_of_two() {
+        return if has_prime_chain(&codes) {
+            WellDefined::PrimeChain
+        } else {
+            WellDefined::No {
+                reason: format!("no prime chain on the {n} codes"),
+            }
+        };
+    }
+
+    // Between powers of two: need a 2^p prime-chain subset first.
+    if !has_prime_chain_subset(&codes, p, k) {
+        return WellDefined::No {
+            reason: format!("no prime chain on any {}-subset", 1usize << p),
+        };
+    }
+
+    if n.is_multiple_of(2) {
+        if find_chain(&codes).is_none() {
+            return WellDefined::No {
+                reason: "no chain on the full subdomain".into(),
+            };
+        }
+        if diameter(&codes) > p + 1 {
+            return WellDefined::No {
+                reason: format!("pairwise distance exceeds {}", p + 1),
+            };
+        }
+        WellDefined::EvenBetween
+    } else {
+        // Odd: look for a helper value w ∈ A \ s.
+        let in_s: HashSet<u64> = codes.iter().copied().collect();
+        for (_, w_code) in mapping.iter() {
+            if in_s.contains(&w_code) {
+                continue;
+            }
+            let mut extended = codes.clone();
+            extended.push(w_code);
+            if diameter(&extended) <= p + 1 && find_chain(&extended).is_some() {
+                return WellDefined::OddWithHelper { helper: w_code };
+            }
+        }
+        WellDefined::No {
+            reason: "no helper value completes a chain".into(),
+        }
+    }
+}
+
+/// Maximum pairwise binary distance.
+fn diameter(codes: &[u64]) -> u32 {
+    let mut d = 0;
+    for (i, &a) in codes.iter().enumerate() {
+        for &b in &codes[i + 1..] {
+            d = d.max(binary_distance(a, b));
+        }
+    }
+    d
+}
+
+/// Does some `2^p`-subset of `codes` carry a prime chain?
+///
+/// A prime chain on `2^p` codes with diameter ≤ p is (for the sizes that
+/// occur in encodings) a `p`-dimensional subcube, so we enumerate
+/// subcubes: every choice of `p` varying bit positions partitions codes
+/// by their fixed part. A small exhaustive fallback covers `n ≤ 16`
+/// non-subcube corner cases.
+fn has_prime_chain_subset(codes: &[u64], p: u32, k: u32) -> bool {
+    let want = 1usize << p;
+    if codes.len() < want {
+        return false;
+    }
+    if p == 0 {
+        return true; // any single code is trivially fine (n=1 never reaches here though)
+    }
+    // Subcube enumeration over choices of p varying positions.
+    let positions: Vec<u32> = (0..k).collect();
+    let mut chosen = vec![0u32; p as usize];
+    if enumerate_combinations(&positions, &mut chosen, 0, 0, &mut |vars| {
+        let varying: u64 = vars.iter().fold(0, |acc, &v| acc | (1 << v));
+        subcube_present(codes, varying, want)
+    }) {
+        return true;
+    }
+    // Exhaustive fallback for small sets.
+    if codes.len() <= 16 {
+        subset_search(codes, want, 0, &mut Vec::new())
+    } else {
+        false
+    }
+}
+
+fn subcube_present(codes: &[u64], varying: u64, want: usize) -> bool {
+    use std::collections::HashMap;
+    let mut groups: HashMap<u64, HashSet<u64>> = HashMap::new();
+    for &c in codes {
+        groups.entry(c & !varying).or_default().insert(c & varying);
+    }
+    groups.values().any(|g| g.len() == want)
+}
+
+fn enumerate_combinations(
+    positions: &[u32],
+    chosen: &mut [u32],
+    depth: usize,
+    start: usize,
+    f: &mut impl FnMut(&[u32]) -> bool,
+) -> bool {
+    if depth == chosen.len() {
+        return f(chosen);
+    }
+    for i in start..positions.len() {
+        chosen[depth] = positions[i];
+        if enumerate_combinations(positions, chosen, depth + 1, i + 1, f) {
+            return true;
+        }
+    }
+    false
+}
+
+fn subset_search(codes: &[u64], want: usize, start: usize, acc: &mut Vec<u64>) -> bool {
+    if acc.len() == want {
+        return has_prime_chain(acc);
+    }
+    if codes.len() - start < want - acc.len() {
+        return false;
+    }
+    for i in start..codes.len() {
+        acc.push(codes[i]);
+        if subset_search(codes, want, i + 1, acc) {
+            acc.pop();
+            return true;
+        }
+        acc.pop();
+    }
+    false
+}
+
+/// The vector cost the mapping actually achieves for `A IN values`,
+/// after logical reduction with the mapping's don't-cares.
+///
+/// # Panics
+///
+/// Panics if a value is unmapped.
+#[must_use]
+pub fn achieved_cost(mapping: &Mapping, values: &[u64]) -> usize {
+    let codes = mapping.codes_of(values).expect("values must be mapped");
+    let dc = mapping.unassigned_codes();
+    qm::minimize(&codes, &dc, mapping.width()).vectors_accessed()
+}
+
+/// The information-theoretic minimum vector cost for `A IN values`
+/// under this mapping (Theorems 2.2/2.3's "minimized" count), via exact
+/// minimum support.
+///
+/// # Panics
+///
+/// Panics if a value is unmapped.
+#[must_use]
+pub fn optimal_cost(mapping: &Mapping, values: &[u64]) -> usize {
+    let codes = mapping.codes_of(values).expect("values must be mapped");
+    let dc = mapping.unassigned_codes();
+    support::min_vectors(&codes, &dc, mapping.width())
+}
+
+/// Total achieved cost of a predicate workload (Theorem 2.3's objective):
+/// the sum over predicates of vectors accessed.
+#[must_use]
+pub fn workload_cost(mapping: &Mapping, predicates: &[Vec<u64>]) -> usize {
+    predicates.iter().map(|p| achieved_cost(mapping, p)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 3(a): the paper's well-defined mapping.
+    fn figure3a() -> Mapping {
+        // a,b,…,h as ids 0..8.
+        Mapping::from_pairs(&[
+            (0, 0b000), // a
+            (2, 0b001), // c
+            (6, 0b010), // g
+            (4, 0b011), // e
+            (1, 0b100), // b
+            (3, 0b101), // d
+            (7, 0b110), // h
+            (5, 0b111), // f
+        ])
+        .unwrap()
+    }
+
+    /// Figure 3(b): the improper mapping.
+    fn figure3b() -> Mapping {
+        Mapping::from_pairs(&[
+            (0, 0b000), // a
+            (2, 0b001), // c
+            (6, 0b010), // g
+            (1, 0b011), // b
+            (4, 0b100), // e
+            (3, 0b101), // d
+            (7, 0b110), // h
+            (5, 0b111), // f
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3a_is_well_defined_for_both_selections() {
+        let m = figure3a();
+        // {a,b,c,d} = ids {0,1,2,3} — codes {000,100,001,101}: 2-subcube.
+        assert!(check(&m, &[0, 1, 2, 3]).holds());
+        // {c,d,e,f} = ids {2,3,4,5} — codes {001,101,011,111}: 2-subcube.
+        assert!(check(&m, &[2, 3, 4, 5]).holds());
+        assert_eq!(achieved_cost(&m, &[0, 1, 2, 3]), 1);
+        assert_eq!(achieved_cost(&m, &[2, 3, 4, 5]), 1);
+    }
+
+    #[test]
+    fn figure3b_is_not_well_defined() {
+        let m = figure3b();
+        let r = check(&m, &[0, 1, 2, 3]);
+        assert!(!r.holds(), "{r:?}");
+        assert_eq!(achieved_cost(&m, &[0, 1, 2, 3]), 3);
+        assert_eq!(achieved_cost(&m, &[2, 3, 4, 5]), 3);
+    }
+
+    #[test]
+    fn achieved_equals_optimal_when_well_defined() {
+        // Theorem 2.2: well-defined ⇒ vector count is minimal.
+        let m = figure3a();
+        for s in [vec![0u64, 1, 2, 3], vec![2, 3, 4, 5]] {
+            assert!(check(&m, &s).holds());
+            assert_eq!(achieved_cost(&m, &s), optimal_cost(&m, &s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn even_between_condition() {
+        // n = 6 codes of an 8-domain: {000,001,011,010,110,100}?
+        // Needs: a 4-subset prime chain, a 6-chain, diameter ≤ 3.
+        let m = Mapping::from_pairs(&[
+            (0, 0b000),
+            (1, 0b001),
+            (2, 0b011),
+            (3, 0b010),
+            (4, 0b110),
+            (5, 0b100),
+        ])
+        .unwrap();
+        let r = check(&m, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(r, WellDefined::EvenBetween);
+    }
+
+    #[test]
+    fn odd_condition_finds_helper() {
+        // s = 3 codes {000, 001, 011}; helper 010 completes the 4-cycle.
+        let m = Mapping::from_pairs(&[(0, 0b000), (1, 0b001), (2, 0b011), (9, 0b010)]).unwrap();
+        let r = check(&m, &[0, 1, 2]);
+        assert_eq!(r, WellDefined::OddWithHelper { helper: 0b010 });
+        // Without value 9 in the domain there is no helper.
+        let m2 = Mapping::from_pairs(&[(0, 0b000), (1, 0b001), (2, 0b011), (9, 0b111)]).unwrap();
+        assert!(!check(&m2, &[0, 1, 2]).holds());
+    }
+
+    #[test]
+    fn scattered_codes_fail_condition_i() {
+        // {000, 011, 101, 110}: pairwise distance 2 = p ✓ but parity all
+        // even ⇒ no chain ⇒ not prime.
+        let m = Mapping::from_pairs(&[(0, 0b000), (1, 0b011), (2, 0b101), (3, 0b110)]).unwrap();
+        assert!(!check(&m, &[0, 1, 2, 3]).holds());
+    }
+
+    #[test]
+    fn workload_cost_sums_predicates() {
+        let m = figure3a();
+        let preds = vec![vec![0u64, 1, 2, 3], vec![2, 3, 4, 5]];
+        assert_eq!(workload_cost(&m, &preds), 2);
+        let bad = figure3b();
+        assert_eq!(workload_cost(&bad, &preds), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "|s| >= 2")]
+    fn singleton_subdomain_rejected() {
+        let m = Mapping::sequential(4);
+        let _ = check(&m, &[0]);
+    }
+}

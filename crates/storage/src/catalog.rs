@@ -1,0 +1,105 @@
+//! Name → table registry.
+
+use crate::error::StorageError;
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A flat catalog of tables, keyed by name.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table under its own name.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Catalog`] if the name is taken.
+    pub fn register(&mut self, table: Table) -> Result<(), StorageError> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::Catalog {
+                detail: format!("table {name:?} already registered"),
+            });
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Looks up a table.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Mutable lookup (for appends/deletes).
+    #[must_use]
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Removes a table, returning it.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Catalog`] if the table does not exist.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table, StorageError> {
+        self.tables.remove(name).ok_or_else(|| StorageError::Catalog {
+            detail: format!("no table {name:?}"),
+        })
+    }
+
+    /// Registered names, sorted.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    #[test]
+    fn register_lookup_drop_cycle() {
+        let mut cat = Catalog::new();
+        cat.register(Table::new("facts", &["a"])).unwrap();
+        cat.register(Table::new("dim", &["b"])).unwrap();
+        assert_eq!(cat.table_names(), vec!["dim", "facts"]);
+        assert!(cat.table("facts").is_some());
+        assert!(cat.table("nope").is_none());
+        let t = cat.drop_table("dim").unwrap();
+        assert_eq!(t.name(), "dim");
+        assert!(cat.drop_table("dim").is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut cat = Catalog::new();
+        cat.register(Table::new("t", &["a"])).unwrap();
+        assert!(matches!(
+            cat.register(Table::new("t", &["x"])),
+            Err(StorageError::Catalog { .. })
+        ));
+    }
+
+    #[test]
+    fn mutation_through_catalog() {
+        let mut cat = Catalog::new();
+        cat.register(Table::new("t", &["a"])).unwrap();
+        cat.table_mut("t")
+            .unwrap()
+            .append_row(&[Cell::Value(7)])
+            .unwrap();
+        assert_eq!(cat.table("t").unwrap().row_count(), 1);
+        assert!(cat.table_mut("missing").is_none());
+    }
+}

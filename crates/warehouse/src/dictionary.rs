@@ -1,0 +1,83 @@
+//! String ↔ value-id dictionary.
+//!
+//! Bitmap indexes work over small integer ids; warehouse dimension
+//! attributes are strings ("Germany", "alliance X"). The dictionary owns
+//! that translation, assigning dense ids in first-insert order.
+
+use std::collections::HashMap;
+
+/// Dense string dictionary (first-insert order ids).
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    id_of: HashMap<String, u64>,
+    term_of: Vec<String>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `term`, inserting it if new.
+    pub fn intern(&mut self, term: &str) -> u64 {
+        if let Some(&id) = self.id_of.get(term) {
+            return id;
+        }
+        let id = self.term_of.len() as u64;
+        self.id_of.insert(term.to_string(), id);
+        self.term_of.push(term.to_string());
+        id
+    }
+
+    /// The id of `term`, if present.
+    #[must_use]
+    pub fn id(&self, term: &str) -> Option<u64> {
+        self.id_of.get(term).copied()
+    }
+
+    /// The term for `id`, if assigned.
+    #[must_use]
+    pub fn term(&self, id: u64) -> Option<&str> {
+        self.term_of.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.term_of.len()
+    }
+
+    /// `true` if nothing is interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.term_of.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.intern("Germany");
+        let b = d.intern("France");
+        assert_eq!(d.intern("Germany"), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookups_in_both_directions() {
+        let mut d = Dictionary::new();
+        d.intern("x");
+        assert_eq!(d.id("x"), Some(0));
+        assert_eq!(d.id("y"), None);
+        assert_eq!(d.term(0), Some("x"));
+        assert_eq!(d.term(5), None);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Deterministic data generators.
+//!
+//! Everything takes an explicit seed (`StdRng`), so figures regenerate
+//! bit-identically. The generators stand in for the TPC-D data the paper
+//! cites — what matters to its claims is cardinality, skew and the
+//! range-search mix, all of which are parameters here (see DESIGN.md §2).
+
+use ebi_storage::{Cell, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Value distribution of a generated column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Every value id equally likely.
+    Uniform,
+    /// Zipf with exponent `theta` (`theta = 0` degenerates to uniform) —
+    /// the skew regime of Wu & Yu's range-based index.
+    Zipf {
+        /// Skew exponent (typical DW skew: 0.5–1.2).
+        theta: f64,
+    },
+    /// Values appear in runs of `run_len` (clustered inserts, e.g. loads
+    /// sorted by date).
+    Clustered {
+        /// Average run length.
+        run_len: usize,
+    },
+}
+
+/// Specification of one generated column.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnSpec {
+    /// Attribute cardinality `m` (value ids `0..m`).
+    pub cardinality: u64,
+    /// Value distribution.
+    pub distribution: Distribution,
+    /// NULLs per million rows.
+    pub nulls_ppm: u32,
+}
+
+impl ColumnSpec {
+    /// Uniform column over `m` values, no NULLs.
+    #[must_use]
+    pub fn uniform(m: u64) -> Self {
+        Self {
+            cardinality: m,
+            distribution: Distribution::Uniform,
+            nulls_ppm: 0,
+        }
+    }
+
+    /// Zipf-skewed column.
+    #[must_use]
+    pub fn zipf(m: u64, theta: f64) -> Self {
+        Self {
+            cardinality: m,
+            distribution: Distribution::Zipf { theta },
+            nulls_ppm: 0,
+        }
+    }
+
+    /// Adds NULLs at `ppm` per million rows.
+    #[must_use]
+    pub fn with_nulls_ppm(mut self, ppm: u32) -> Self {
+        self.nulls_ppm = ppm;
+        self
+    }
+}
+
+/// Generates `rows` cells for `spec`, deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if `spec.cardinality == 0`.
+#[must_use]
+pub fn generate_column(spec: &ColumnSpec, rows: usize, seed: u64) -> Vec<Cell> {
+    assert!(spec.cardinality > 0, "cardinality must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = spec.cardinality;
+
+    // Zipf CDF precomputation.
+    let zipf_cdf: Option<Vec<f64>> = match spec.distribution {
+        Distribution::Zipf { theta } => {
+            let mut weights: Vec<f64> = (1..=m).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            for w in &mut weights {
+                acc += *w / total;
+                *w = acc;
+            }
+            Some(weights)
+        }
+        _ => None,
+    };
+
+    let mut out = Vec::with_capacity(rows);
+    let mut run_value = 0u64;
+    let mut run_left = 0usize;
+    for _ in 0..rows {
+        if spec.nulls_ppm > 0 && rng.random_range(0..1_000_000u32) < spec.nulls_ppm {
+            out.push(Cell::Null);
+            continue;
+        }
+        let v = match spec.distribution {
+            Distribution::Uniform => rng.random_range(0..m),
+            Distribution::Zipf { .. } => {
+                let u: f64 = rng.random();
+                let cdf = zipf_cdf.as_ref().expect("zipf cdf precomputed");
+                cdf.partition_point(|&c| c < u) as u64
+            }
+            Distribution::Clustered { run_len } => {
+                if run_left == 0 {
+                    run_value = rng.random_range(0..m);
+                    run_left = rng.random_range(1..=run_len.max(1) * 2);
+                }
+                run_left -= 1;
+                run_value
+            }
+        };
+        out.push(Cell::Value(v.min(m - 1)));
+    }
+    out
+}
+
+/// Specification of a generated star schema: a SALES fact over product /
+/// salespoint / date keys plus a quantity measure. Mirrors the paper's
+/// running example (12000 products, the SALESPOINT hierarchy).
+#[derive(Debug, Clone, Copy)]
+pub struct StarSpec {
+    /// Fact rows.
+    pub rows: usize,
+    /// Product dimension cardinality (the paper uses 12000).
+    pub products: u64,
+    /// Salespoint (branch) cardinality (the paper uses 12).
+    pub salespoints: u64,
+    /// Distinct dates.
+    pub dates: u64,
+    /// Product skew exponent.
+    pub product_theta: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for StarSpec {
+    fn default() -> Self {
+        Self {
+            rows: 10_000,
+            products: 12_000,
+            salespoints: 12,
+            dates: 365,
+            product_theta: 0.8,
+            seed: 0x5A1E5,
+        }
+    }
+}
+
+/// Generates the SALES fact table: columns `product`, `salespoint`,
+/// `date`, `quantity`.
+#[must_use]
+pub fn generate_sales_fact(spec: &StarSpec) -> Table {
+    let product = generate_column(
+        &ColumnSpec::zipf(spec.products, spec.product_theta),
+        spec.rows,
+        spec.seed,
+    );
+    let salespoint = generate_column(
+        &ColumnSpec::uniform(spec.salespoints),
+        spec.rows,
+        spec.seed ^ 0x1,
+    );
+    let date = generate_column(
+        &ColumnSpec {
+            cardinality: spec.dates,
+            distribution: Distribution::Clustered { run_len: 64 },
+            nulls_ppm: 0,
+        },
+        spec.rows,
+        spec.seed ^ 0x2,
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x3);
+    let mut fact = Table::new("sales", &["product", "salespoint", "date", "quantity"]);
+    for i in 0..spec.rows {
+        let qty = Cell::Value(rng.random_range(1..100u64));
+        fact.append_row(&[product[i], salespoint[i], date[i], qty])
+            .expect("arity matches");
+    }
+    fact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = ColumnSpec::zipf(100, 1.0).with_nulls_ppm(10_000);
+        let a = generate_column(&spec, 5000, 7);
+        let b = generate_column(&spec, 5000, 7);
+        assert_eq!(a, b);
+        let c = generate_column(&spec, 5000, 8);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn uniform_covers_the_domain_evenly() {
+        let cells = generate_column(&ColumnSpec::uniform(10), 100_000, 1);
+        let mut counts = [0usize; 10];
+        for c in &cells {
+            counts[c.value().unwrap() as usize] += 1;
+        }
+        for (v, &n) in counts.iter().enumerate() {
+            assert!(
+                (8_000..12_000).contains(&n),
+                "value {v} appeared {n} times"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let cells = generate_column(&ColumnSpec::zipf(1000, 1.0), 50_000, 2);
+        let head = cells
+            .iter()
+            .filter(|c| c.value().is_some_and(|v| v < 10))
+            .count();
+        assert!(
+            head > 15_000,
+            "top-10 values should dominate a Zipf(1.0) column, got {head}"
+        );
+        // All values stay in range.
+        assert!(cells.iter().all(|c| c.value().is_none_or(|v| v < 1000)));
+    }
+
+    #[test]
+    fn nulls_appear_at_requested_rate() {
+        let cells = generate_column(&ColumnSpec::uniform(5).with_nulls_ppm(100_000), 50_000, 3);
+        let nulls = cells.iter().filter(|c| c.is_null()).count();
+        assert!(
+            (3_500..6_500).contains(&nulls),
+            "~10% nulls expected, got {nulls}"
+        );
+    }
+
+    #[test]
+    fn clustered_produces_runs() {
+        let cells = generate_column(
+            &ColumnSpec {
+                cardinality: 50,
+                distribution: Distribution::Clustered { run_len: 32 },
+                nulls_ppm: 0,
+            },
+            10_000,
+            4,
+        );
+        let changes = cells.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            changes < 1_000,
+            "clustered column should change value rarely, got {changes} changes"
+        );
+    }
+
+    #[test]
+    fn sales_fact_has_expected_shape() {
+        let spec = StarSpec {
+            rows: 2_000,
+            ..StarSpec::default()
+        };
+        let fact = generate_sales_fact(&spec);
+        assert_eq!(fact.row_count(), 2_000);
+        assert_eq!(
+            fact.column_names(),
+            &["product", "salespoint", "date", "quantity"]
+        );
+        let sp = fact.column("salespoint").unwrap().distinct_values();
+        assert!(sp.len() <= 12);
+        let q = fact.column("quantity").unwrap().distinct_values();
+        assert!(q.iter().all(|&v| (1..100).contains(&v)));
+    }
+}

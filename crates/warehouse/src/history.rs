@@ -1,0 +1,198 @@
+//! Mining encodings from query history (§5, item four): "if selection
+//! predicates are not predictable, a proper encoding is achievable
+//! through an analysis of the history of users' queries."
+//!
+//! [`QueryLog`] records executed selections per column; its
+//! [`QueryLog::mined_workload`] collapses repeated predicates into a
+//! weighted workload that feeds the encoding strategies and the
+//! re-encoding advisor.
+
+use crate::workload::{Predicate, Query};
+use std::collections::BTreeMap;
+
+/// A recorded history of executed selections.
+///
+/// ```
+/// use ebi_warehouse::history::QueryLog;
+/// use ebi_warehouse::{Predicate, Query};
+///
+/// let mut log = QueryLog::new();
+/// let q = Query { column: "a".into(), predicate: Predicate::InList(vec![1, 2]) };
+/// log.record(&q, &[0, 1, 2, 3]);
+/// log.record(&q, &[0, 1, 2, 3]);
+/// assert_eq!(log.mined_workload("a", 5), vec![(vec![1, 2], 2)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryLog {
+    /// Per (column, value-set) execution counts.
+    counts: BTreeMap<(String, Vec<u64>), u64>,
+}
+
+impl QueryLog {
+    /// Empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed query. Range predicates are normalised to
+    /// their value sets using `domain` (the column's active domain,
+    /// sorted) so equal selections aggregate regardless of phrasing.
+    pub fn record(&mut self, query: &Query, domain: &[u64]) {
+        let values: Vec<u64> = match &query.predicate {
+            Predicate::Eq(v) => vec![*v],
+            Predicate::InList(vs) => {
+                let mut s = vs.clone();
+                s.sort_unstable();
+                s.dedup();
+                s
+            }
+            Predicate::Range(lo, hi) => domain
+                .iter()
+                .copied()
+                .filter(|v| v >= lo && v <= hi)
+                .collect(),
+        };
+        if values.is_empty() {
+            return;
+        }
+        *self
+            .counts
+            .entry((query.column.clone(), values))
+            .or_insert(0) += 1;
+    }
+
+    /// Number of distinct (column, predicate) pairs logged.
+    #[must_use]
+    pub fn distinct_predicates(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total executions logged.
+    #[must_use]
+    pub fn total_queries(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The weighted workload mined for `column`, most frequent first,
+    /// truncated to the `top` heaviest predicates (encoding search cost
+    /// grows with workload size; the tail contributes little).
+    #[must_use]
+    pub fn mined_workload(&self, column: &str, top: usize) -> Vec<(Vec<u64>, u64)> {
+        let mut out: Vec<(Vec<u64>, u64)> = self
+            .counts
+            .iter()
+            .filter(|((c, _), _)| c == column)
+            .map(|((_, vs), &n)| (vs.clone(), n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(top);
+        out
+    }
+
+    /// The unweighted predicate list for `column` (for strategies that
+    /// ignore frequency).
+    #[must_use]
+    pub fn mined_predicates(&self, column: &str, top: usize) -> Vec<Vec<u64>> {
+        self.mined_workload(column, top)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(column: &str, predicate: Predicate) -> Query {
+        Query {
+            column: column.into(),
+            predicate,
+        }
+    }
+
+    #[test]
+    fn repeated_predicates_aggregate() {
+        let domain: Vec<u64> = (0..10).collect();
+        let mut log = QueryLog::new();
+        for _ in 0..3 {
+            log.record(&q("a", Predicate::InList(vec![1, 2])), &domain);
+        }
+        log.record(&q("a", Predicate::InList(vec![2, 1, 1])), &domain);
+        log.record(&q("a", Predicate::Eq(5)), &domain);
+        assert_eq!(log.distinct_predicates(), 2);
+        assert_eq!(log.total_queries(), 5);
+        let mined = log.mined_workload("a", 10);
+        assert_eq!(mined[0], (vec![1, 2], 4), "normalised and aggregated");
+        assert_eq!(mined[1], (vec![5], 1));
+    }
+
+    #[test]
+    fn ranges_normalise_through_the_domain() {
+        let domain: Vec<u64> = vec![10, 20, 30, 40];
+        let mut log = QueryLog::new();
+        log.record(&q("a", Predicate::Range(15, 35)), &domain);
+        log.record(&q("a", Predicate::InList(vec![20, 30])), &domain);
+        assert_eq!(
+            log.mined_workload("a", 10),
+            vec![(vec![20, 30], 2)],
+            "a range and its IN-list phrasing are the same predicate"
+        );
+    }
+
+    #[test]
+    fn columns_are_kept_apart_and_top_truncates() {
+        let domain: Vec<u64> = (0..100).collect();
+        let mut log = QueryLog::new();
+        for i in 0..20u64 {
+            log.record(&q("a", Predicate::Eq(i)), &domain);
+            log.record(&q("b", Predicate::Eq(i)), &domain);
+        }
+        for _ in 0..5 {
+            log.record(&q("a", Predicate::Eq(7)), &domain);
+        }
+        let top3 = log.mined_workload("a", 3);
+        assert_eq!(top3.len(), 3);
+        assert_eq!(top3[0], (vec![7], 6), "hot predicate first");
+        assert!(log.mined_predicates("b", 100).len() == 20);
+    }
+
+    #[test]
+    fn empty_selections_are_ignored() {
+        let mut log = QueryLog::new();
+        log.record(&q("a", Predicate::Range(5, 2)), &[1, 2, 3]);
+        log.record(&q("a", Predicate::InList(vec![])), &[1, 2, 3]);
+        assert_eq!(log.total_queries(), 0);
+    }
+
+    #[test]
+    fn mined_workload_drives_an_encoding_improvement() {
+        use ebi_core::encoding::{AffinityEncoding, EncodingProblem, EncodingStrategy};
+        use ebi_core::reencoding::weighted_cost;
+        use ebi_core::Mapping;
+        // Hot co-access groups {0..4} and {4..8} mined from history.
+        let domain: Vec<u64> = (0..8).collect();
+        let mut log = QueryLog::new();
+        for _ in 0..10 {
+            log.record(&q("a", Predicate::InList(vec![0, 1, 2, 3])), &domain);
+            log.record(&q("a", Predicate::InList(vec![4, 5, 6, 7])), &domain);
+        }
+        let workload = log.mined_workload("a", 8);
+        let preds: Vec<Vec<u64>> = workload.iter().map(|(p, _)| p.clone()).collect();
+        let mined = AffinityEncoding
+            .encode(&EncodingProblem {
+                values: &domain,
+                predicates: &preds,
+                width: 3,
+                forbidden_codes: &[],
+            })
+            .unwrap();
+        let identity = Mapping::sequential(8);
+        assert!(
+            weighted_cost(&mined, &workload) <= weighted_cost(&identity, &workload),
+            "history-mined encoding must not lose to the default"
+        );
+        assert_eq!(weighted_cost(&mined, &workload), 20, "1 vector × 20 runs");
+    }
+}

@@ -1,0 +1,178 @@
+//! Bitmapped join indexes (§4 "join indexes"; O'Neil & Graefe).
+//!
+//! A star join filters the fact table through a predicate on a
+//! *dimension attribute* ("sales where product.category = 'tools'").
+//! Done naively that is two steps: select the dimension keys, then an
+//! IN-list on the fact's foreign key — whose width is the number of
+//! matching keys, potentially huge. A **bitmap join index** indexes the
+//! fact table directly by the dimension attribute (transporting the
+//! attribute across the join at build time), so the selection is one
+//! encoded-bitmap lookup over the attribute's (usually small) domain.
+
+use ebi_baselines::SelectionIndex;
+use ebi_core::index::{EncodedBitmapIndex, QueryResult};
+use ebi_core::CoreError;
+use ebi_storage::{Cell, Table};
+use std::collections::BTreeMap;
+
+/// An encoded bitmap join index: fact rows indexed by a dimension
+/// attribute reached through the foreign key.
+#[derive(Debug, Clone)]
+pub struct BitmapJoinIndex {
+    inner: EncodedBitmapIndex,
+    dimension_attr: String,
+}
+
+impl BitmapJoinIndex {
+    /// Builds over `fact[fk_column]` joined to
+    /// `dimension[key_column] → dimension[attr_column]`.
+    ///
+    /// Fact rows whose key is missing from the dimension (or whose
+    /// attribute is NULL) index as NULL.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Encoding`] if the named columns do not exist.
+    pub fn build(
+        fact: &Table,
+        fk_column: &str,
+        dimension: &Table,
+        key_column: &str,
+        attr_column: &str,
+    ) -> Result<Self, CoreError> {
+        let missing = |what: &str| CoreError::Encoding {
+            detail: format!("join index: missing column {what:?}"),
+        };
+        let keys = dimension.column(key_column).ok_or_else(|| missing(key_column))?;
+        let attrs = dimension.column(attr_column).ok_or_else(|| missing(attr_column))?;
+        if fact.column(fk_column).is_none() {
+            return Err(missing(fk_column));
+        }
+        // key → attribute lookup (last write wins on duplicate keys).
+        let mut attr_of: BTreeMap<u64, Cell> = BTreeMap::new();
+        for row in 0..keys.len() {
+            if let Some(k) = keys.get(row).and_then(|c| c.value()) {
+                attr_of.insert(k, attrs.get(row).unwrap_or(Cell::Null));
+            }
+        }
+        let cells: Vec<Cell> = fact
+            .scan(fk_column)
+            .map(|(_, cell, deleted)| {
+                if deleted {
+                    return Cell::Null; // masked below via NULL semantics
+                }
+                match cell.value().and_then(|k| attr_of.get(&k).copied()) {
+                    Some(c) => c,
+                    None => Cell::Null,
+                }
+            })
+            .collect();
+        Ok(Self {
+            inner: EncodedBitmapIndex::build(cells)?,
+            dimension_attr: attr_column.to_string(),
+        })
+    }
+
+    /// The dimension attribute this index transports.
+    #[must_use]
+    pub fn attribute(&self) -> &str {
+        &self.dimension_attr
+    }
+
+    /// The underlying encoded bitmap index.
+    #[must_use]
+    pub fn inner(&self) -> &EncodedBitmapIndex {
+        &self.inner
+    }
+
+    /// Fact rows whose dimension attribute equals `value` — the one-hop
+    /// star join.
+    #[must_use]
+    pub fn eq(&self, value: u64) -> QueryResult {
+        SelectionIndex::eq(&self.inner, value)
+    }
+
+    /// Fact rows whose dimension attribute is in `values`.
+    #[must_use]
+    pub fn in_list(&self, values: &[u64]) -> QueryResult {
+        SelectionIndex::in_list(&self.inner, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny products dimension: key → category.
+    fn dimension() -> Table {
+        let mut dim = Table::new("products", &["key", "category"]);
+        for key in 0..30u64 {
+            dim.append_row(&[Cell::Value(key), Cell::Value(key % 3)]).unwrap();
+        }
+        dim
+    }
+
+    fn fact() -> Table {
+        let mut fact = Table::new("sales", &["product"]);
+        for i in 0..200u64 {
+            fact.append_row(&[Cell::Value(i % 30)]).unwrap();
+        }
+        fact
+    }
+
+    #[test]
+    fn one_hop_star_join_matches_two_step() {
+        let dim = dimension();
+        let fact = fact();
+        let jix = BitmapJoinIndex::build(&fact, "product", &dim, "key", "category").unwrap();
+        assert_eq!(jix.attribute(), "category");
+
+        // Category 1 → dimension keys {1, 4, 7, …} → fact rows with those
+        // products. Two-step reference:
+        let keys: Vec<u64> = (0..30u64).filter(|k| k % 3 == 1).collect();
+        let expect: Vec<usize> = (0..200)
+            .filter(|&i| keys.contains(&(i as u64 % 30)))
+            .collect();
+        let r = jix.eq(1);
+        assert_eq!(r.bitmap.to_positions(), expect);
+        // The one-hop index reads vectors over a domain of 3 categories
+        // (k = 2), not an IN-list of 10 product keys.
+        assert!(r.stats.vectors_accessed <= 2);
+    }
+
+    #[test]
+    fn in_list_over_categories() {
+        let jix = BitmapJoinIndex::build(&fact(), "product", &dimension(), "key", "category")
+            .unwrap();
+        let r = jix.in_list(&[0, 2]);
+        let expect: Vec<usize> = (0..200).filter(|&i| (i % 30) % 3 != 1).collect();
+        assert_eq!(r.bitmap.to_positions(), expect);
+    }
+
+    #[test]
+    fn dangling_keys_and_deleted_rows_index_as_null() {
+        let mut fact = Table::new("sales", &["product"]);
+        fact.append_row(&[Cell::Value(0)]).unwrap();
+        fact.append_row(&[Cell::Value(999)]).unwrap(); // dangling key
+        fact.append_row(&[Cell::Value(1)]).unwrap();
+        fact.delete_row(2).unwrap();
+        let jix = BitmapJoinIndex::build(&fact, "product", &dimension(), "key", "category")
+            .unwrap();
+        assert_eq!(jix.eq(0).bitmap.to_positions(), vec![0]);
+        assert_eq!(jix.eq(1).bitmap.count_ones(), 0, "deleted fact row");
+        // The dangling row matches no category.
+        for cat in 0..3u64 {
+            assert!(!jix.eq(cat).bitmap.bit(1), "category {cat}");
+        }
+    }
+
+    #[test]
+    fn missing_columns_are_reported() {
+        let err = BitmapJoinIndex::build(&fact(), "nope", &dimension(), "key", "category")
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Encoding { .. }));
+        assert!(
+            BitmapJoinIndex::build(&fact(), "product", &dimension(), "key", "ghost").is_err()
+        );
+    }
+}

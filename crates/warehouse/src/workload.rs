@@ -1,0 +1,195 @@
+//! Seeded query workloads with the paper's range-search mix.
+//!
+//! §3.2: "according to TPC-D, from 17 query types, 12 query types
+//! involve range search" — the default [`WorkloadSpec`] reproduces that
+//! 12/17 mix. Each generated query targets one column with a point,
+//! IN-list or contiguous-range predicate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One selection predicate over value ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `A = v`.
+    Eq(u64),
+    /// `A IN {…}`.
+    InList(Vec<u64>),
+    /// `lo <= A <= hi`.
+    Range(u64, u64),
+}
+
+impl Predicate {
+    /// `true` if this is a range search in the paper's sense (IN-list or
+    /// interval).
+    #[must_use]
+    pub fn is_range_search(&self) -> bool {
+        !matches!(self, Self::Eq(_))
+    }
+
+    /// The selection width δ — how many domain values the predicate
+    /// names.
+    #[must_use]
+    pub fn delta(&self) -> u64 {
+        match self {
+            Self::Eq(_) => 1,
+            Self::InList(vs) => vs.len() as u64,
+            Self::Range(lo, hi) => hi.saturating_sub(*lo) + 1,
+        }
+    }
+
+    /// `true` if value `v` satisfies the predicate.
+    #[must_use]
+    pub fn matches(&self, v: u64) -> bool {
+        match self {
+            Self::Eq(x) => v == *x,
+            Self::InList(vs) => vs.contains(&v),
+            Self::Range(lo, hi) => v >= *lo && v <= *hi,
+        }
+    }
+}
+
+/// One single-attribute query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Target column.
+    pub column: String,
+    /// The predicate.
+    pub predicate: Predicate,
+}
+
+/// Parameters of a generated workload over one column.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Target column name.
+    pub column: String,
+    /// Attribute cardinality `m` (value ids `0..m`).
+    pub cardinality: u64,
+    /// Fraction of queries that are range searches — the paper's TPC-D
+    /// observation is 12/17.
+    pub range_fraction: f64,
+    /// Maximum range width δ as a fraction of `m`.
+    pub max_delta_fraction: f64,
+    /// Number of queries.
+    pub queries: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's mix: 12/17 range searches, widths up to m/2.
+    #[must_use]
+    pub fn tpcd_like(column: &str, cardinality: u64, queries: usize, seed: u64) -> Self {
+        Self {
+            column: column.to_string(),
+            cardinality,
+            range_fraction: 12.0 / 17.0,
+            max_delta_fraction: 0.5,
+            queries,
+            seed,
+        }
+    }
+
+    /// Generates the queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cardinality == 0` or `queries == 0`.
+    #[must_use]
+    pub fn generate(&self) -> Vec<Query> {
+        assert!(self.cardinality > 0 && self.queries > 0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let m = self.cardinality;
+        (0..self.queries)
+            .map(|_| {
+                let predicate = if rng.random::<f64>() < self.range_fraction {
+                    let max_delta = ((m as f64 * self.max_delta_fraction) as u64).max(2);
+                    let delta = rng.random_range(2..=max_delta);
+                    if rng.random_ratio(1, 2) {
+                        // Contiguous interval.
+                        let lo = rng.random_range(0..m.saturating_sub(delta - 1).max(1));
+                        Predicate::Range(lo, (lo + delta - 1).min(m - 1))
+                    } else {
+                        // Scattered IN-list of the same width.
+                        let mut vs: Vec<u64> =
+                            (0..delta).map(|_| rng.random_range(0..m)).collect();
+                        vs.sort_unstable();
+                        vs.dedup();
+                        Predicate::InList(vs)
+                    }
+                } else {
+                    Predicate::Eq(rng.random_range(0..m))
+                };
+                Query {
+                    column: self.column.clone(),
+                    predicate,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_matches_the_requested_fraction() {
+        let spec = WorkloadSpec::tpcd_like("product", 1000, 2000, 11);
+        let queries = spec.generate();
+        let ranges = queries
+            .iter()
+            .filter(|q| q.predicate.is_range_search())
+            .count();
+        let frac = ranges as f64 / queries.len() as f64;
+        assert!(
+            (frac - 12.0 / 17.0).abs() < 0.05,
+            "range fraction {frac} vs 12/17 ≈ 0.706"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::tpcd_like("c", 50, 100, 3);
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn predicates_stay_in_domain() {
+        let spec = WorkloadSpec::tpcd_like("c", 64, 500, 5);
+        for q in spec.generate() {
+            match &q.predicate {
+                Predicate::Eq(v) => assert!(*v < 64),
+                Predicate::InList(vs) => {
+                    assert!(vs.iter().all(|&v| v < 64));
+                    assert!(vs.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+                }
+                Predicate::Range(lo, hi) => assert!(lo <= hi && *hi < 64),
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_helpers() {
+        assert!(!Predicate::Eq(3).is_range_search());
+        assert!(Predicate::Range(1, 5).is_range_search());
+        assert_eq!(Predicate::Range(10, 19).delta(), 10);
+        assert_eq!(Predicate::InList(vec![1, 5, 9]).delta(), 3);
+        assert_eq!(Predicate::Eq(3).delta(), 1);
+        assert!(Predicate::Range(2, 4).matches(3));
+        assert!(!Predicate::InList(vec![1, 2]).matches(3));
+        assert!(Predicate::Eq(3).matches(3));
+    }
+
+    #[test]
+    fn pure_point_workload() {
+        let spec = WorkloadSpec {
+            range_fraction: 0.0,
+            ..WorkloadSpec::tpcd_like("c", 10, 50, 1)
+        };
+        assert!(spec
+            .generate()
+            .iter()
+            .all(|q| !q.predicate.is_range_search()));
+    }
+}

@@ -1,0 +1,145 @@
+//! The §5 extensions working together: direct-bitmap aggregates,
+//! group-set GROUP BY with SUM, a bitmapped star join, query-history
+//! mining, and the re-encoding advisor.
+//!
+//! ```sh
+//! cargo run --release --example olap_aggregates
+//! ```
+
+use ebi::core::aggregates::BitSlicedMeasure;
+use ebi::core::reencoding::{evaluate, reencode, weighted_cost};
+use ebi::prelude::*;
+use ebi::warehouse::generator::{generate_column, ColumnSpec};
+use ebi::warehouse::groupset::GroupSetIndex;
+use ebi::warehouse::history::QueryLog;
+use ebi::warehouse::join::BitmapJoinIndex;
+use ebi_storage::Table;
+
+fn main() {
+    let rows = 50_000usize;
+    // Fact columns: product key, region, and the quantity measure.
+    let product = generate_column(&ColumnSpec::zipf(300, 0.7), rows, 0xA11);
+    let region = generate_column(&ColumnSpec::uniform(8), rows, 0xA12);
+    let quantity = generate_column(&ColumnSpec::uniform(99), rows, 0xA13);
+
+    let region_idx = EncodedBitmapIndex::build(region.iter().copied()).expect("build");
+    let measure = BitSlicedMeasure::build(quantity.iter().copied());
+
+    // ------------------------------------------------------------------
+    // 1. Aggregates straight off bitmaps (no row decoding).
+    // ------------------------------------------------------------------
+    println!("--- direct-bitmap aggregates (region IN {{1, 2, 3}}) ---");
+    let filter = region_idx.in_list(&[1, 2, 3]).expect("query").bitmap;
+    let sum = measure.sum_where(&filter);
+    let avg = measure.avg_where(&filter);
+    let med = measure.median_where(&filter);
+    let quartiles = measure.ntile_where(&filter, 4);
+    println!("rows     : {}", filter.count_ones());
+    println!("SUM      : {} ({} vectors)", sum.value, sum.vectors_accessed);
+    println!("AVG      : {:.2}", avg.value.unwrap());
+    println!("MEDIAN   : {}", med.value.unwrap());
+    println!("QUARTILES: {:?}", quartiles.value);
+    println!(
+        "MIN/MAX  : {} / {}",
+        measure.min_where(&filter).value.unwrap(),
+        measure.max_where(&filter).value.unwrap()
+    );
+
+    // ------------------------------------------------------------------
+    // 2. GROUP BY region, SUM(quantity) through the group-set index.
+    // ------------------------------------------------------------------
+    println!("\n--- group-set GROUP BY (region) with SUM ---");
+    let gs = GroupSetIndex::build(&[&region]).expect("build group-set");
+    println!(
+        "{} observed groups, {} bitmap vectors",
+        gs.observed_combinations(),
+        gs.bitmap_vector_count()
+    );
+    let mut sums = gs.group_sums(&measure);
+    sums.sort_by_key(|(combo, _)| combo.clone());
+    for (combo, total) in sums.iter().take(4) {
+        println!("  region {:?}: SUM = {total}", combo[0]);
+    }
+    println!("  …");
+
+    // ------------------------------------------------------------------
+    // 3. One-hop star join: product.category through a join index.
+    // ------------------------------------------------------------------
+    println!("\n--- bitmapped star join (product -> category) ---");
+    let mut fact = Table::new("sales", &["product"]);
+    for cell in &product {
+        fact.append_row(&[*cell]).expect("append");
+    }
+    let mut dim = Table::new("products", &["key", "category"]);
+    for key in 0..300u64 {
+        dim.append_row(&[Cell::Value(key), Cell::Value(key % 12)])
+            .expect("append");
+    }
+    let jix = BitmapJoinIndex::build(&fact, "product", &dim, "key", "category").expect("build");
+    let r = jix.eq(5);
+    println!(
+        "category = 5: {} fact rows, {} vectors read (vs an IN-list over {} product keys)",
+        r.bitmap.count_ones(),
+        r.stats.vectors_accessed,
+        (0..300).filter(|k| k % 12 == 5).count()
+    );
+    let cat_sales = measure.sum_where(&r.bitmap);
+    println!("SUM(quantity) for category 5: {}", cat_sales.value);
+
+    // ------------------------------------------------------------------
+    // 4. History mining + re-encoding advisor.
+    // ------------------------------------------------------------------
+    println!("\n--- query-history mining drives re-encoding ---");
+    let domain: Vec<u64> = (0..8).collect();
+    let mut log = QueryLog::new();
+    for _ in 0..50 {
+        log.record(
+            &Query {
+                column: "region".into(),
+                predicate: Predicate::InList(vec![1, 3, 5, 7]),
+            },
+            &domain,
+        );
+    }
+    for _ in 0..20 {
+        log.record(
+            &Query {
+                column: "region".into(),
+                predicate: Predicate::InList(vec![0, 2]),
+            },
+            &domain,
+        );
+    }
+    let mined = log.mined_workload("region", 8);
+    println!("mined workload: {mined:?}");
+    let preds: Vec<Vec<u64>> = mined.iter().map(|(p, _)| p.clone()).collect();
+    let candidate = AnnealingEncoding::default()
+        .encode(&EncodingProblem {
+            values: &domain,
+            predicates: &preds,
+            width: 3,
+            forbidden_codes: &[],
+        })
+        .expect("encode");
+    let decision = evaluate(region_idx.mapping(), &candidate, &mined, 3 * 4);
+    println!(
+        "current cost {} vs candidate {} per workload run; rebuild {}; break-even after {:?} runs",
+        decision.current_cost,
+        decision.candidate_cost,
+        decision.rebuild_cost,
+        decision.break_even_executions
+    );
+    if decision.worthwhile_within(10) {
+        let rebuilt = reencode(&region_idx, candidate).expect("re-encode");
+        println!(
+            "re-encoded: workload now costs {} (was {})",
+            weighted_cost(rebuilt.mapping(), &mined),
+            weighted_cost(region_idx.mapping(), &mined)
+        );
+        // Same answers, cheaper plan.
+        assert_eq!(
+            rebuilt.in_list(&[1, 3, 5, 7]).unwrap().bitmap,
+            region_idx.in_list(&[1, 3, 5, 7]).unwrap().bitmap
+        );
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every paper artefact: figure CSVs, the digest, test and
+# bench transcripts. Run from the workspace root.
+set -euo pipefail
+
+cargo build --release -p ebi-bench --bins
+
+bins=(
+  fig09_vectors_accessed
+  fig10_space
+  worst_case_analysis
+  crossover_btree
+  sparsity_report
+  groupset_report
+  tpcd_mix
+  theorem21_check
+  ablation_encodings
+  buffer_sweep
+  tpcd_lite_report
+  base_sweep
+)
+for b in "${bins[@]}"; do
+  echo "==== $b ===="
+  "./target/release/$b"
+done
+./target/release/results_digest
+
+cargo test --workspace 2>&1 | tee test_output.txt
+cargo bench --workspace 2>&1 | tee bench_output.txt

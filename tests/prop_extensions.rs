@@ -1,0 +1,165 @@
+//! Property tests for the §5 extension modules: aggregates, the paged
+//! query path, in-place updates, negation, re-encoding.
+
+use ebi::core::aggregates::BitSlicedMeasure;
+use ebi::core::paged::persist_and_open;
+use ebi::core::reencoding::reencode;
+use ebi::prelude::*;
+use ebi::storage::pager::Pager;
+use proptest::prelude::*;
+
+fn cell_strategy(m: u64) -> impl Strategy<Value = Cell> {
+    prop_oneof![
+        9 => (0..m).prop_map(Cell::Value),
+        1 => Just(Cell::Null),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn aggregates_match_a_reference_scan(
+        values in prop::collection::vec(prop::option::weighted(0.9, 0u64..5000), 1..300),
+        filter_bits in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let n = values.len().min(filter_bits.len());
+        let values = &values[..n];
+        let filter: BitVec = filter_bits[..n].iter().copied().collect();
+        let measure = BitSlicedMeasure::build(
+            values.iter().map(|v| v.map_or(Cell::Null, Cell::Value)),
+        );
+        let mut qualifying: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| filter.bit(*i))
+            .filter_map(|(_, v)| *v)
+            .collect();
+        qualifying.sort_unstable();
+
+        prop_assert_eq!(
+            measure.sum_where(&filter).value,
+            qualifying.iter().map(|&v| u128::from(v)).sum::<u128>()
+        );
+        prop_assert_eq!(measure.count_where(&filter).value, qualifying.len());
+        prop_assert_eq!(measure.min_where(&filter).value, qualifying.first().copied());
+        prop_assert_eq!(measure.max_where(&filter).value, qualifying.last().copied());
+        if !qualifying.is_empty() {
+            let med = qualifying[(qualifying.len() - 1) / 2];
+            prop_assert_eq!(measure.median_where(&filter).value, Some(med));
+            for (q, &expect) in qualifying.iter().enumerate().take(5) {
+                prop_assert_eq!(measure.kth_where(&filter, q).value, Some(expect));
+            }
+        } else {
+            prop_assert_eq!(measure.median_where(&filter).value, None);
+        }
+    }
+
+    #[test]
+    fn paged_index_equals_in_memory_index(
+        cells in prop::collection::vec(cell_strategy(20), 1..200),
+        selection in prop::collection::vec(0u64..20, 1..6),
+        pool in 1usize..64,
+        page_size in prop::sample::select(vec![64usize, 128, 4096]),
+    ) {
+        let idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        let pager = Pager::with_page_size(page_size);
+        let paged = persist_and_open(&idx, &pager, pool).unwrap();
+        let a = idx.in_list(&selection).unwrap();
+        let b = paged.in_list(&selection).unwrap();
+        prop_assert_eq!(&a.bitmap, &b.bitmap);
+        prop_assert_eq!(a.stats.vectors_accessed, b.stats.vectors_accessed);
+        // Second run: identical regardless of cache state.
+        let c = paged.in_list(&selection).unwrap();
+        prop_assert_eq!(&a.bitmap, &c.bitmap);
+    }
+
+    #[test]
+    fn updates_track_a_shadow_model(
+        initial in prop::collection::vec(cell_strategy(10), 1..80),
+        ops in prop::collection::vec(
+            (any::<prop::sample::Index>(), prop::option::weighted(0.8, 0u64..25)),
+            0..60
+        ),
+    ) {
+        let mut idx = EncodedBitmapIndex::build(initial.iter().copied()).unwrap();
+        let mut shadow: Vec<Cell> = initial.clone();
+        for (pos, val) in &ops {
+            let row = pos.index(shadow.len());
+            let cell = val.map_or(Cell::Null, Cell::Value);
+            idx.update(row, cell).unwrap();
+            shadow[row] = cell;
+        }
+        for v in 0..25u64 {
+            let expect: Vec<usize> = shadow
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.value() == Some(v))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(idx.eq(v).unwrap().bitmap.to_positions(), expect, "v={}", v);
+        }
+        let nulls: Vec<usize> = shadow
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_null())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(idx.is_null().bitmap.to_positions(), nulls);
+    }
+
+    #[test]
+    fn negation_partitions_live_nonnull_rows(
+        cells in prop::collection::vec(cell_strategy(12), 1..120),
+        selection in prop::collection::vec(0u64..12, 0..5),
+        deletes in prop::collection::vec(any::<prop::sample::Index>(), 0..6),
+    ) {
+        let mut idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        let mut dead = vec![false; cells.len()];
+        for d in &deletes {
+            let row = d.index(cells.len());
+            idx.delete(row).unwrap();
+            dead[row] = true;
+        }
+        let pos = idx.in_list(&selection).unwrap().bitmap;
+        let neg = idx.not_in_list(&selection).unwrap().bitmap;
+        prop_assert!(pos.is_disjoint(&neg), "IN and NOT IN overlap");
+        let union = &pos | &neg;
+        for (row, cell) in cells.iter().enumerate() {
+            let live_value = !dead[row] && cell.value().is_some();
+            prop_assert_eq!(union.bit(row), live_value, "row {}", row);
+        }
+    }
+
+    #[test]
+    fn reencoding_to_any_bijection_preserves_semantics(
+        cells in prop::collection::vec(cell_strategy(8), 1..100),
+        perm_seed in any::<u64>(),
+    ) {
+        let idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        // Random permutation of the mapped codes at the same width.
+        let values: Vec<u64> = idx.mapping().iter().map(|(v, _)| v).collect();
+        let space: Vec<u64> = (0..(1u64 << idx.width())).collect();
+        let mut codes = space.clone();
+        let mut state = perm_seed | 1;
+        for i in (1..codes.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            codes.swap(i, (state as usize) % (i + 1));
+        }
+        let mut new_mapping = Mapping::new(idx.width());
+        for (v, c) in values.iter().zip(&codes) {
+            new_mapping.insert(*v, *c).unwrap();
+        }
+        let rebuilt = reencode(&idx, new_mapping).unwrap();
+        for &v in &values {
+            prop_assert_eq!(
+                rebuilt.eq(v).unwrap().bitmap,
+                idx.eq(v).unwrap().bitmap,
+                "value {}", v
+            );
+        }
+        prop_assert_eq!(rebuilt.is_null().bitmap, idx.is_null().bitmap);
+    }
+}
