@@ -157,6 +157,7 @@ impl HybridBTreeBitmapIndex {
                 literal_ops: rid_decodes,
                 cube_evals: accessed,
                 expression: format!("hybrid({accessed} leaves, {rid_decodes} rids)"),
+                ..QueryStats::default()
             },
         }
     }

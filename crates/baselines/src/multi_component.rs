@@ -183,6 +183,7 @@ impl SelectionIndex for MultiComponentIndex {
                 literal_ops: accessed.saturating_sub(1),
                 cube_evals: 1,
                 expression: format!("base{}-eq({value})", self.base),
+                ..QueryStats::default()
             },
         }
     }
@@ -203,6 +204,7 @@ impl SelectionIndex for MultiComponentIndex {
                 literal_ops: accessed,
                 cube_evals: sorted.len(),
                 expression: format!("base{}-in({})", self.base, sorted.len()),
+                ..QueryStats::default()
             },
         }
     }
@@ -229,6 +231,7 @@ impl SelectionIndex for MultiComponentIndex {
                 literal_ops: accessed,
                 cube_evals: 2,
                 expression: format!("base{}-range({lo},{hi})", self.base),
+                ..QueryStats::default()
             },
         }
     }

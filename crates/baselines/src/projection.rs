@@ -78,6 +78,7 @@ impl ProjectionIndex {
                 literal_ops: self.cells.len(),
                 cube_evals: 1,
                 expression: label,
+                ..QueryStats::default()
             },
         }
     }

@@ -134,6 +134,7 @@ impl SelectionIndex for RangeBasedBitmapIndex {
                 literal_ops: verified,
                 cube_evals: touched.len(),
                 expression: format!("buckets{touched:?} + verify({verified})"),
+                ..QueryStats::default()
             },
         }
     }
@@ -147,6 +148,7 @@ impl SelectionIndex for RangeBasedBitmapIndex {
                     literal_ops: 0,
                     cube_evals: 0,
                     expression: "0".into(),
+                    ..QueryStats::default()
                 },
             };
         }
@@ -180,6 +182,7 @@ impl SelectionIndex for RangeBasedBitmapIndex {
                 literal_ops: verified,
                 cube_evals: accessed,
                 expression: format!("buckets[{first}..={last}] + verify({verified})"),
+                ..QueryStats::default()
             },
         }
     }

@@ -79,6 +79,7 @@ impl ValueListIndex {
                 literal_ops: 0,
                 cube_evals: 1,
                 expression: label,
+                ..QueryStats::default()
             },
         }
     }

@@ -1,0 +1,207 @@
+//! Measures the retrieval-expression evaluation engines and writes
+//! `BENCH_eval.json` at the repository root.
+//!
+//! Workload: Figure-9-style range selections (width δ ∈ {8, 64, 512})
+//! over a uniform m = 1000 column, reduced with Quine–McCluskey, then
+//! evaluated at 1M and 10M rows by:
+//!
+//! * `naive` — the literal-at-a-time evaluator with full-length
+//!   temporaries ([`ebi_boolean::eval_expr_naive`]);
+//! * `fused` — the serial fused kernels;
+//! * `fused_summarized` — fused kernels plus segment-summary pruning;
+//! * `fused_parallel` — the segment-range parallel splitter at all
+//!   available cores.
+//!
+//! Every engine is checked bit-identical to naive and every query's
+//! `vectors_accessed` is checked invariant under fusing before any
+//! timing is recorded.
+
+use ebi_bench::uniform_cells;
+use ebi_bitvec::summary::summarize_slices;
+use ebi_bitvec::KernelStats;
+use ebi_boolean::{
+    eval_expr_naive, eval_expr_summarized, eval_expr_tracked, qm, AccessTracker, FusedPlan,
+};
+use ebi_core::parallel::eval_plan;
+use ebi_core::EncodedBitmapIndex;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const M: u64 = 1000;
+const DELTAS: [u64; 3] = [8, 64, 512];
+
+/// Median wall-clock nanoseconds of `iters` runs of `f`.
+fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    rows: usize,
+    delta: u64,
+    cubes: usize,
+    vectors_accessed: usize,
+    naive_ns: u128,
+    fused_ns: u128,
+    fused_summarized_ns: u128,
+    fused_parallel_ns: u128,
+}
+
+impl Row {
+    fn speedup_fused(&self) -> f64 {
+        self.naive_ns as f64 / self.fused_ns as f64
+    }
+    fn speedup_parallel(&self) -> f64 {
+        self.naive_ns as f64 / self.fused_parallel_ns as f64
+    }
+}
+
+fn measure(rows: usize, iters: usize, threads: usize, out: &mut Vec<Row>) {
+    eprintln!("building {rows}-row index (m = {M})…");
+    let cells = uniform_cells(M, rows, 0xE7A1 ^ rows as u64);
+    let index = EncodedBitmapIndex::build(cells).expect("build index");
+    let slices = index.slices();
+    let summaries = summarize_slices(slices);
+    let k = index.width();
+
+    for delta in DELTAS {
+        let codes: Vec<u64> = (0..delta)
+            .map(|v| index.mapping().code_of(v).expect("value mapped"))
+            .collect();
+        let expr = qm::minimize(&codes, &[], k);
+
+        // Correctness gates: all engines bit-identical to naive, and the
+        // paper's I/O metric unchanged by fusing/pruning/threading.
+        let naive = eval_expr_naive(&expr, slices, rows);
+        let mut t_fused = AccessTracker::new();
+        assert_eq!(
+            eval_expr_tracked(&expr, slices, rows, &mut t_fused),
+            naive,
+            "fused != naive"
+        );
+        let mut t_sum = AccessTracker::new();
+        assert_eq!(
+            eval_expr_summarized(&expr, slices, &summaries, rows, &mut t_sum),
+            naive,
+            "summarized != naive"
+        );
+        let plan = FusedPlan::with_summaries(&expr, slices, &summaries, rows);
+        let mut ks = KernelStats::new();
+        assert_eq!(eval_plan(&plan, threads, &mut ks), naive, "parallel != naive");
+        for (engine, got) in [
+            ("fused", t_fused.vectors_accessed()),
+            ("summarized", t_sum.vectors_accessed()),
+        ] {
+            assert_eq!(
+                got,
+                expr.vectors_accessed(),
+                "{engine} changed vectors_accessed at rows={rows} delta={delta}"
+            );
+        }
+
+        let naive_ns = median_ns(iters, || {
+            std::hint::black_box(eval_expr_naive(&expr, slices, rows));
+        });
+        let fused_ns = median_ns(iters, || {
+            let mut t = AccessTracker::new();
+            std::hint::black_box(eval_expr_tracked(&expr, slices, rows, &mut t));
+        });
+        let fused_summarized_ns = median_ns(iters, || {
+            let mut t = AccessTracker::new();
+            std::hint::black_box(eval_expr_summarized(&expr, slices, &summaries, rows, &mut t));
+        });
+        let fused_parallel_ns = median_ns(iters, || {
+            let plan = FusedPlan::with_summaries(&expr, slices, &summaries, rows);
+            let mut s = KernelStats::new();
+            std::hint::black_box(eval_plan(&plan, threads, &mut s));
+        });
+
+        let row = Row {
+            rows,
+            delta,
+            cubes: expr.cubes().len(),
+            vectors_accessed: expr.vectors_accessed(),
+            naive_ns,
+            fused_ns,
+            fused_summarized_ns,
+            fused_parallel_ns,
+        };
+        eprintln!(
+            "rows={rows:>9} δ={delta:<4} naive={naive_ns:>12}ns fused={fused_ns:>12}ns \
+             (×{:.2}) parallel={fused_parallel_ns:>12}ns (×{:.2})",
+            row.speedup_fused(),
+            row.speedup_parallel(),
+        );
+        out.push(row);
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // Force at least two workers so the segment-parallel splitter (not
+    // its serial fallback) is what gets measured, even on one core.
+    let threads = cores.max(2);
+    let mut rows_out = Vec::new();
+    measure(1_000_000, 9, threads, &mut rows_out);
+    measure(10_000_000, 5, threads, &mut rows_out);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": \"fig9-style range selections, m = {M}, QM-reduced\",");
+    let _ = writeln!(json, "  \"engines\": [\"naive\", \"fused\", \"fused_summarized\", \"fused_parallel\"],");
+    let _ = writeln!(json, "  \"unit\": \"median wall-clock ns\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"cores_available\": {cores},");
+    if cores < 2 {
+        let _ = writeln!(
+            json,
+            "  \"note\": \"host exposes a single CPU: the parallel engine runs its real multi-worker path but cannot show wall-clock scaling here\","
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"invariants\": {{ \"bit_identical_to_naive\": true, \"vectors_accessed_unchanged\": true }},"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows_out.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"rows\": {}, \"delta\": {}, \"cubes\": {}, \"vectors_accessed\": {}, \
+             \"naive_ns\": {}, \"fused_ns\": {}, \"fused_summarized_ns\": {}, \
+             \"fused_parallel_ns\": {}, \"speedup_fused_vs_naive\": {:.2}, \
+             \"speedup_parallel_vs_naive\": {:.2} }}",
+            r.rows,
+            r.delta,
+            r.cubes,
+            r.vectors_accessed,
+            r.naive_ns,
+            r.fused_ns,
+            r.fused_summarized_ns,
+            r.fused_parallel_ns,
+            r.speedup_fused(),
+            r.speedup_parallel(),
+        );
+        json.push_str(if i + 1 < rows_out.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_eval.json");
+    std::fs::write(&path, &json).expect("write BENCH_eval.json");
+    println!("{json}");
+    eprintln!("wrote {}", path.display());
+
+    let worst_10m = rows_out
+        .iter()
+        .filter(|r| r.rows == 10_000_000)
+        .map(Row::speedup_fused)
+        .fold(f64::INFINITY, f64::min);
+    eprintln!("worst-case fused speedup at 10M rows: ×{worst_10m:.2}");
+}

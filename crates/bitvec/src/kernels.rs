@@ -1,0 +1,598 @@
+//! Fused multi-operand evaluation kernels for retrieval expressions.
+//!
+//! The naive way to evaluate a product term `B_3 · B_1' · B_0` is a
+//! chain of whole-vector operations: clone `B_3`, `and_assign(B_1')`,
+//! `and_assign(B_0)`, then OR the result into the selection bitmap.
+//! Every step streams `n/64` words through memory, so a `k`-literal term
+//! costs `(k+1) · n/64` word reads/writes and a full-size intermediate
+//! allocation.
+//!
+//! The kernels here evaluate an entire term — up to 64 optionally
+//! negated literals — in **one pass**, segment by segment
+//! ([`SEGMENT_WORDS`] = 64 words = [`SEGMENT_BITS`] = 4096 rows at a
+//! time), using a stack accumulator that stays resident in L1, and OR
+//! the finished segment straight into the destination. No intermediate
+//! `BitVec` is ever allocated, and two short-circuits apply per segment:
+//!
+//! * **summary pruning** — if a literal's [`SegmentSummary`] proves the
+//!   term is zero on the segment (positive literal over an all-zero
+//!   segment, or negated literal over an all-ones segment), the segment
+//!   is skipped before any bitmap word is read;
+//! * **accumulator short-circuit** — if the stack accumulator goes
+//!   all-zero partway through the literal list, the remaining literals
+//!   are not read for that segment.
+//!
+//! [`eval_dnf_range`] additionally iterates **segment-major**: the outer
+//! loop walks segments and the inner loop walks product terms, so one
+//! 512-byte window of every slice stays L1-resident while *all* terms
+//! consume it — a many-term DNF reads each slice word once from memory
+//! instead of once per term. A segment whose destination saturates to
+//! all-ones skips its remaining terms (OR can add nothing).
+//!
+//! Evaluation over a *word range* underpins segment-parallel execution:
+//! disjoint ranges of the destination can be filled by different threads
+//! with bit-identical results.
+
+use crate::core::{BitVec, WORD_BITS};
+use crate::summary::SegmentSummary;
+
+/// Words per evaluation segment.
+pub const SEGMENT_WORDS: usize = 64;
+
+/// Rows (bits) per evaluation segment.
+pub const SEGMENT_BITS: usize = SEGMENT_WORDS * WORD_BITS;
+
+/// One literal of a product term: a bitmap vector, possibly negated,
+/// with an optional per-segment summary for pruning.
+#[derive(Debug, Clone, Copy)]
+pub struct Literal<'a> {
+    words: &'a [u64],
+    negated: bool,
+    summary: Option<&'a SegmentSummary>,
+}
+
+impl<'a> Literal<'a> {
+    /// Literal over `bits`, negated if `negated`.
+    #[must_use]
+    pub fn new(bits: &'a BitVec, negated: bool) -> Self {
+        Self {
+            words: bits.words(),
+            negated,
+            summary: None,
+        }
+    }
+
+    /// Literal with a segment summary enabling whole-segment pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary was built over a vector of different length.
+    #[must_use]
+    pub fn with_summary(bits: &'a BitVec, negated: bool, summary: &'a SegmentSummary) -> Self {
+        assert_eq!(
+            summary.len(),
+            bits.len(),
+            "summary length {} != slice length {}",
+            summary.len(),
+            bits.len()
+        );
+        Self {
+            words: bits.words(),
+            negated,
+            summary: Some(summary),
+        }
+    }
+
+    /// `true` if the literal is complemented (`B_i'`).
+    #[must_use]
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+
+    /// `true` if this literal proves the term zero on global segment
+    /// `seg` without reading bitmap words.
+    fn prunes_segment(&self, seg: usize) -> bool {
+        match self.summary {
+            Some(s) if self.negated => s.segment_is_full(seg),
+            Some(s) => s.segment_is_zero(seg),
+            None => false,
+        }
+    }
+}
+
+/// Work counters reported by the fused kernels.
+///
+/// `words_scanned` counts bitmap words actually read from slice storage;
+/// the two skip counters measure how much reading the short-circuits
+/// avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Slice words read from memory.
+    pub words_scanned: u64,
+    /// (term, segment) pairs skipped via summaries before any read.
+    pub segments_pruned: u64,
+    /// (term, segment) pairs abandoned mid-term on an all-zero
+    /// accumulator.
+    pub segments_short_circuited: u64,
+}
+
+impl KernelStats {
+    /// Fresh counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another set of counters into this one.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.words_scanned += other.words_scanned;
+        self.segments_pruned += other.segments_pruned;
+        self.segments_short_circuited += other.segments_short_circuited;
+    }
+}
+
+/// OR-accumulates one product term (the AND of `literals`) into
+/// `dst`, which covers words `word_offset ..` of a vector of `len_bits`
+/// bits.
+///
+/// An empty literal list is the tautology term: `dst` is set to all
+/// ones. `dst` is only ever OR-ed into (besides final tail masking), so
+/// calling this once per term over a zeroed buffer evaluates a full DNF.
+///
+/// # Panics
+///
+/// Panics if `word_offset` is not segment-aligned, if `dst` overruns
+/// `len_bits`, or if any literal's slice is shorter than the range
+/// (message contains "slice length", matching the whole-vector
+/// evaluator).
+pub fn or_accumulate_term(
+    dst: &mut [u64],
+    word_offset: usize,
+    len_bits: usize,
+    literals: &[Literal<'_>],
+    stats: &mut KernelStats,
+) {
+    assert_eq!(
+        word_offset % SEGMENT_WORDS,
+        0,
+        "word_offset {word_offset} not segment-aligned"
+    );
+    let total_words = len_bits.div_ceil(WORD_BITS);
+    assert!(
+        word_offset + dst.len() <= total_words,
+        "destination range overruns {len_bits}-bit vector"
+    );
+    for lit in literals {
+        assert!(
+            lit.words.len() >= word_offset + dst.len(),
+            "slice length {} words < evaluated range end {}",
+            lit.words.len(),
+            word_offset + dst.len()
+        );
+    }
+
+    if literals.is_empty() {
+        dst.fill(u64::MAX);
+        mask_range_tail(dst, word_offset, len_bits);
+        return;
+    }
+
+    let mut acc = [0u64; SEGMENT_WORDS];
+    for (chunk_idx, seg_dst) in dst.chunks_mut(SEGMENT_WORDS).enumerate() {
+        let seg = word_offset / SEGMENT_WORDS + chunk_idx;
+        let w0 = word_offset + chunk_idx * SEGMENT_WORDS;
+        let nw = seg_dst.len();
+        if eval_term_segment(&mut acc, literals, seg, w0, nw, stats) {
+            for (d, &a) in seg_dst.iter_mut().zip(&acc[..nw]) {
+                *d |= a;
+            }
+        }
+    }
+    // Negated literals set garbage bits beyond `len_bits` in the final
+    // word; restore the tail invariant.
+    mask_range_tail(dst, word_offset, len_bits);
+}
+
+/// Evaluates one non-empty product term over one segment into
+/// `acc[..nw]`, where `w0` is the segment's first word and `seg` its
+/// global index.
+///
+/// Returns `false` when the term contributes nothing on the segment
+/// (summary-pruned, short-circuited, or evaluated to all-zero); `acc`
+/// contents are unspecified in that case. The all-zero check folds into
+/// the AND pass itself (an OR-reduction carried per word), so the
+/// short-circuit costs no extra sweep over the accumulator.
+fn eval_term_segment(
+    acc: &mut [u64; SEGMENT_WORDS],
+    literals: &[Literal<'_>],
+    seg: usize,
+    w0: usize,
+    nw: usize,
+    stats: &mut KernelStats,
+) -> bool {
+    if literals.iter().any(|l| l.prunes_segment(seg)) {
+        stats.segments_pruned += 1;
+        return false;
+    }
+    // The first two literals are fused into a single load-AND-store
+    // pass, saving the plain copy pass a chained evaluation would do.
+    // Every pass also folds an OR-reduction (`any`) over what it wrote,
+    // so the all-zero probe costs no separate sweep of the accumulator.
+    let (first, rest) = literals.split_first().expect("non-empty literals");
+    let src1 = &first.words[w0..w0 + nw];
+    let mut any = 0u64;
+    let mut remaining: &[Literal<'_>] = rest;
+    if let Some((second, rest)) = remaining.split_first() {
+        let src2 = &second.words[w0..w0 + nw];
+        let dst = acc[..nw].iter_mut().zip(src1).zip(src2);
+        match (first.negated, second.negated) {
+            (false, false) => {
+                for ((a, &s1), &s2) in dst {
+                    let v = s1 & s2;
+                    *a = v;
+                    any |= v;
+                }
+            }
+            (false, true) => {
+                for ((a, &s1), &s2) in dst {
+                    let v = s1 & !s2;
+                    *a = v;
+                    any |= v;
+                }
+            }
+            (true, false) => {
+                for ((a, &s1), &s2) in dst {
+                    let v = !s1 & s2;
+                    *a = v;
+                    any |= v;
+                }
+            }
+            (true, true) => {
+                for ((a, &s1), &s2) in dst {
+                    let v = !(s1 | s2);
+                    *a = v;
+                    any |= v;
+                }
+            }
+        }
+        stats.words_scanned += 2 * nw as u64;
+        remaining = rest;
+    } else {
+        if first.negated {
+            for (a, &s) in acc[..nw].iter_mut().zip(src1) {
+                let v = !s;
+                *a = v;
+                any |= v;
+            }
+        } else {
+            for (a, &s) in acc[..nw].iter_mut().zip(src1) {
+                *a = s;
+                any |= s;
+            }
+        }
+        stats.words_scanned += nw as u64;
+    }
+
+    while let Some((lit, rest)) = remaining.split_first() {
+        // A zero accumulator cannot be revived by further ANDs: skip
+        // the remaining literals for this segment.
+        if any == 0 {
+            stats.segments_short_circuited += 1;
+            return false;
+        }
+        let src = &lit.words[w0..w0 + nw];
+        any = 0;
+        if lit.negated {
+            for (a, &s) in acc[..nw].iter_mut().zip(src) {
+                *a &= !s;
+                any |= *a;
+            }
+        } else {
+            for (a, &s) in acc[..nw].iter_mut().zip(src) {
+                *a &= s;
+                any |= *a;
+            }
+        }
+        stats.words_scanned += nw as u64;
+        remaining = rest;
+    }
+    // An all-zero result ORs nothing; telling the caller saves the pass.
+    any != 0
+}
+
+/// Evaluates a full DNF (OR of product terms) into `dst`, a zeroed
+/// window covering words `word_offset ..` of a `len_bits`-bit vector.
+///
+/// Iteration is segment-major: every term consumes a segment while its
+/// slice words are still cache-resident, and a segment whose
+/// destination reaches all-ones skips its remaining terms. Disjoint
+/// windows may be evaluated concurrently (the literal data is only
+/// read); results are bit-identical to whole-vector evaluation.
+///
+/// # Panics
+///
+/// As [`or_accumulate_term`].
+pub fn eval_dnf_range(
+    dst: &mut [u64],
+    word_offset: usize,
+    len_bits: usize,
+    terms: &[Vec<Literal<'_>>],
+    stats: &mut KernelStats,
+) {
+    assert_eq!(
+        word_offset % SEGMENT_WORDS,
+        0,
+        "word_offset {word_offset} not segment-aligned"
+    );
+    let total_words = len_bits.div_ceil(WORD_BITS);
+    assert!(
+        word_offset + dst.len() <= total_words,
+        "destination range overruns {len_bits}-bit vector"
+    );
+    for lit in terms.iter().flatten() {
+        assert!(
+            lit.words.len() >= word_offset + dst.len(),
+            "slice length {} words < evaluated range end {}",
+            lit.words.len(),
+            word_offset + dst.len()
+        );
+    }
+
+    let mut acc = [0u64; SEGMENT_WORDS];
+    for (chunk_idx, seg_dst) in dst.chunks_mut(SEGMENT_WORDS).enumerate() {
+        let seg = word_offset / SEGMENT_WORDS + chunk_idx;
+        let w0 = word_offset + chunk_idx * SEGMENT_WORDS;
+        let nw = seg_dst.len();
+        for term in terms {
+            if term.is_empty() {
+                // Tautology term: the segment saturates immediately.
+                seg_dst.fill(u64::MAX);
+                break;
+            }
+            if eval_term_segment(&mut acc, term, seg, w0, nw, stats) {
+                let mut all = u64::MAX;
+                for (d, &a) in seg_dst.iter_mut().zip(&acc[..nw]) {
+                    *d |= a;
+                    all &= *d;
+                }
+                if all == u64::MAX {
+                    // Every destination word is saturated: no later
+                    // term can add a bit to this segment.
+                    break;
+                }
+            }
+        }
+    }
+    mask_range_tail(dst, word_offset, len_bits);
+}
+
+/// Evaluates a full DNF into a freshly allocated selection bitmap of
+/// `len_bits` bits.
+///
+/// # Panics
+///
+/// As [`or_accumulate_term`].
+#[must_use]
+pub fn eval_dnf(terms: &[Vec<Literal<'_>>], len_bits: usize, stats: &mut KernelStats) -> BitVec {
+    let mut dst = BitVec::zeros(len_bits);
+    eval_dnf_range(&mut dst.words, 0, len_bits, terms, stats);
+    dst
+}
+
+/// Zeroes bits at positions `>= len_bits` if the window `dst` (starting
+/// at `word_offset`) contains the final partial word.
+fn mask_range_tail(dst: &mut [u64], word_offset: usize, len_bits: usize) {
+    let rem = len_bits % WORD_BITS;
+    if rem == 0 {
+        return;
+    }
+    let last_word = len_bits / WORD_BITS;
+    if let Some(w) = last_word.checked_sub(word_offset) {
+        if w < dst.len() {
+            dst[w] &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::SegmentSummary;
+
+    fn naive_term(slices: &[(&BitVec, bool)], len: usize) -> BitVec {
+        let mut acc = BitVec::ones(len);
+        for &(s, neg) in slices {
+            if neg {
+                acc.and_not_assign(s);
+            } else {
+                acc.and_assign(s);
+            }
+        }
+        acc
+    }
+
+    fn stripes(len: usize, period: usize, phase: usize) -> BitVec {
+        (0..len).map(|i| i % period == phase).collect()
+    }
+
+    #[test]
+    fn fused_term_matches_naive_chain() {
+        let len = SEGMENT_BITS * 2 + 777;
+        let a = stripes(len, 3, 0);
+        let b = stripes(len, 5, 1);
+        let c = stripes(len, 7, 2);
+        let mut stats = KernelStats::new();
+        let terms = vec![vec![
+            Literal::new(&a, false),
+            Literal::new(&b, true),
+            Literal::new(&c, false),
+        ]];
+        let fused = eval_dnf(&terms, len, &mut stats);
+        let naive = naive_term(&[(&a, false), (&b, true), (&c, false)], len);
+        assert_eq!(fused, naive);
+        assert!(stats.words_scanned > 0);
+    }
+
+    #[test]
+    fn multi_term_or_accumulation_matches() {
+        let len = SEGMENT_BITS + 100;
+        let a = stripes(len, 2, 0);
+        let b = stripes(len, 2, 1);
+        let terms = vec![
+            vec![Literal::new(&a, false)],
+            vec![Literal::new(&b, false)],
+        ];
+        let mut stats = KernelStats::new();
+        let r = eval_dnf(&terms, len, &mut stats);
+        assert_eq!(r, BitVec::ones(len));
+    }
+
+    #[test]
+    fn tautology_term_fills_ones_and_masks_tail() {
+        let len = 100;
+        let terms = vec![vec![]];
+        let mut stats = KernelStats::new();
+        let r = eval_dnf(&terms, len, &mut stats);
+        assert_eq!(r, BitVec::ones(len));
+        assert_eq!(stats.words_scanned, 0);
+    }
+
+    #[test]
+    fn negated_tail_garbage_is_masked() {
+        let len = 70;
+        let z = BitVec::zeros(len);
+        let terms = vec![vec![Literal::new(&z, true)]];
+        let mut stats = KernelStats::new();
+        let r = eval_dnf(&terms, len, &mut stats);
+        assert_eq!(r, BitVec::ones(len));
+        assert_eq!(r.count_ones() as usize, len);
+    }
+
+    #[test]
+    fn summary_pruning_skips_zero_segments_without_reads() {
+        // Slice with ones only in segment 1 of 3.
+        let len = SEGMENT_BITS * 3;
+        let mut a = BitVec::zeros(len);
+        for i in SEGMENT_BITS..SEGMENT_BITS + 50 {
+            a.set(i, true);
+        }
+        let sa = SegmentSummary::build(&a);
+        let b = BitVec::ones(len);
+        let sb = SegmentSummary::build(&b);
+        let terms = vec![vec![
+            Literal::with_summary(&a, false, &sa),
+            Literal::with_summary(&b, false, &sb),
+        ]];
+        let mut stats = KernelStats::new();
+        let r = eval_dnf(&terms, len, &mut stats);
+        assert_eq!(r, a);
+        assert_eq!(stats.segments_pruned, 2, "segments 0 and 2 pruned");
+        // Only segment 1's words were read: 64 words × 2 literals.
+        assert_eq!(stats.words_scanned, 2 * SEGMENT_WORDS as u64);
+    }
+
+    #[test]
+    fn negated_full_segment_prunes() {
+        let len = SEGMENT_BITS * 2;
+        let ones = BitVec::ones(len);
+        let s = SegmentSummary::build(&ones);
+        let other = stripes(len, 2, 0);
+        let terms = vec![vec![
+            Literal::with_summary(&ones, true, &s),
+            Literal::new(&other, false),
+        ]];
+        let mut stats = KernelStats::new();
+        let r = eval_dnf(&terms, len, &mut stats);
+        assert_eq!(r.count_ones(), 0);
+        assert_eq!(stats.segments_pruned, 2);
+        assert_eq!(stats.words_scanned, 0);
+    }
+
+    #[test]
+    fn accumulator_short_circuit_skips_remaining_literals() {
+        let len = SEGMENT_BITS;
+        let zero = BitVec::zeros(len);
+        let a = stripes(len, 2, 0);
+        let b = stripes(len, 3, 0);
+        // zero kills the accumulator in the fused first pass (which
+        // reads the first two literals together); b must not be scanned.
+        let terms = vec![vec![
+            Literal::new(&zero, false),
+            Literal::new(&a, false),
+            Literal::new(&b, false),
+        ]];
+        let mut stats = KernelStats::new();
+        let r = eval_dnf(&terms, len, &mut stats);
+        assert_eq!(r.count_ones(), 0);
+        assert_eq!(stats.segments_short_circuited, 1);
+        assert_eq!(stats.words_scanned, 2 * SEGMENT_WORDS as u64);
+    }
+
+    #[test]
+    fn range_evaluation_is_bit_identical_to_whole_vector() {
+        let len = SEGMENT_BITS * 3 + 500;
+        let a = stripes(len, 11, 3);
+        let b = stripes(len, 13, 5);
+        let terms = vec![
+            vec![Literal::new(&a, false), Literal::new(&b, true)],
+            vec![Literal::new(&b, false), Literal::new(&a, true)],
+        ];
+        let mut stats = KernelStats::new();
+        let whole = eval_dnf(&terms, len, &mut stats);
+
+        // Evaluate the same expression in two disjoint windows.
+        let mut split = BitVec::zeros(len);
+        let total_words = len.div_ceil(WORD_BITS);
+        let cut = 2 * SEGMENT_WORDS;
+        let (lo, hi) = split.words.split_at_mut(cut);
+        let mut s1 = KernelStats::new();
+        let mut s2 = KernelStats::new();
+        eval_dnf_range(lo, 0, len, &terms, &mut s1);
+        eval_dnf_range(hi, cut, len, &terms, &mut s2);
+        assert_eq!(lo.len() + hi.len(), total_words);
+        assert_eq!(split, whole);
+        s1.merge(&s2);
+        assert_eq!(s1.words_scanned, stats.words_scanned);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice length")]
+    fn short_slice_panics() {
+        let a = BitVec::zeros(64);
+        let terms = vec![vec![Literal::new(&a, false)]];
+        let mut stats = KernelStats::new();
+        let _ = eval_dnf(&terms, 4096, &mut stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "not segment-aligned")]
+    fn unaligned_offset_panics() {
+        let a = BitVec::zeros(SEGMENT_BITS * 2);
+        let mut dst = vec![0u64; SEGMENT_WORDS];
+        let mut stats = KernelStats::new();
+        or_accumulate_term(
+            &mut dst,
+            1,
+            SEGMENT_BITS * 2,
+            &[Literal::new(&a, false)],
+            &mut stats,
+        );
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = KernelStats {
+            words_scanned: 1,
+            segments_pruned: 2,
+            segments_short_circuited: 3,
+        };
+        a.merge(&KernelStats {
+            words_scanned: 10,
+            segments_pruned: 20,
+            segments_short_circuited: 30,
+        });
+        assert_eq!(a.words_scanned, 11);
+        assert_eq!(a.segments_pruned, 22);
+        assert_eq!(a.segments_short_circuited, 33);
+    }
+}

@@ -16,6 +16,13 @@
 //!   the sparsity experiments.
 //! * [`builder::BitVecBuilder`] — streaming construction helpers used by
 //!   the index builders.
+//! * [`kernels`] — fused, segment-streaming evaluation kernels that
+//!   compute an entire product term (AND of up to 64 optionally negated
+//!   vectors) in one pass with no intermediate allocation, OR-ing terms
+//!   into a shared destination, with per-segment short-circuiting.
+//! * [`summary::SegmentSummary`] — per-4096-row one-counts built at
+//!   index construction, letting the kernels skip whole segments before
+//!   reading any bitmap word.
 //!
 //! # Invariant
 //!
@@ -38,12 +45,16 @@ pub mod builder;
 mod core;
 pub mod error;
 mod iter;
+pub mod kernels;
 mod ops;
 pub mod rank;
 pub mod serial;
 mod serde_impl;
+pub mod summary;
 pub mod wah;
 
 pub use crate::core::{BitVec, WORD_BITS};
 pub use crate::error::BitVecError;
 pub use crate::iter::{BitIter, OnesIter};
+pub use crate::kernels::{KernelStats, Literal, SEGMENT_BITS, SEGMENT_WORDS};
+pub use crate::summary::SegmentSummary;

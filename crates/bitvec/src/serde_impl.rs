@@ -3,42 +3,64 @@
 //! Serialises as `{ len, words }` and re-validates the tail invariant on
 //! deserialisation, so hostile or corrupted input cannot smuggle set
 //! bits beyond `len` (which would corrupt population counts).
+//!
+//! The impls are hand-written (no derive) against the vendored serde
+//! shim's [`Value`] data model; the trait shapes match real serde, so
+//! swapping the shim for the real crate only requires regenerating the
+//! `Value`-tree plumbing, not the validation logic.
 
 use crate::core::{BitVec, WORD_BITS};
 use serde::de::Error as DeError;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-#[derive(Serialize, Deserialize)]
-struct BitVecRepr {
-    len: u64,
-    words: Vec<u64>,
-}
+use serde::{Deserialize, Deserializer, Serialize, Serializer, Value};
 
 impl Serialize for BitVec {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        BitVecRepr {
-            len: self.len() as u64,
-            words: self.words().to_vec(),
-        }
-        .serialize(serializer)
+        serializer.serialize_value(Value::Map(vec![
+            ("len", Value::U64(self.len() as u64)),
+            (
+                "words",
+                Value::Seq(self.words().iter().map(|&w| Value::U64(w)).collect()),
+            ),
+        ]))
     }
 }
 
 impl<'de> Deserialize<'de> for BitVec {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let repr = BitVecRepr::deserialize(deserializer)?;
-        let len = usize::try_from(repr.len)
+        let Value::Map(fields) = deserializer.deserialize_value()? else {
+            return Err(D::Error::custom("BitVec: expected a map"));
+        };
+        let mut len_field: Option<u64> = None;
+        let mut words_field: Option<Vec<u64>> = None;
+        for (name, value) in fields {
+            match (name, value) {
+                ("len", Value::U64(n)) => len_field = Some(n),
+                ("words", Value::Seq(items)) => {
+                    let mut words = Vec::with_capacity(items.len());
+                    for item in items {
+                        let Value::U64(w) = item else {
+                            return Err(D::Error::custom("BitVec: non-u64 word"));
+                        };
+                        words.push(w);
+                    }
+                    words_field = Some(words);
+                }
+                (other, _) => {
+                    return Err(D::Error::custom(format!("BitVec: unknown field {other:?}")));
+                }
+            }
+        }
+        let raw_len = len_field.ok_or_else(|| D::Error::custom("BitVec: missing len"))?;
+        let words = words_field.ok_or_else(|| D::Error::custom("BitVec: missing words"))?;
+        let len = usize::try_from(raw_len)
             .map_err(|_| D::Error::custom("bit length overflows usize"))?;
-        if repr.words.len() != len.div_ceil(WORD_BITS) {
+        if words.len() != len.div_ceil(WORD_BITS) {
             return Err(D::Error::custom(format!(
                 "{} words inconsistent with {len} bits",
-                repr.words.len()
+                words.len()
             )));
         }
-        let v = BitVec {
-            words: repr.words,
-            len,
-        };
+        let v = BitVec { words, len };
         let mut masked = v.clone();
         masked.mask_tail();
         if masked.words != v.words {
@@ -51,35 +73,39 @@ impl<'de> Deserialize<'de> for BitVec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::{ValueDeserializer, ValueSerializer};
 
-    /// Minimal hand-rolled JSON-ish serializer is overkill; use the
-    /// serde_test-free route: round-trip through `serde`'s token-less
-    /// self-describing format via `serde_json`-like in-memory encoding.
-    /// We avoid extra deps by round-tripping through `bincode`-style
-    /// manual structs — here simply via the `Repr` directly.
+    fn roundtrip(v: &BitVec) -> Result<BitVec, String> {
+        let tree = v.serialize(ValueSerializer).map_err(|e| e.to_string())?;
+        BitVec::deserialize(ValueDeserializer(tree)).map_err(|e| e.to_string())
+    }
+
     #[test]
-    fn repr_roundtrip_preserves_bits() {
-        let v: BitVec = (0..130).map(|i| i % 3 == 0).collect();
-        let repr = BitVecRepr {
-            len: v.len() as u64,
-            words: v.words().to_vec(),
-        };
-        let restored = BitVec {
-            words: repr.words.clone(),
-            len: repr.len as usize,
-        };
-        assert_eq!(restored, v);
+    fn roundtrip_preserves_bits() {
+        for len in [0usize, 1, 64, 130] {
+            let v: BitVec = (0..len).map(|i| i % 3 == 0).collect();
+            assert_eq!(roundtrip(&v).unwrap(), v, "len {len}");
+        }
     }
 
     #[test]
     fn tail_violation_detected() {
-        // Emulate what Deserialize checks: words with garbage past len.
-        let bad = BitVec {
-            words: vec![u64::MAX],
-            len: 4,
-        };
-        let mut masked = bad.clone();
-        masked.mask_tail();
-        assert_ne!(masked.words, bad.words, "the guard must trip");
+        // Declare 4 bits but smuggle a set bit at position 5.
+        let bad = Value::Map(vec![
+            ("len", Value::U64(4)),
+            ("words", Value::Seq(vec![Value::U64(0b10_0001)])),
+        ]);
+        let err = BitVec::deserialize(ValueDeserializer(bad)).unwrap_err();
+        assert!(err.to_string().contains("beyond declared length"));
+    }
+
+    #[test]
+    fn word_count_mismatch_detected() {
+        let bad = Value::Map(vec![
+            ("len", Value::U64(100)),
+            ("words", Value::Seq(vec![Value::U64(0)])),
+        ]);
+        let err = BitVec::deserialize(ValueDeserializer(bad)).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"));
     }
 }

@@ -5,13 +5,27 @@
 //! bitmap: each product term ANDs together its slices (negated where the
 //! literal is `B_i'`), and the terms are ORed.
 //!
+//! Evaluation is **fused**: instead of materialising a `BitVec` per
+//! operation, each product term streams through the
+//! [`ebi_bitvec::kernels`] in 4096-row segments with a stack-resident
+//! accumulator, OR-ing finished segments straight into the destination.
+//! With per-slice [`SegmentSummary`] data the kernels additionally skip
+//! whole segments without reading a word. The original operator-at-a-time
+//! evaluator is kept as [`eval_expr_naive`] as a differential-testing
+//! oracle; both produce bit-identical results.
+//!
 //! [`AccessTracker`] records the paper's cost metric while doing so: the
 //! set of *distinct bitmap vectors touched* (footnote 4 — "the number of
 //! bitmaps which need to be accessed is considered as one" per vector,
-//! however many literals reference it), plus secondary counters.
+//! however many literals reference it), plus secondary counters. Fusing
+//! does not change `vectors_accessed`: every slice a cube references is
+//! counted up front, whether or not segment pruning ends up reading it —
+//! the metric models which vectors must be *fetched*, and pruning needs
+//! the summary (fetched alongside the vector's metadata) either way.
 
 use crate::expr::DnfExpr;
-use ebi_bitvec::BitVec;
+use ebi_bitvec::kernels::{self, KernelStats, Literal};
+use ebi_bitvec::{BitVec, SegmentSummary};
 
 /// Cost counters for one or more expression evaluations.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -24,6 +38,15 @@ pub struct AccessTracker {
     pub literal_ops: usize,
     /// OR operations joining product terms.
     pub or_ops: usize,
+    /// Bitmap words actually read from slice storage by the fused
+    /// kernels (the naive evaluator does not report this).
+    pub words_scanned: u64,
+    /// (term, segment) pairs skipped via segment summaries before any
+    /// word was read.
+    pub segments_pruned: u64,
+    /// (term, segment) pairs abandoned mid-term when the accumulator
+    /// went all-zero.
+    pub segments_short_circuited: u64,
 }
 
 impl AccessTracker {
@@ -52,12 +75,157 @@ impl AccessTracker {
         self.cube_evals += other.cube_evals;
         self.literal_ops += other.literal_ops;
         self.or_ops += other.or_ops;
+        self.words_scanned += other.words_scanned;
+        self.segments_pruned += other.segments_pruned;
+        self.segments_short_circuited += other.segments_short_circuited;
+    }
+
+    /// Folds fused-kernel work counters into the tracker.
+    pub fn absorb_kernel_stats(&mut self, stats: &KernelStats) {
+        self.words_scanned += stats.words_scanned;
+        self.segments_pruned += stats.segments_pruned;
+        self.segments_short_circuited += stats.segments_short_circuited;
     }
 
     /// Records a touch of slice `i` (used by index implementations for
-    /// vectors read outside expression evaluation, e.g. existence bitmaps).
+    /// vectors read outside expression evaluation, e.g. existence
+    /// bitmaps).
+    ///
+    /// The tracker stores touches in a 64-bit mask, so only slice
+    /// indices `0..64` are representable — matching the evaluator's own
+    /// `k ≤ 64` limit (an encoded bitmap index needs `k = ⌈log₂ m⌉`
+    /// slices, and `k > 64` would require more than `2^64` attribute
+    /// values). Out-of-range indices are rejected in debug builds and
+    /// ignored in release builds; they previously wrapped the shift and
+    /// silently corrupted the count for slice `i - 64`.
     pub fn touch(&mut self, i: u32) {
-        self.touched |= 1 << i;
+        debug_assert!(i < 64, "slice index {i} exceeds the 64-vector tracker limit");
+        if i < 64 {
+            self.touched |= 1 << i;
+        }
+    }
+}
+
+/// A retrieval expression lowered onto fused-kernel literals, ready for
+/// (possibly parallel) evaluation over word ranges.
+///
+/// The plan borrows the slices (and optional summaries) immutably, so a
+/// single plan can be shared by many threads each filling a disjoint
+/// window of the destination via [`FusedPlan::eval_range`]; results are
+/// bit-identical to [`FusedPlan::eval`] over the whole vector.
+#[derive(Debug, Clone)]
+pub struct FusedPlan<'a> {
+    terms: Vec<Vec<Literal<'a>>>,
+    row_count: usize,
+}
+
+impl<'a> FusedPlan<'a> {
+    /// Lowers `expr` over `slices` without segment summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with `row_count` or the
+    /// expression references a slice index `>= slices.len()`.
+    #[must_use]
+    pub fn new(expr: &DnfExpr, slices: &'a [BitVec], row_count: usize) -> Self {
+        Self::build(expr, slices, None, row_count)
+    }
+
+    /// Lowers `expr` with per-slice summaries enabling whole-segment
+    /// pruning. `summaries[i]` must describe `slices[i]`.
+    ///
+    /// # Panics
+    ///
+    /// As [`FusedPlan::new`], plus if `summaries.len() != slices.len()`.
+    #[must_use]
+    pub fn with_summaries(
+        expr: &DnfExpr,
+        slices: &'a [BitVec],
+        summaries: &'a [SegmentSummary],
+        row_count: usize,
+    ) -> Self {
+        assert_eq!(
+            summaries.len(),
+            slices.len(),
+            "one summary per slice required"
+        );
+        Self::build(expr, slices, Some(summaries), row_count)
+    }
+
+    fn build(
+        expr: &DnfExpr,
+        slices: &'a [BitVec],
+        summaries: Option<&'a [SegmentSummary]>,
+        row_count: usize,
+    ) -> Self {
+        for s in slices {
+            assert_eq!(s.len(), row_count, "slice length != row count");
+        }
+        assert!(
+            expr.support() >> slices.len().min(63) == 0 || slices.len() >= 64,
+            "expression references slice beyond the {} provided",
+            slices.len()
+        );
+        let terms = expr
+            .cubes()
+            .iter()
+            .map(|cube| {
+                (0..64u32)
+                    .filter(|i| cube.mask() >> i & 1 == 1)
+                    .map(|i| {
+                        let negated = cube.value() >> i & 1 == 0;
+                        let slice = &slices[i as usize];
+                        match summaries {
+                            Some(sums) => Literal::with_summary(slice, negated, &sums[i as usize]),
+                            None => Literal::new(slice, negated),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { terms, row_count }
+    }
+
+    /// Rows covered by the plan.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Records the paper's access metrics for evaluating this plan's
+    /// expression: one `cube_eval` and its literal touches per product
+    /// term, one `or_op` per term beyond the first. Identical to what
+    /// the naive evaluator records — fusing changes how words are read,
+    /// not which vectors are accessed.
+    pub fn record_access(expr: &DnfExpr, tracker: &mut AccessTracker) {
+        for cube in expr.cubes() {
+            tracker.cube_evals += 1;
+            for i in 0..64u32 {
+                if cube.mask() >> i & 1 == 1 {
+                    tracker.touch(i);
+                    tracker.literal_ops += 1;
+                }
+            }
+        }
+        tracker.or_ops += expr.cubes().len().saturating_sub(1);
+    }
+
+    /// Evaluates the whole plan into a fresh selection bitmap.
+    #[must_use]
+    pub fn eval(&self, stats: &mut KernelStats) -> BitVec {
+        kernels::eval_dnf(&self.terms, self.row_count, stats)
+    }
+
+    /// Evaluates the plan into `dst`, a **zeroed** window covering words
+    /// `word_offset ..` of the selection bitmap. `word_offset` must be
+    /// segment-aligned. Disjoint windows compose to the exact
+    /// whole-vector result.
+    ///
+    /// # Panics
+    ///
+    /// As [`ebi_bitvec::kernels::eval_dnf_range`].
+    pub fn eval_range(&self, dst: &mut [u64], word_offset: usize, stats: &mut KernelStats) {
+        kernels::eval_dnf_range(dst, word_offset, self.row_count, &self.terms, stats);
     }
 }
 
@@ -82,6 +250,51 @@ pub fn eval_expr_tracked(
     row_count: usize,
     tracker: &mut AccessTracker,
 ) -> BitVec {
+    let plan = FusedPlan::new(expr, slices, row_count);
+    FusedPlan::record_access(expr, tracker);
+    let mut stats = KernelStats::new();
+    let result = plan.eval(&mut stats);
+    tracker.absorb_kernel_stats(&stats);
+    result
+}
+
+/// Like [`eval_expr_tracked`] but consults per-slice segment summaries
+/// so whole segments can be pruned before any bitmap word is read.
+/// `summaries[i]` must describe `slices[i]` (see
+/// [`ebi_bitvec::summary::summarize_slices`]).
+///
+/// # Panics
+///
+/// As [`eval_expr_tracked`], plus if the summary count or lengths
+/// disagree with the slices.
+#[must_use]
+pub fn eval_expr_summarized(
+    expr: &DnfExpr,
+    slices: &[BitVec],
+    summaries: &[SegmentSummary],
+    row_count: usize,
+    tracker: &mut AccessTracker,
+) -> BitVec {
+    let plan = FusedPlan::with_summaries(expr, slices, summaries, row_count);
+    FusedPlan::record_access(expr, tracker);
+    let mut stats = KernelStats::new();
+    let result = plan.eval(&mut stats);
+    tracker.absorb_kernel_stats(&stats);
+    result
+}
+
+/// The original operator-at-a-time evaluator: clones / negates the first
+/// literal of each term, ANDs the rest in whole-vector passes, ORs terms.
+///
+/// Kept as the differential-testing oracle for the fused path (and as
+/// the baseline in the evaluation benchmarks); results are always
+/// bit-identical to [`eval_expr`].
+///
+/// # Panics
+///
+/// As [`eval_expr`].
+#[must_use]
+pub fn eval_expr_naive(expr: &DnfExpr, slices: &[BitVec], row_count: usize) -> BitVec {
     for s in slices {
         assert_eq!(s.len(), row_count, "slice length != row count");
     }
@@ -93,14 +306,11 @@ pub fn eval_expr_tracked(
 
     let mut result: Option<BitVec> = None;
     for cube in expr.cubes() {
-        tracker.cube_evals += 1;
         let mut acc: Option<BitVec> = None;
         for i in 0..64u32 {
             if cube.mask() >> i & 1 == 0 {
                 continue;
             }
-            tracker.touch(i);
-            tracker.literal_ops += 1;
             let positive = cube.value() >> i & 1 == 1;
             let slice = &slices[i as usize];
             match &mut acc {
@@ -120,10 +330,7 @@ pub fn eval_expr_tracked(
         let cube_bits = acc.unwrap_or_else(|| BitVec::ones(row_count));
         match &mut result {
             None => result = Some(cube_bits),
-            Some(r) => {
-                tracker.or_ops += 1;
-                r.or_assign(&cube_bits);
-            }
+            Some(r) => r.or_assign(&cube_bits),
         }
     }
     result.unwrap_or_else(|| BitVec::zeros(row_count))
@@ -134,6 +341,7 @@ mod tests {
     use super::*;
     use crate::qm;
     use ebi_bitvec::builder::SliceFamilyBuilder;
+    use ebi_bitvec::summary::summarize_slices;
 
     /// Builds slices for a column of codes (LSB-first slices).
     fn slices_for(codes: &[u64], k: u32) -> Vec<BitVec> {
@@ -206,6 +414,7 @@ mod tests {
         let mut t = AccessTracker::new();
         let _ = eval_expr_tracked(&DnfExpr::parse("1", 1).unwrap(), &slices, 2, &mut t);
         assert_eq!(t.vectors_accessed(), 0);
+        assert_eq!(t.words_scanned, 0, "tautology reads no slice words");
     }
 
     #[test]
@@ -213,14 +422,19 @@ mod tests {
         let mut a = AccessTracker::new();
         a.touch(0);
         a.cube_evals = 2;
+        a.words_scanned = 7;
         let mut b = AccessTracker::new();
         b.touch(3);
         b.literal_ops = 5;
+        b.words_scanned = 3;
+        b.segments_pruned = 2;
         a.merge(&b);
         assert_eq!(a.vectors_accessed(), 2);
         assert_eq!(a.cube_evals, 2);
         assert_eq!(a.literal_ops, 5);
         assert_eq!(a.touched_mask(), 0b1001);
+        assert_eq!(a.words_scanned, 10);
+        assert_eq!(a.segments_pruned, 2);
     }
 
     #[test]
@@ -228,5 +442,67 @@ mod tests {
     fn mismatched_slice_lengths_panic() {
         let slices = vec![BitVec::zeros(3), BitVec::zeros(4)];
         let _ = eval_expr(&DnfExpr::parse("B1B0", 2).unwrap(), &slices, 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "64-vector tracker limit")]
+    fn tracker_touch_rejects_out_of_range_index() {
+        AccessTracker::new().touch(64);
+    }
+
+    #[test]
+    fn fused_matches_naive_on_mixed_expression() {
+        let codes: Vec<u64> = (0..10_000u64).map(|i| (i * 2_654_435_761) % 32).collect();
+        let slices = slices_for(&codes, 5);
+        let e = DnfExpr::parse("B4'B2B0 + B3B1' + B4B3'B2'B1B0'", 5).unwrap();
+        let fused = eval_expr(&e, &slices, codes.len());
+        let naive = eval_expr_naive(&e, &slices, codes.len());
+        assert_eq!(fused, naive);
+    }
+
+    #[test]
+    fn summarized_evaluation_is_identical_and_prunes() {
+        // Codes concentrated so some slices have long zero runs.
+        let codes: Vec<u64> = (0..50_000u64)
+            .map(|i| if i < 25_000 { i % 4 } else { 4 + i % 4 })
+            .collect();
+        let slices = slices_for(&codes, 3);
+        let summaries = summarize_slices(&slices);
+        let e = DnfExpr::parse("B2'B1B0 + B2B1'", 3).unwrap();
+        let mut t_plain = AccessTracker::new();
+        let mut t_sum = AccessTracker::new();
+        let plain = eval_expr_tracked(&e, &slices, codes.len(), &mut t_plain);
+        let summed = eval_expr_summarized(&e, &slices, &summaries, codes.len(), &mut t_sum);
+        assert_eq!(plain, summed);
+        assert_eq!(t_plain.vectors_accessed(), t_sum.vectors_accessed());
+        assert!(
+            t_sum.words_scanned <= t_plain.words_scanned,
+            "summaries can only reduce scanning: {} > {}",
+            t_sum.words_scanned,
+            t_plain.words_scanned
+        );
+        assert!(t_sum.segments_pruned > 0, "B2 is constant per half: prunes");
+    }
+
+    #[test]
+    fn fused_plan_range_composition_matches_whole_eval() {
+        use ebi_bitvec::{SEGMENT_WORDS, WORD_BITS};
+        let codes: Vec<u64> = (0..20_000u64).map(|i| i.wrapping_mul(37) % 16).collect();
+        let slices = slices_for(&codes, 4);
+        let e = DnfExpr::parse("B3B1 + B2'B0", 4).unwrap();
+        let plan = FusedPlan::new(&e, &slices, codes.len());
+        let mut stats = KernelStats::new();
+        let whole = plan.eval(&mut stats);
+
+        let mut split = BitVec::zeros(codes.len());
+        let cut = SEGMENT_WORDS * 2;
+        let n_words = codes.len().div_ceil(WORD_BITS);
+        assert!(cut < n_words);
+        let (lo, hi) = split.words_mut().split_at_mut(cut);
+        let mut s = KernelStats::new();
+        plan.eval_range(lo, 0, &mut s);
+        plan.eval_range(hi, cut, &mut s);
+        assert_eq!(split, whole);
     }
 }

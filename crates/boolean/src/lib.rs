@@ -47,5 +47,7 @@ pub mod qm;
 pub mod support;
 
 pub use cube::Cube;
-pub use eval::{eval_expr, eval_expr_tracked, AccessTracker};
+pub use eval::{
+    eval_expr, eval_expr_naive, eval_expr_summarized, eval_expr_tracked, AccessTracker, FusedPlan,
+};
 pub use expr::DnfExpr;

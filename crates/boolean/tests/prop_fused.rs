@@ -1,0 +1,137 @@
+//! Differential property tests for the fused evaluation engine.
+//!
+//! The fused word-streaming kernels (and their summary-pruned variant)
+//! must be **bit-identical** to the retained naive per-cube evaluator
+//! [`eval_expr_naive`] on arbitrary DNF expressions. The strategies
+//! deliberately cover the awkward corners: negated literals (where the
+//! kernel's AND-NOT introduces garbage past `row_count` that tail
+//! masking must clear), tautology cubes (empty product — constant
+//! true), the empty expression (constant false), row counts that are
+//! not multiples of the 4096-bit segment, and zero-row inputs.
+
+use ebi_bitvec::summary::summarize_slices;
+use ebi_bitvec::BitVec;
+use ebi_boolean::{
+    eval_expr_naive, eval_expr_summarized, eval_expr_tracked, AccessTracker, Cube, DnfExpr,
+};
+use proptest::prelude::*;
+
+/// Deterministic xorshift so slice contents derive from one seed.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Builds `k` bitmap slices for `rows` pseudo-random codes.
+fn random_slices(k: u32, rows: usize, seed: u64) -> Vec<BitVec> {
+    let mut slices = vec![BitVec::zeros(rows); k as usize];
+    let mut state = seed;
+    for row in 0..rows {
+        let code = next(&mut state) % (1u64 << k);
+        for (i, slice) in slices.iter_mut().enumerate() {
+            if code >> i & 1 == 1 {
+                slice.set(row, true);
+            }
+        }
+    }
+    slices
+}
+
+/// Lowers raw `(value, mask, tag)` triples into a DNF over `k` variables.
+/// `tag == 0` forces a tautology cube so the empty product stays covered.
+fn build_expr(specs: &[(u64, u64, u32)], k: u32) -> DnfExpr {
+    let universe = (1u64 << k) - 1;
+    let cubes = specs
+        .iter()
+        .map(|&(value, mask, tag)| {
+            if tag == 0 {
+                Cube::tautology()
+            } else {
+                Cube::new(value & universe, mask & universe)
+            }
+        })
+        .collect();
+    DnfExpr::from_cubes(cubes, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fused_matches_naive_on_random_dnf(
+        seed in any::<u64>(),
+        k in 1u32..=6,
+        rows in 0usize..9000,
+        specs in prop::collection::vec((any::<u64>(), any::<u64>(), 0u32..8), 0..6),
+    ) {
+        let slices = random_slices(k, rows, seed);
+        let expr = build_expr(&specs, k);
+        let naive = eval_expr_naive(&expr, &slices, rows);
+        let mut tracker = AccessTracker::new();
+        let fused = eval_expr_tracked(&expr, &slices, rows, &mut tracker);
+        prop_assert_eq!(&fused, &naive, "fused != naive (k={}, rows={})", k, rows);
+        // The paper's cost metric is structural: fusing must not change it.
+        prop_assert_eq!(tracker.vectors_accessed(), expr.vectors_accessed());
+    }
+
+    #[test]
+    fn summarized_matches_naive_on_random_dnf(
+        seed in any::<u64>(),
+        k in 1u32..=5,
+        rows in 0usize..20_000,
+        specs in prop::collection::vec((any::<u64>(), any::<u64>(), 0u32..8), 0..5),
+    ) {
+        let slices = random_slices(k, rows, seed);
+        let summaries = summarize_slices(&slices);
+        let expr = build_expr(&specs, k);
+        let naive = eval_expr_naive(&expr, &slices, rows);
+        let mut tracker = AccessTracker::new();
+        let pruned = eval_expr_summarized(&expr, &slices, &summaries, rows, &mut tracker);
+        prop_assert_eq!(&pruned, &naive, "summary pruning changed the result");
+    }
+
+    #[test]
+    fn fused_matches_naive_on_pure_minterm_sums(
+        seed in any::<u64>(),
+        k in 1u32..=4,
+        rows in 1usize..6000,
+        picks in prop::collection::btree_set(0u64..16, 0..8),
+    ) {
+        // Min-term sums are what selections actually lower to.
+        let codes: Vec<u64> = picks.into_iter().filter(|&c| c < (1 << k)).collect();
+        let slices = random_slices(k, rows, seed);
+        let expr = DnfExpr::minterm_sum(&codes, k);
+        let naive = eval_expr_naive(&expr, &slices, rows);
+        let mut tracker = AccessTracker::new();
+        let fused = eval_expr_tracked(&expr, &slices, rows, &mut tracker);
+        prop_assert_eq!(&fused, &naive);
+        // Row-population sanity: each selected code contributes its rows.
+        let expected: usize = expr
+            .truth_set()
+            .iter()
+            .map(|&c| {
+                let mut state = seed;
+                (0..rows)
+                    .filter(|_| next(&mut state) % (1 << k) == c)
+                    .count()
+            })
+            .sum();
+        prop_assert_eq!(fused.count_ones(), expected);
+    }
+}
+
+#[test]
+fn empty_expression_is_all_zero_under_both_evaluators() {
+    let slices = random_slices(3, 5000, 0xDEAD_BEEF);
+    let expr = DnfExpr::empty(3);
+    let naive = eval_expr_naive(&expr, &slices, 5000);
+    let mut tracker = AccessTracker::new();
+    let fused = eval_expr_tracked(&expr, &slices, 5000, &mut tracker);
+    assert_eq!(fused, naive);
+    assert_eq!(fused.count_ones(), 0);
+    assert_eq!(tracker.vectors_accessed(), 0);
+}

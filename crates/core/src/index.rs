@@ -5,8 +5,9 @@ use crate::mapping::Mapping;
 use crate::nulls::{NullPolicy, VOID_CODE};
 use crate::stats::QueryStats;
 use ebi_bitvec::builder::SliceFamilyBuilder;
-use ebi_bitvec::BitVec;
-use ebi_boolean::{eval_expr_tracked, qm, AccessTracker, DnfExpr};
+use ebi_bitvec::summary::summarize_slices;
+use ebi_bitvec::{BitVec, KernelStats, SegmentSummary};
+use ebi_boolean::{qm, AccessTracker, DnfExpr, FusedPlan};
 use ebi_storage::Cell;
 
 /// Result of one query: the selection bitmap (bit `j` set iff live row
@@ -27,6 +28,34 @@ pub struct BuildOptions {
     /// Explicit mapping table; `None` assigns codes in first-seen value
     /// order.
     pub mapping: Option<Mapping>,
+}
+
+/// How retrieval expressions are evaluated at query time (see
+/// [`EncodedBitmapIndex::set_query_options`]).
+///
+/// These options never change *what* a query returns — only how the
+/// selection bitmap is computed. Results are bit-identical across every
+/// combination, and `vectors_accessed` (the paper's cost metric) is
+/// unaffected: it counts which vectors a query must fetch, not how many
+/// of their words the kernels end up reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Worker threads for segment-parallel evaluation. `1` evaluates
+    /// serially; values above 1 split the destination bitmap into
+    /// segment-aligned word ranges filled by crossbeam scoped threads.
+    pub eval_threads: usize,
+    /// Consult per-slice [`SegmentSummary`] data (when present) to skip
+    /// whole 4096-row segments before reading any bitmap word.
+    pub use_summaries: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            eval_threads: 1,
+            use_summaries: true,
+        }
+    }
 }
 
 /// An encoded bitmap index on one attribute.
@@ -51,6 +80,12 @@ pub struct EncodedBitmapIndex {
     /// (normalised sorted value lists) — §3.2's "the retrieval functions
     /// for all the predefined predicates can also be reduced" offline.
     pub(crate) expr_cache: std::collections::HashMap<Vec<u64>, DnfExpr>,
+    /// Per-slice segment summaries for query-time pruning, built at
+    /// construction. `None` after maintenance mutated the slices; call
+    /// [`EncodedBitmapIndex::refresh_summaries`] to rebuild.
+    pub(crate) summaries: Option<Vec<SegmentSummary>>,
+    /// Evaluation strategy for queries.
+    pub(crate) query_options: QueryOptions,
 }
 
 impl EncodedBitmapIndex {
@@ -165,9 +200,11 @@ impl EncodedBitmapIndex {
             }
         }
 
+        let slices = fam.finish();
+        let summaries = Some(summarize_slices(&slices));
         Ok(Self {
             mapping,
-            slices: fam.finish(),
+            slices,
             rows: cells.len(),
             policy: options.policy,
             reserved,
@@ -175,6 +212,8 @@ impl EncodedBitmapIndex {
             b_not_exist: None,
             b_null,
             expr_cache: std::collections::HashMap::new(),
+            summaries,
+            query_options: QueryOptions::default(),
         })
     }
 
@@ -206,6 +245,34 @@ impl EncodedBitmapIndex {
     #[must_use]
     pub fn slices(&self) -> &[BitVec] {
         &self.slices
+    }
+
+    /// Per-slice segment summaries, if currently valid. Maintenance that
+    /// mutates the slices invalidates them (conservatively — pruning
+    /// with stale counts could drop matching rows); rebuild with
+    /// [`EncodedBitmapIndex::refresh_summaries`].
+    #[must_use]
+    pub fn summaries(&self) -> Option<&[SegmentSummary]> {
+        self.summaries.as_deref()
+    }
+
+    /// Rebuilds the per-slice segment summaries after maintenance.
+    /// One popcount pass over the slices: `O(k · rows / 64)`.
+    pub fn refresh_summaries(&mut self) {
+        self.summaries = Some(summarize_slices(&self.slices));
+    }
+
+    /// Current query evaluation options.
+    #[must_use]
+    pub fn query_options(&self) -> QueryOptions {
+        self.query_options
+    }
+
+    /// Sets the query evaluation strategy (threading, summary pruning).
+    /// Never affects query results — only how fast they are produced.
+    pub fn set_query_options(&mut self, options: QueryOptions) {
+        assert!(options.eval_threads > 0, "at least one evaluation thread");
+        self.query_options = options;
     }
 
     /// Total bitmap vectors held, companions included.
@@ -389,10 +456,31 @@ impl EncodedBitmapIndex {
         }
     }
 
+    /// Evaluates the selection bitmap for `expr` via the fused kernels,
+    /// honouring [`QueryOptions`] (summary pruning, segment-parallel
+    /// threads). Bit-identical to naive whole-vector evaluation.
+    fn eval_selection(&self, expr: &DnfExpr, tracker: &mut AccessTracker) -> BitVec {
+        let summaries = if self.query_options.use_summaries {
+            self.summaries.as_deref()
+        } else {
+            None
+        };
+        let plan = match summaries {
+            Some(s) => FusedPlan::with_summaries(expr, &self.slices, s, self.rows),
+            None => FusedPlan::new(expr, &self.slices, self.rows),
+        };
+        FusedPlan::record_access(expr, tracker);
+        let mut stats = KernelStats::new();
+        let bitmap =
+            crate::parallel::eval_plan(&plan, self.query_options.eval_threads, &mut stats);
+        tracker.absorb_kernel_stats(&stats);
+        bitmap
+    }
+
     /// Evaluates a reduced expression and applies the policy's masks.
     pub(crate) fn run_expr(&self, expr: &DnfExpr) -> QueryResult {
         let mut tracker = AccessTracker::new();
-        let mut bitmap = eval_expr_tracked(expr, &self.slices, self.rows, &mut tracker);
+        let mut bitmap = self.eval_selection(expr, &mut tracker);
         let mut rendered = expr.to_string();
         if self.policy == NullPolicy::SeparateVectors && !expr.is_false() {
             // Method 1 of §2.2: value selections must mask NULL rows

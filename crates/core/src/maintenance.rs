@@ -70,6 +70,10 @@ impl EncodedBitmapIndex {
         for (i, slice) in self.slices.iter_mut().enumerate() {
             slice.push(code >> i & 1 == 1);
         }
+        // Segment summaries are stale once slice bits change; drop them
+        // rather than risk pruning live rows. `refresh_summaries`
+        // rebuilds after a maintenance batch.
+        self.summaries = None;
         if let Some(bn) = &mut self.b_null {
             bn.push(matches!(cell, Cell::Null) && self.policy == NullPolicy::SeparateVectors);
         }
@@ -102,6 +106,7 @@ impl EncodedBitmapIndex {
                 for (i, slice) in self.slices.iter_mut().enumerate() {
                     slice.set(row, VOID_CODE >> i & 1 == 1);
                 }
+                self.summaries = None;
                 // A voided row is also no longer NULL.
                 if let Some(bn) = &mut self.b_null {
                     bn.set(row, false);
@@ -154,6 +159,7 @@ impl EncodedBitmapIndex {
         for (i, slice) in self.slices.iter_mut().enumerate() {
             slice.set(row, code >> i & 1 == 1);
         }
+        self.summaries = None;
         // Maintain companions: the row is (no longer) NULL, and an
         // update resurrects a tombstoned slot.
         let is_null = matches!(cell, Cell::Null) && self.policy == NullPolicy::SeparateVectors;
@@ -226,6 +232,7 @@ impl EncodedBitmapIndex {
         self.mapping.widen();
         self.slices.push(BitVec::zeros(self.rows));
         self.expr_cache.clear(); // cached expressions are now stale
+        self.summaries = None; // slice count changed
         Ok(true)
     }
 }

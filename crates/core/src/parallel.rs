@@ -1,25 +1,79 @@
-//! Parallel index construction.
+//! Parallel index construction and segment-parallel query evaluation.
 //!
-//! Building an encoded bitmap index is a single column scan writing `k`
-//! bit streams — embarrassingly parallel across row ranges. The builder
-//! splits the column into word-aligned chunks, encodes each chunk's
-//! slice family on its own thread (crossbeam scoped threads), and
-//! stitches the chunks with [`ebi_bitvec::BitVec::extend_bits`]'s
-//! aligned fast path. The mapping is fixed up front (one cheap serial
-//! distinct-scan), so the result is **bit-identical** to the serial
-//! build.
+//! **Construction**: building an encoded bitmap index is a single column
+//! scan writing `k` bit streams — embarrassingly parallel across row
+//! ranges. The builder splits the column into word-aligned chunks,
+//! encodes each chunk's slice family on its own thread (crossbeam scoped
+//! threads), and stitches the chunks with
+//! [`ebi_bitvec::BitVec::extend_bits`]'s aligned fast path. The mapping
+//! is fixed up front (one cheap serial distinct-scan), so the result is
+//! **bit-identical** to the serial build.
+//!
+//! **Evaluation** ([`eval_plan`]): a lowered [`FusedPlan`] reads its
+//! slices immutably and writes each destination word exactly once, so
+//! the selection bitmap can be split into segment-aligned word ranges
+//! and filled concurrently — same chunking discipline as construction,
+//! same bit-identical guarantee.
 
 use crate::error::CoreError;
 use crate::index::{BuildOptions, EncodedBitmapIndex};
 use crate::mapping::Mapping;
 use crate::nulls::NullPolicy;
 use ebi_bitvec::builder::SliceFamilyBuilder;
-use ebi_bitvec::BitVec;
+use ebi_bitvec::summary::summarize_slices;
+use ebi_bitvec::{BitVec, KernelStats, SEGMENT_WORDS, WORD_BITS};
+use ebi_boolean::FusedPlan;
 use ebi_storage::Cell;
 
 /// Minimum rows per chunk; chunks are rounded to multiples of 64 so the
 /// stitch uses the aligned word-copy path.
 const MIN_CHUNK: usize = 4_096;
+
+/// Minimum words per evaluation chunk (4 segments): below this,
+/// spawn overhead exceeds the scan cost and the serial path wins.
+const MIN_EVAL_WORDS: usize = 4 * SEGMENT_WORDS;
+
+/// Evaluates `plan` into a fresh selection bitmap using up to `threads`
+/// workers over disjoint segment-aligned word ranges.
+///
+/// With `threads == 1` (or an input too small to split) this is the
+/// plain serial fused evaluation. The result is bit-identical either
+/// way, and `stats` accumulates the work counters of every worker.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates the plan's own length
+/// mismatch panics.
+#[must_use]
+pub fn eval_plan(plan: &FusedPlan<'_>, threads: usize, stats: &mut KernelStats) -> BitVec {
+    assert!(threads > 0, "at least one evaluation thread");
+    let rows = plan.row_count();
+    let total_words = rows.div_ceil(WORD_BITS);
+    let mut dst = BitVec::zeros(rows);
+    if threads == 1 || total_words < 2 * MIN_EVAL_WORDS {
+        plan.eval_range(dst.words_mut(), 0, stats);
+        return dst;
+    }
+
+    let chunk_words = total_words
+        .div_ceil(threads)
+        .max(MIN_EVAL_WORDS)
+        .next_multiple_of(SEGMENT_WORDS);
+    let chunks: Vec<&mut [u64]> = dst.words_mut().chunks_mut(chunk_words).collect();
+    let mut worker_stats: Vec<KernelStats> = vec![KernelStats::new(); chunks.len()];
+    crossbeam::thread::scope(|scope| {
+        for (i, (chunk, slot)) in chunks.into_iter().zip(&mut worker_stats).enumerate() {
+            scope.spawn(move |_| {
+                plan.eval_range(chunk, i * chunk_words, slot);
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+    for s in &worker_stats {
+        stats.merge(s);
+    }
+    dst
+}
 
 /// Builds an encoded bitmap index in parallel over `threads` workers.
 ///
@@ -131,6 +185,7 @@ pub fn build_parallel(
         bn.grow(cells.len());
     }
 
+    let summaries = Some(summarize_slices(&slices));
     Ok(EncodedBitmapIndex {
         mapping,
         slices,
@@ -141,6 +196,8 @@ pub fn build_parallel(
         b_not_exist: None,
         b_null,
         expr_cache: std::collections::HashMap::new(),
+        summaries,
+        query_options: crate::index::QueryOptions::default(),
     })
 }
 
@@ -263,5 +320,70 @@ mod tests {
         let parallel = build_parallel(&cells, BuildOptions::default(), 5).unwrap();
         assert_eq!(parallel.slices(), serial.slices());
         assert_eq!(parallel.is_null().bitmap, serial.is_null().bitmap);
+    }
+
+    #[test]
+    fn parallel_eval_is_bit_identical_to_serial() {
+        use ebi_boolean::DnfExpr;
+        // Rows deliberately not segment- or word-aligned.
+        let cells = column(100_001, 32, false);
+        let idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        let expr = DnfExpr::parse("B4'B2B0 + B3B1' + B4B3B2'", 5).unwrap();
+        let plan = FusedPlan::with_summaries(
+            &expr,
+            idx.slices(),
+            idx.summaries().unwrap(),
+            idx.rows(),
+        );
+        let mut serial_stats = KernelStats::new();
+        let serial = eval_plan(&plan, 1, &mut serial_stats);
+        for threads in [2, 3, 8] {
+            let mut stats = KernelStats::new();
+            let parallel = eval_plan(&plan, threads, &mut stats);
+            assert_eq!(parallel, serial, "threads={threads}");
+            assert_eq!(
+                stats.words_scanned, serial_stats.words_scanned,
+                "splitting must not change work, threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_queries_match_serial_queries() {
+        let cells = column(120_000, 40, true);
+        let serial_idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        let mut par_idx = serial_idx.clone();
+        par_idx.set_query_options(crate::index::QueryOptions {
+            eval_threads: 4,
+            use_summaries: true,
+        });
+        for v in [0u64, 7, 13, 39] {
+            let s = serial_idx.eq(v).unwrap();
+            let p = par_idx.eq(v).unwrap();
+            assert_eq!(p.bitmap, s.bitmap, "v={v}");
+            assert_eq!(
+                p.stats.vectors_accessed, s.stats.vectors_accessed,
+                "threading must not change the paper's cost metric"
+            );
+        }
+        let values: Vec<u64> = (0..20).collect();
+        assert_eq!(
+            par_idx.in_list(&values).unwrap().bitmap,
+            serial_idx.in_list(&values).unwrap().bitmap
+        );
+    }
+
+    #[test]
+    fn small_inputs_evaluate_serially() {
+        let cells = column(500, 6, false);
+        let mut idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        idx.set_query_options(crate::index::QueryOptions {
+            eval_threads: 8,
+            use_summaries: true,
+        });
+        // 500 rows < 2 * MIN_EVAL_WORDS segments: serial path, still correct.
+        let r = idx.eq(3).unwrap();
+        let expect: Vec<usize> = (0..500).filter(|i| (*i as u64 * 31) % 6 == 3).collect();
+        assert_eq!(r.bitmap.to_positions(), expect);
     }
 }

@@ -186,6 +186,9 @@ pub fn load_index(pager: &Pager, handle: &IndexHandle) -> Result<EncodedBitmapIn
             });
         }
     }
+    // Summaries are derived data: cheaper to rebuild on load than to
+    // persist and cross-validate.
+    let summaries = Some(ebi_bitvec::summary::summarize_slices(&slices));
     Ok(EncodedBitmapIndex {
         mapping,
         slices,
@@ -196,6 +199,8 @@ pub fn load_index(pager: &Pager, handle: &IndexHandle) -> Result<EncodedBitmapIn
         b_not_exist,
         b_null,
         expr_cache: std::collections::HashMap::new(),
+        summaries,
+        query_options: crate::index::QueryOptions::default(),
     })
 }
 

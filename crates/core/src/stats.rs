@@ -3,7 +3,7 @@
 use ebi_boolean::AccessTracker;
 
 /// Cost of one index query, in the units of the paper's analysis.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Distinct bitmap vectors read — the paper's `c_e` (or `c_s` for the
     /// simple index). Includes any existence/NULL mask vectors.
@@ -12,6 +12,14 @@ pub struct QueryStats {
     pub literal_ops: usize,
     /// Product terms evaluated.
     pub cube_evals: usize,
+    /// 64-bit words actually read by the fused evaluation kernels.
+    /// Unlike [`vectors_accessed`](Self::vectors_accessed) this shrinks
+    /// when segment pruning or short-circuiting skips work.
+    pub words_scanned: u64,
+    /// Whole 4096-row segments skipped via segment summaries.
+    pub segments_pruned: u64,
+    /// Segments abandoned mid-term because the accumulator went all-zero.
+    pub segments_short_circuited: u64,
     /// The reduced retrieval expression, in the paper's notation
     /// (diagnostic; empty for non-expression indexes).
     pub expression: String,
@@ -26,6 +34,9 @@ impl QueryStats {
             vectors_accessed: tracker.vectors_accessed(),
             literal_ops: tracker.literal_ops,
             cube_evals: tracker.cube_evals,
+            words_scanned: tracker.words_scanned,
+            segments_pruned: tracker.segments_pruned,
+            segments_short_circuited: tracker.segments_short_circuited,
             expression,
         }
     }
@@ -47,9 +58,7 @@ mod tests {
     fn page_reads_scale_with_rows_and_vectors() {
         let s = QueryStats {
             vectors_accessed: 3,
-            literal_ops: 0,
-            cube_evals: 0,
-            expression: String::new(),
+            ..QueryStats::default()
         };
         // 1M rows = 125_000 bytes per vector = 31 pages at 4K.
         assert_eq!(s.page_reads(1_000_000, 4096), 3 * 31);

@@ -267,6 +267,45 @@ mod tests {
     }
 
     #[test]
+    fn threaded_fused_options_do_not_change_executor_results() {
+        // The executor runs whatever evaluation engine the registered
+        // index is configured with; results and per-clause costs must
+        // be identical across engine options end to end.
+        let rows = 30_000usize;
+        let cells: Vec<Cell> = (0..rows as u64).map(|i| Cell::Value(i % 23)).collect();
+        let plain = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        let mut tuned = EncodedBitmapIndex::build(cells).unwrap();
+        tuned.set_query_options(ebi_core::index::QueryOptions {
+            eval_threads: 3,
+            use_summaries: true,
+        });
+
+        let q = DnfQuery {
+            disjuncts: vec![
+                ConjunctiveQuery {
+                    clauses: vec![query("c", Predicate::InList(vec![1, 4, 9, 16]))],
+                },
+                ConjunctiveQuery {
+                    clauses: vec![query("c", Predicate::Range(18, 22))],
+                },
+            ],
+        };
+        let mut exec_plain = Executor::new(rows);
+        exec_plain.register("c", &plain);
+        let mut exec_tuned = Executor::new(rows);
+        exec_tuned.register("c", &tuned);
+
+        let (b1, r1) = exec_plain.run_dnf(&q);
+        let (b2, r2) = exec_tuned.run_dnf(&q);
+        assert_eq!(b1, b2, "engine options changed query results");
+        assert_eq!(
+            r1.vectors_accessed, r2.vectors_accessed,
+            "engine options changed the paper's cost metric"
+        );
+        assert_eq!(r1.matches, r2.matches);
+    }
+
+    #[test]
     fn empty_conjunction_matches_everything() {
         let exec = Executor::new(5);
         let (bitmap, report) = exec.run(&ConjunctiveQuery { clauses: vec![] });

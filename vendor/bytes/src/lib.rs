@@ -1,0 +1,189 @@
+//! Offline shim of the `bytes` crate API surface this workspace uses:
+//! [`Bytes`] / [`BytesMut`] plus the [`Buf`] / [`BufMut`] cursor traits,
+//! restricted to the little-endian `u64` accessors the bitmap
+//! serialisation layer needs. Backed by a plain `Vec<u8>` — no
+//! reference-counted zero-copy slicing, which nothing here relies on.
+
+use std::ops::Deref;
+
+/// Read cursor over a byte buffer (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads a little-endian `u64`, advancing the cursor.
+    ///
+    /// Panics if fewer than 8 bytes remain, matching `bytes`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+/// Write cursor over a growable byte buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Immutable byte buffer with an internal read cursor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    cursor: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    #[must_use]
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            cursor: 0,
+        }
+    }
+
+    /// Unread bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.cursor
+    }
+
+    /// `true` if no unread bytes remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the unread bytes into a fresh vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.cursor..].to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.cursor..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, cursor: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            cursor: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let end = self.cursor + 8;
+        assert!(end <= self.data.len(), "get_u64_le past end of buffer");
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.data[self.cursor..end]);
+        self.cursor = end;
+        u64::from_le_bytes(raw)
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            cursor: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(42);
+        buf.put_u64_le(u64::MAX);
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.get_u64_le(), 42);
+        assert_eq!(b.get_u64_le(), u64::MAX);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn deref_sees_unread_tail() {
+        let mut b = Bytes::from(vec![1, 0, 0, 0, 0, 0, 0, 0, 9]);
+        assert_eq!(b.get_u64_le(), 1);
+        assert_eq!(&b[..], &[9]);
+        assert_eq!(b.to_vec(), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn short_read_panics() {
+        let mut b = Bytes::from_static(&[1, 2, 3]);
+        let _ = b.get_u64_le();
+    }
+}

@@ -1,0 +1,298 @@
+//! Offline shim of the `criterion` benchmarking API.
+//!
+//! Supports the subset this workspace's benches use: `criterion_group!`
+//! / `criterion_main!`, `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{bench_function, bench_with_input, throughput,
+//! sample_size, warm_up_time, measurement_time, finish}`,
+//! `Bencher::{iter, iter_batched}`, `BenchmarkId`, `Throughput`,
+//! `BatchSize` and `black_box`.
+//!
+//! Behaviour: when the harness is invoked with `--bench` on the command
+//! line (what `cargo bench` does), each routine is warmed up and timed
+//! over a fixed number of iterations and a `name ... time: [median]`
+//! line is printed. Otherwise (`cargo test` compiling the bench target)
+//! each routine runs exactly once as a smoke test. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured iterations per routine in bench mode.
+const BENCH_ITERS: u32 = 10;
+/// Warm-up iterations per routine in bench mode.
+const WARMUP_ITERS: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the target with `--bench`; `cargo test`
+        // invokes it with `--test` (or nothing under older harnesses).
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs (or times) a single routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(self.bench_mode, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related routines.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            bench_mode: self.bench_mode,
+            _parent: self,
+        }
+    }
+
+    /// Configures sample count (accepted and ignored by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// A group of related benchmark routines sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    bench_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Configures sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Configures warm-up time (ignored; the shim uses a fixed warm-up).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Configures measurement time (ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the input size for throughput lines (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a routine under `group/id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(self.bench_mode, &label, &mut f);
+        self
+    }
+
+    /// Runs a routine with a borrowed input under `group/id`.
+    pub fn bench_with_input<I, A: ?Sized, F: FnMut(&mut Bencher, &A)>(
+        &mut self,
+        id: I,
+        input: &A,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(self.bench_mode, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one routine within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{parameter}", function_name.into()))
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Declared work-per-iteration, for ns/elem style reporting (ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh batch every iteration.
+    PerIteration,
+}
+
+/// Passed to each routine; records elapsed time of the timed closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    bench_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine` (once in test mode, repeatedly in bench mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = if self.bench_mode { WARMUP_ITERS + BENCH_ITERS } else { 1 };
+        for i in 0..iters {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            if !self.bench_mode || i >= WARMUP_ITERS {
+                self.samples.push(dt);
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let iters = if self.bench_mode { WARMUP_ITERS + BENCH_ITERS } else { 1 };
+        for i in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            if !self.bench_mode || i >= WARMUP_ITERS {
+                self.samples.push(dt);
+            }
+        }
+    }
+}
+
+fn run_one(bench_mode: bool, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        bench_mode,
+    };
+    f(&mut b);
+    if bench_mode {
+        b.samples.sort();
+        let median = b
+            .samples
+            .get(b.samples.len() / 2)
+            .copied()
+            .unwrap_or_default();
+        println!("{label:<50} time: [{median:?} median of {}]", b.samples.len());
+    }
+}
+
+/// Declares a group function invoking each target with one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_routine_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut runs = 0;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            bench_mode: true,
+        };
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, WARMUP_ITERS + BENCH_ITERS);
+        assert_eq!(b.samples.len(), BENCH_ITERS as usize);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("eval", 1_000_000);
+        assert_eq!(id.0, "eval/1000000");
+        let id = BenchmarkId::from_parameter("10M");
+        assert_eq!(id.0, "10M");
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = Criterion { bench_mode: false };
+        let mut setups = 0;
+        let mut runs = 0;
+        c.benchmark_group("g").bench_function("x", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| runs += 1,
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!((setups, runs), (1, 1));
+    }
+}

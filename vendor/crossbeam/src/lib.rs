@@ -1,0 +1,66 @@
+//! Offline shim of the `crossbeam` API surface this workspace uses:
+//! `crossbeam::thread::scope` + `Scope::spawn`, implemented on
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantic difference from real crossbeam: a panicking worker makes
+//! `std::thread::scope` resume the panic at scope exit instead of
+//! returning `Err`, so the `Result` returned here is always `Ok` and the
+//! usual `.expect("worker thread panicked")` at call sites still reports
+//! worker panics — as a propagated panic rather than an `Err`.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Handle for spawning further scoped threads (mirrors
+    /// `crossbeam::thread::Scope`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker; the closure receives the scope (crossbeam
+        /// convention) so it can spawn nested workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all workers are joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (see the crate docs for the panic-propagation
+    /// difference from real crossbeam).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        crate::thread::scope(|scope| {
+            for (slot, &v) in out.iter_mut().zip(&data) {
+                scope.spawn(move |_| {
+                    *slot = v * 10;
+                });
+            }
+        })
+        .expect("workers joined");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

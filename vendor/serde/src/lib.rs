@@ -1,0 +1,183 @@
+//! Offline shim of the `serde` trait skeleton.
+//!
+//! The real serde models serialisation as a 30-method visitor protocol;
+//! this shim collapses it to a single self-describing [`Value`] tree,
+//! which is all the workspace's hand-written impls need. The trait
+//! *shapes* (`Serialize::serialize<S: Serializer>`, associated
+//! `Ok`/`Error` types, `de::Error::custom`) match serde's so impls stay
+//! source-compatible with the real crate, but third-party `Serializer`
+//! implementations obviously cannot plug in.
+//!
+//! No derive macro is provided; the `derive` feature exists only so the
+//! workspace manifest keys keep resolving.
+
+use std::fmt::Display;
+
+/// A self-describing serialised value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Floating point.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Homogeneous or heterogeneous sequence.
+    Seq(Vec<Value>),
+    /// Struct / map: ordered field-name → value pairs.
+    Map(Vec<(&'static str, Value)>),
+    /// Absent optional.
+    None,
+}
+
+/// Serialisable types.
+pub trait Serialize {
+    /// Writes `self` into `serializer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Output sinks for serialisation (shim: one entry point taking the
+/// complete [`Value`] tree).
+pub trait Serializer: Sized {
+    /// Success type.
+    type Ok;
+    /// Failure type.
+    type Error: de::Error;
+
+    /// Consumes a complete value tree.
+    ///
+    /// # Errors
+    ///
+    /// Sink-specific.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Deserialisable types.
+pub trait Deserialize<'de>: Sized {
+    /// Reads a value of `Self` out of `deserializer`.
+    ///
+    /// # Errors
+    ///
+    /// Malformed or mistyped input.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Input sources for deserialisation (shim: one entry point yielding the
+/// complete [`Value`] tree).
+pub trait Deserializer<'de>: Sized {
+    /// Failure type.
+    type Error: de::Error;
+
+    /// Produces the complete value tree.
+    ///
+    /// # Errors
+    ///
+    /// Source-specific.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+pub mod de {
+    //! Deserialisation error plumbing.
+
+    use std::fmt::Display;
+
+    /// Errors constructible from a message — serde's `de::Error`.
+    pub trait Error: Sized + Display {
+        /// Builds an error carrying `msg`.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// String-backed error usable as both `ser` and `de` error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimpleError(pub String);
+
+impl Display for SimpleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SimpleError {}
+
+impl de::Error for SimpleError {
+    fn custom<T: Display>(msg: T) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+/// In-memory serializer: captures the [`Value`] tree.
+#[derive(Debug, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SimpleError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, SimpleError> {
+        Ok(value)
+    }
+}
+
+/// In-memory deserializer: replays a captured [`Value`] tree.
+#[derive(Debug)]
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = SimpleError;
+
+    fn deserialize_value(self) -> Result<Value, SimpleError> {
+        Ok(self.0)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::U64(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for Vec<u64> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Seq(self.iter().map(|&w| Value::U64(w)).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip_through_sinks() {
+        let v = Value::Map(vec![
+            ("len", Value::U64(9)),
+            ("words", Value::Seq(vec![Value::U64(0b1_0110_1011)])),
+        ]);
+        let captured = ValueSerializer.serialize_value(v.clone()).unwrap();
+        let replayed = ValueDeserializer(captured).deserialize_value().unwrap();
+        assert_eq!(replayed, v);
+    }
+
+    #[test]
+    fn custom_error_carries_message() {
+        use de::Error as _;
+        let e = SimpleError::custom(format!("bad {}", 7));
+        assert_eq!(e.to_string(), "bad 7");
+    }
+}
