@@ -4,14 +4,17 @@
 //! simple-bitmap sparsity. Encoded vectors sit near density ½ on
 //! *uniform* data and barely compress — but under **skew** (the common
 //! warehouse case) the high-order slices are mostly zero and compress
-//! well. This variant stores every slice (and companions) as a
-//! [`WahBitmap`], decompressing only the slices a reduced expression
-//! touches; answers are identical to the uncompressed index.
+//! well. This variant stores every slice as a WAH container via the
+//! shared [`SliceStorage`] layer and evaluates retrieval expressions
+//! **compressed-domain**: the stored kernels materialise 64-word
+//! windows on demand and resolve uniform runs straight from fill words,
+//! so no slice is ever fully decompressed. Answers are identical to the
+//! uncompressed index.
 
 use crate::traits::SelectionIndex;
 use ebi_bitvec::wah::WahBitmap;
-use ebi_bitvec::BitVec;
-use ebi_boolean::{eval_expr_tracked, qm, AccessTracker};
+use ebi_bitvec::{BitVec, SliceStorage, StoragePolicy};
+use ebi_boolean::{eval_expr_stored, qm, AccessTracker};
 use ebi_core::index::{EncodedBitmapIndex, QueryResult};
 use ebi_core::{Mapping, QueryStats};
 use ebi_storage::Cell;
@@ -19,7 +22,7 @@ use ebi_storage::Cell;
 /// Encoded bitmap index with WAH-compressed slices.
 #[derive(Debug, Clone)]
 pub struct CompressedEncodedIndex {
-    slices: Vec<WahBitmap>,
+    slices: Vec<SliceStorage>,
     mapping: Mapping,
     rows: usize,
     dont_cares: Vec<u64>,
@@ -42,7 +45,11 @@ impl CompressedEncodedIndex {
     #[must_use]
     pub fn from_uncompressed(idx: &EncodedBitmapIndex) -> Self {
         Self {
-            slices: idx.slices().iter().map(WahBitmap::compress).collect(),
+            slices: idx
+                .slices()
+                .iter()
+                .map(|s| s.repack(StoragePolicy::Wah))
+                .collect(),
             mapping: idx.mapping().clone(),
             rows: idx.rows(),
             dont_cares: idx.dont_care_codes(),
@@ -59,7 +66,7 @@ impl CompressedEncodedIndex {
         let raw: usize = self
             .slices
             .iter()
-            .map(|w| BitVec::zeros(w.len()).storage_bytes())
+            .map(|s| BitVec::zeros(s.len()).storage_bytes())
             .sum();
         if raw == 0 {
             return 1.0;
@@ -85,21 +92,10 @@ impl SelectionIndex for CompressedEncodedIndex {
         let codes: Vec<u64> = values.iter().filter_map(|&v| self.mapping.code_of(v)).collect();
         let k = self.mapping.width();
         let expr = qm::minimize(&codes, &self.dont_cares, k);
-        // Decompress only the supporting slices.
-        let slices: Vec<BitVec> = self
-            .slices
-            .iter()
-            .enumerate()
-            .map(|(i, w)| {
-                if expr.support() >> i & 1 == 1 {
-                    w.decompress()
-                } else {
-                    BitVec::zeros(self.rows)
-                }
-            })
-            .collect();
+        // Compressed-domain evaluation: the stored kernels walk only the
+        // supporting slices, window by window, without decompressing.
         let mut tracker = AccessTracker::new();
-        let mut bitmap = eval_expr_tracked(&expr, &slices, self.rows, &mut tracker);
+        let mut bitmap = eval_expr_stored(&expr, &self.slices, None, self.rows, &mut tracker);
         let mut rendered = expr.to_string();
         if !expr.is_false() {
             if let Some(bn) = &self.b_null {
@@ -132,9 +128,9 @@ impl SelectionIndex for CompressedEncodedIndex {
     fn storage_bytes(&self) -> usize {
         self.slices
             .iter()
-            .chain(self.b_null.iter())
-            .map(WahBitmap::storage_bytes)
+            .map(SliceStorage::storage_bytes)
             .sum::<usize>()
+            + self.b_null.as_ref().map_or(0, WahBitmap::storage_bytes)
             + self.mapping.to_bytes().len()
     }
 }
@@ -142,6 +138,7 @@ impl SelectionIndex for CompressedEncodedIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ebi_bitvec::StorageKind;
 
     fn skewed_cells(rows: usize, m: u64) -> Vec<Cell> {
         // Time-clustered skew (the realistic load pattern): the bulk of
@@ -162,6 +159,10 @@ mod tests {
         let cells = skewed_cells(8_000, 512);
         let plain = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
         let packed = CompressedEncodedIndex::from_uncompressed(&plain);
+        assert!(
+            packed.slices.iter().all(|s| s.kind() == StorageKind::Wah),
+            "every slice stored as WAH"
+        );
         for sel in [vec![0u64], vec![1, 2, 3], (0..64).collect::<Vec<_>>()] {
             let a = plain.in_list(&sel).unwrap();
             let b = packed.in_list(&sel);
@@ -171,6 +172,20 @@ mod tests {
         let ra = plain.range(3, 40).unwrap();
         let rb = packed.range(3, 40);
         assert_eq!(ra.bitmap, rb.bitmap);
+    }
+
+    #[test]
+    fn compressed_domain_evaluation_reports_skipped_windows() {
+        // Skewed data: the high-order slices are long zero fills, so
+        // many evaluation windows resolve without decompression.
+        let packed = CompressedEncodedIndex::build(skewed_cells(50_000, 512));
+        let r = packed.in_list(&[300]);
+        assert!(
+            r.stats.compressed_chunks_skipped > 0,
+            "uniform WAH windows should skip: {:?}",
+            r.stats
+        );
+        assert_eq!(r.stats.words_scanned, 0, "no dense slices were read");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ebi_bench::uniform_cells;
 use ebi_bitvec::summary::summarize_slices;
 use ebi_boolean::{eval_expr_naive, eval_expr_summarized, eval_expr_tracked, qm, AccessTracker, FusedPlan};
-use ebi_core::parallel::eval_plan;
+use ebi_core::parallel::eval_plan_forced;
 use ebi_core::EncodedBitmapIndex;
 use std::hint::black_box;
 use std::time::Duration;
@@ -22,7 +22,12 @@ fn bench_eval(c: &mut Criterion) {
     let rows = 1_000_000usize;
     let cells = uniform_cells(m, rows, 0xE7A1);
     let index = EncodedBitmapIndex::build(cells).expect("build");
-    let slices = index.slices();
+    let dense: Vec<ebi_bitvec::BitVec> = index
+        .slices()
+        .iter()
+        .map(ebi_bitvec::SliceStorage::to_dense)
+        .collect();
+    let slices = &dense[..];
     let summaries = summarize_slices(slices);
     let k = index.width();
     let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
@@ -63,7 +68,7 @@ fn bench_eval(c: &mut Criterion) {
             b.iter(|| {
                 let plan = FusedPlan::with_summaries(e, slices, &summaries, rows);
                 let mut stats = ebi_bitvec::KernelStats::new();
-                black_box(eval_plan(&plan, threads, &mut stats))
+                black_box(eval_plan_forced(&plan, threads, &mut stats))
             });
         });
     }

@@ -1,29 +1,42 @@
 //! Measures the retrieval-expression evaluation engines and writes
-//! `BENCH_eval.json` at the repository root.
+//! `BENCH_eval.json` and `BENCH_compressed.json` at the repository
+//! root.
 //!
-//! Workload: Figure-9-style range selections (width δ ∈ {8, 64, 512})
-//! over a uniform m = 1000 column, reduced with Quine–McCluskey, then
-//! evaluated at 1M and 10M rows by:
+//! **Engine comparison** (`BENCH_eval.json`): Figure-9-style range
+//! selections (width δ ∈ {8, 64, 512}) over a uniform m = 1000 column,
+//! reduced with Quine–McCluskey, then evaluated at 1M and 10M rows by:
 //!
 //! * `naive` — the literal-at-a-time evaluator with full-length
 //!   temporaries ([`ebi_boolean::eval_expr_naive`]);
 //! * `fused` — the serial fused kernels;
 //! * `fused_summarized` — fused kernels plus segment-summary pruning;
 //! * `fused_parallel` — the segment-range parallel splitter at all
-//!   available cores.
+//!   available cores (forced past the auto-serial heuristic).
+//!
+//! **Storage comparison** (`BENCH_compressed.json`): the same range
+//! selections over columns at three skew levels (uniform, 90% hot,
+//! 99% hot), each slice family repacked as dense, Roaring, and WAH
+//! containers and evaluated compressed-domain via
+//! [`ebi_boolean::eval_expr_stored`]. Reports median latency, bytes
+//! stored, and bytes touched per engine.
 //!
 //! Every engine is checked bit-identical to naive and every query's
-//! `vectors_accessed` is checked invariant under fusing before any
-//! timing is recorded.
+//! `vectors_accessed` is checked invariant under fusing, threading, and
+//! container choice before any timing is recorded.
+//!
+//! Pass `--smoke` for a small-row CI run exercising every code path
+//! and still emitting both JSON artefacts.
 
 use ebi_bench::uniform_cells;
 use ebi_bitvec::summary::summarize_slices;
-use ebi_bitvec::KernelStats;
+use ebi_bitvec::{BitVec, KernelStats, SliceStorage, StoragePolicy};
 use ebi_boolean::{
-    eval_expr_naive, eval_expr_summarized, eval_expr_tracked, qm, AccessTracker, FusedPlan,
+    eval_expr_naive, eval_expr_stored, eval_expr_summarized, eval_expr_tracked, qm,
+    AccessTracker, FusedPlan,
 };
-use ebi_core::parallel::eval_plan;
+use ebi_core::parallel::eval_plan_forced;
 use ebi_core::EncodedBitmapIndex;
+use ebi_storage::Cell;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -67,7 +80,8 @@ fn measure(rows: usize, iters: usize, threads: usize, out: &mut Vec<Row>) {
     eprintln!("building {rows}-row index (m = {M})…");
     let cells = uniform_cells(M, rows, 0xE7A1 ^ rows as u64);
     let index = EncodedBitmapIndex::build(cells).expect("build index");
-    let slices = index.slices();
+    let dense: Vec<BitVec> = index.slices().iter().map(SliceStorage::to_dense).collect();
+    let slices = &dense[..];
     let summaries = summarize_slices(slices);
     let k = index.width();
 
@@ -94,7 +108,11 @@ fn measure(rows: usize, iters: usize, threads: usize, out: &mut Vec<Row>) {
         );
         let plan = FusedPlan::with_summaries(&expr, slices, &summaries, rows);
         let mut ks = KernelStats::new();
-        assert_eq!(eval_plan(&plan, threads, &mut ks), naive, "parallel != naive");
+        assert_eq!(
+            eval_plan_forced(&plan, threads, &mut ks),
+            naive,
+            "parallel != naive"
+        );
         for (engine, got) in [
             ("fused", t_fused.vectors_accessed()),
             ("summarized", t_sum.vectors_accessed()),
@@ -120,7 +138,7 @@ fn measure(rows: usize, iters: usize, threads: usize, out: &mut Vec<Row>) {
         let fused_parallel_ns = median_ns(iters, || {
             let plan = FusedPlan::with_summaries(&expr, slices, &summaries, rows);
             let mut s = KernelStats::new();
-            std::hint::black_box(eval_plan(&plan, threads, &mut s));
+            std::hint::black_box(eval_plan_forced(&plan, threads, &mut s));
         });
 
         let row = Row {
@@ -143,14 +161,126 @@ fn measure(rows: usize, iters: usize, threads: usize, out: &mut Vec<Row>) {
     }
 }
 
+/// Time-clustered skew: `hot_pct`% of rows carry four hot values, the
+/// rest sweep the whole domain — the warehouse load pattern where the
+/// high-order slices are long zero runs.
+fn clustered_cells(rows: usize, m: u64, hot_pct: usize) -> Vec<Cell> {
+    let head = rows * hot_pct / 100;
+    (0..rows as u64)
+        .map(|i| Cell::Value(if (i as usize) < head { i % 4 } else { i % m }))
+        .collect()
+}
+
+struct CRow {
+    skew: &'static str,
+    delta: u64,
+    storage: &'static str,
+    median_ns: u128,
+    bytes_stored: usize,
+    bytes_touched: u64,
+    compressed_chunks_skipped: u64,
+    vectors_accessed: usize,
+}
+
+fn measure_compressed(rows: usize, iters: usize, out: &mut Vec<CRow>) {
+    for (skew, hot_pct) in [("uniform", 0usize), ("skew90", 90), ("skew99", 99)] {
+        eprintln!("building {rows}-row {skew} index for the storage comparison…");
+        let cells = clustered_cells(rows, M, hot_pct);
+        let index = EncodedBitmapIndex::build(cells).expect("build index");
+        let k = index.width();
+        let families: Vec<(&'static str, Vec<SliceStorage>)> = [
+            ("dense", StoragePolicy::Dense),
+            ("roaring", StoragePolicy::Roaring),
+            ("wah", StoragePolicy::Wah),
+        ]
+        .into_iter()
+        .map(|(name, policy)| {
+            (
+                name,
+                index
+                    .slices()
+                    .iter()
+                    .map(|s| s.repack(policy))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+
+        for delta in DELTAS {
+            let codes: Vec<u64> = (0..delta)
+                .map(|v| index.mapping().code_of(v).expect("value mapped"))
+                .collect();
+            let expr = qm::minimize(&codes, &[], k);
+
+            let mut expect: Option<(BitVec, usize)> = None;
+            for (name, family) in &families {
+                let mut tracker = AccessTracker::new();
+                let result = eval_expr_stored(&expr, family, None, rows, &mut tracker);
+                // Correctness gates before timing: bit-identical results
+                // and the container-independent access metric.
+                match &expect {
+                    None => expect = Some((result, tracker.vectors_accessed())),
+                    Some((bits, va)) => {
+                        assert_eq!(&result, bits, "{name} != dense at {skew} δ={delta}");
+                        assert_eq!(
+                            tracker.vectors_accessed(),
+                            *va,
+                            "{name} changed vectors_accessed at {skew} δ={delta}"
+                        );
+                    }
+                }
+                let bytes_stored = family
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| expr.support() >> i & 1 == 1)
+                    .map(|(_, s)| s.storage_bytes())
+                    .sum();
+                let median = median_ns(iters, || {
+                    let mut t = AccessTracker::new();
+                    std::hint::black_box(eval_expr_stored(&expr, family, None, rows, &mut t));
+                });
+                eprintln!(
+                    "{skew:<8} δ={delta:<4} {name:<8} {median:>12}ns bytes_touched={:>12} \
+                     skipped={}",
+                    tracker.bytes_touched, tracker.compressed_chunks_skipped,
+                );
+                out.push(CRow {
+                    skew,
+                    delta,
+                    storage: name,
+                    median_ns: median,
+                    bytes_stored,
+                    bytes_touched: tracker.bytes_touched,
+                    compressed_chunks_skipped: tracker.compressed_chunks_skipped,
+                    vectors_accessed: tracker.vectors_accessed(),
+                });
+            }
+        }
+    }
+}
+
+fn write_json(name: &str, json: &str) {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    std::fs::write(&path, json).expect("write benchmark json");
+    eprintln!("wrote {}", path.display());
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     // Force at least two workers so the segment-parallel splitter (not
     // its serial fallback) is what gets measured, even on one core.
     let threads = cores.max(2);
     let mut rows_out = Vec::new();
-    measure(1_000_000, 9, threads, &mut rows_out);
-    measure(10_000_000, 5, threads, &mut rows_out);
+    if smoke {
+        eprintln!("--smoke: small-row CI run");
+        measure(300_000, 3, threads, &mut rows_out);
+    } else {
+        measure(1_000_000, 9, threads, &mut rows_out);
+        measure(10_000_000, 5, threads, &mut rows_out);
+    }
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"workload\": \"fig9-style range selections, m = {M}, QM-reduced\",");
@@ -158,6 +288,7 @@ fn main() {
     let _ = writeln!(json, "  \"unit\": \"median wall-clock ns\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"cores_available\": {cores},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
     if cores < 2 {
         let _ = writeln!(
             json,
@@ -190,18 +321,75 @@ fn main() {
         json.push_str(if i + 1 < rows_out.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-
-    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_eval.json");
-    std::fs::write(&path, &json).expect("write BENCH_eval.json");
+    write_json("BENCH_eval.json", &json);
     println!("{json}");
-    eprintln!("wrote {}", path.display());
+
+    // Storage comparison: dense vs Roaring vs WAH, compressed-domain.
+    let crows_count = if smoke { 400_000 } else { 4_000_000 };
+    let citers = if smoke { 3 } else { 5 };
+    let mut c_out = Vec::new();
+    measure_compressed(crows_count, citers, &mut c_out);
+
+    let mut cjson = String::from("{\n");
+    let _ = writeln!(
+        cjson,
+        "  \"workload\": \"fig9-style range selections, m = {M}, QM-reduced, per-slice container comparison\","
+    );
+    let _ = writeln!(cjson, "  \"rows\": {crows_count},");
+    let _ = writeln!(cjson, "  \"storages\": [\"dense\", \"roaring\", \"wah\"],");
+    let _ = writeln!(cjson, "  \"unit\": \"median wall-clock ns\",");
+    let _ = writeln!(cjson, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        cjson,
+        "  \"invariants\": {{ \"bit_identical_across_storages\": true, \"vectors_accessed_unchanged\": true }},"
+    );
+    cjson.push_str("  \"results\": [\n");
+    for (i, r) in c_out.iter().enumerate() {
+        let _ = write!(
+            cjson,
+            "    {{ \"skew\": \"{}\", \"delta\": {}, \"storage\": \"{}\", \"median_ns\": {}, \
+             \"bytes_stored\": {}, \"bytes_touched\": {}, \"compressed_chunks_skipped\": {}, \
+             \"vectors_accessed\": {} }}",
+            r.skew,
+            r.delta,
+            r.storage,
+            r.median_ns,
+            r.bytes_stored,
+            r.bytes_touched,
+            r.compressed_chunks_skipped,
+            r.vectors_accessed,
+        );
+        cjson.push_str(if i + 1 < c_out.len() { ",\n" } else { "\n" });
+    }
+    cjson.push_str("  ]\n}\n");
+    write_json("BENCH_compressed.json", &cjson);
+    println!("{cjson}");
 
     let worst_10m = rows_out
         .iter()
         .filter(|r| r.rows == 10_000_000)
         .map(Row::speedup_fused)
         .fold(f64::INFINITY, f64::min);
-    eprintln!("worst-case fused speedup at 10M rows: ×{worst_10m:.2}");
+    if !smoke {
+        eprintln!("worst-case fused speedup at 10M rows: ×{worst_10m:.2}");
+    }
+
+    // Headline for the storage comparison: the skewed δ=512 workload.
+    for skew in ["skew90", "skew99"] {
+        let find = |storage: &str| {
+            c_out
+                .iter()
+                .find(|r| r.skew == skew && r.delta == 512 && r.storage == storage)
+        };
+        if let (Some(d), Some(r), Some(w)) = (find("dense"), find("roaring"), find("wah")) {
+            eprintln!(
+                "{skew} δ=512: roaring ×{:.2} speedup, {:.1}× fewer bytes touched; \
+                 wah ×{:.2} speedup, {:.1}× fewer bytes touched",
+                d.median_ns as f64 / r.median_ns as f64,
+                d.bytes_touched as f64 / r.bytes_touched.max(1) as f64,
+                d.median_ns as f64 / w.median_ns as f64,
+                d.bytes_touched as f64 / w.bytes_touched.max(1) as f64,
+            );
+        }
+    }
 }

@@ -42,8 +42,11 @@ fn main() {
         let simple_wah_bytes: usize = simple_wah.iter().map(WahBitmap::storage_bytes).sum();
         let simple_ratio = simple_wah.iter().map(WahBitmap::compression_ratio).sum::<f64>()
             / simple_vec_count as f64;
-        let encoded_wah: Vec<WahBitmap> =
-            encoded.slices().iter().map(WahBitmap::compress).collect();
+        let encoded_wah: Vec<WahBitmap> = encoded
+            .slices()
+            .iter()
+            .map(|s| WahBitmap::compress(&s.to_dense()))
+            .collect();
         let encoded_ratio = encoded_wah.iter().map(WahBitmap::compression_ratio).sum::<f64>()
             / encoded_wah.len() as f64;
 
@@ -59,7 +62,7 @@ fn main() {
             encoded
                 .slices()
                 .iter()
-                .map(ebi_bitvec::BitVec::storage_bytes)
+                .map(|s| s.to_dense().storage_bytes())
                 .sum::<usize>()
                 .to_string(),
         ]);

@@ -34,7 +34,10 @@
 //! with bit-identical results.
 
 use crate::core::{BitVec, WORD_BITS};
+use crate::roaring::WindowKind;
+use crate::store::SliceStorage;
 use crate::summary::SegmentSummary;
+use crate::wah::WahCursor;
 
 /// Words per evaluation segment.
 pub const SEGMENT_WORDS: usize = 64;
@@ -102,13 +105,22 @@ impl<'a> Literal<'a> {
 
 /// Work counters reported by the fused kernels.
 ///
-/// `words_scanned` counts bitmap words actually read from slice storage;
-/// the two skip counters measure how much reading the short-circuits
-/// avoided.
+/// `words_scanned` counts *uncompressed* bitmap words actually read from
+/// dense slice storage; `bytes_touched` additionally counts compressed
+/// container bytes examined by the stored-slice kernels, so it reflects
+/// real memory traffic across every container kind. The skip counters
+/// measure how much reading the short-circuits avoided.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
-    /// Slice words read from memory.
+    /// Dense slice words read from memory.
     pub words_scanned: u64,
+    /// Storage bytes examined: 8 per dense word plus the compressed
+    /// bytes (array entries, run intervals, bitmap-container words)
+    /// each on-demand window materialisation inspected.
+    pub bytes_touched: u64,
+    /// Compressed (term, literal, segment) windows classified all-zero
+    /// or all-one from container metadata, with no materialisation.
+    pub compressed_chunks_skipped: u64,
     /// (term, segment) pairs skipped via summaries before any read.
     pub segments_pruned: u64,
     /// (term, segment) pairs abandoned mid-term on an all-zero
@@ -126,6 +138,8 @@ impl KernelStats {
     /// Adds another set of counters into this one.
     pub fn merge(&mut self, other: &KernelStats) {
         self.words_scanned += other.words_scanned;
+        self.bytes_touched += other.bytes_touched;
+        self.compressed_chunks_skipped += other.compressed_chunks_skipped;
         self.segments_pruned += other.segments_pruned;
         self.segments_short_circuited += other.segments_short_circuited;
     }
@@ -256,6 +270,7 @@ fn eval_term_segment(
             }
         }
         stats.words_scanned += 2 * nw as u64;
+        stats.bytes_touched += 16 * nw as u64;
         remaining = rest;
     } else {
         if first.negated {
@@ -271,6 +286,7 @@ fn eval_term_segment(
             }
         }
         stats.words_scanned += nw as u64;
+        stats.bytes_touched += 8 * nw as u64;
     }
 
     while let Some((lit, rest)) = remaining.split_first() {
@@ -294,6 +310,7 @@ fn eval_term_segment(
             }
         }
         stats.words_scanned += nw as u64;
+        stats.bytes_touched += 8 * nw as u64;
         remaining = rest;
     }
     // An all-zero result ORs nothing; telling the caller saves the pass.
@@ -377,6 +394,317 @@ pub fn eval_dnf(terms: &[Vec<Literal<'_>>], len_bits: usize, stats: &mut KernelS
     let mut dst = BitVec::zeros(len_bits);
     eval_dnf_range(&mut dst.words, 0, len_bits, terms, stats);
     dst
+}
+
+/// One literal of a product term over an adaptively stored slice: the
+/// container-agnostic counterpart of [`Literal`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoredLiteral<'a> {
+    slice: &'a SliceStorage,
+    negated: bool,
+    summary: Option<&'a SegmentSummary>,
+}
+
+impl<'a> StoredLiteral<'a> {
+    /// Literal over `slice`, negated if `negated`.
+    #[must_use]
+    pub fn new(slice: &'a SliceStorage, negated: bool) -> Self {
+        Self {
+            slice,
+            negated,
+            summary: None,
+        }
+    }
+
+    /// Literal with a segment summary enabling whole-segment pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary was built over a vector of different length.
+    #[must_use]
+    pub fn with_summary(
+        slice: &'a SliceStorage,
+        negated: bool,
+        summary: &'a SegmentSummary,
+    ) -> Self {
+        assert_eq!(
+            summary.len(),
+            slice.len(),
+            "summary length {} != slice length {}",
+            summary.len(),
+            slice.len()
+        );
+        Self {
+            slice,
+            negated,
+            summary: Some(summary),
+        }
+    }
+
+    /// `true` if the literal is complemented (`B_i'`).
+    #[must_use]
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+
+    fn prunes_segment(&self, seg: usize) -> bool {
+        match self.summary {
+            Some(s) if self.negated => s.segment_is_full(seg),
+            Some(s) => s.segment_is_zero(seg),
+            None => false,
+        }
+    }
+}
+
+/// What one product term contributed to a segment.
+enum TermSegment {
+    /// Nothing: the term is zero on this segment.
+    Zero,
+    /// Everything: every literal was an identity window, so the term is
+    /// all-ones on the segment without any word having been read.
+    Ones,
+    /// The accumulator holds the term's (non-zero) segment bits.
+    Mixed,
+}
+
+/// Evaluates a DNF over adaptively stored slices into `dst`, a zeroed
+/// window covering words `word_offset ..` of a `len_bits`-bit vector.
+///
+/// Iteration is segment-major exactly like [`eval_dnf_range`]; the
+/// difference is the literal fetch. Dense slices hand their words to the
+/// fold directly; compressed slices materialise one 64-word window on
+/// demand into a scratch buffer — and windows their containers classify
+/// as all-zero or all-one never materialise at all, instead short-
+/// circuiting the term (positive×zeros, negated×ones) or dropping out of
+/// the fold as identities (positive×ones, negated×zeros). WAH slices are
+/// decoded through a per-literal resumable [`WahCursor`], so a full
+/// ascending sweep costs `O(code words)` amortised.
+///
+/// Results are bit-identical to densifying every slice and running
+/// [`eval_dnf_range`]; only the traffic counters differ.
+///
+/// # Panics
+///
+/// Panics if `word_offset` is not segment-aligned, if `dst` overruns
+/// `len_bits`, or if any literal's slice length differs from `len_bits`
+/// (message contains "slice length").
+pub fn eval_dnf_stored_range(
+    dst: &mut [u64],
+    word_offset: usize,
+    len_bits: usize,
+    terms: &[Vec<StoredLiteral<'_>>],
+    stats: &mut KernelStats,
+) {
+    assert_eq!(
+        word_offset % SEGMENT_WORDS,
+        0,
+        "word_offset {word_offset} not segment-aligned"
+    );
+    let total_words = len_bits.div_ceil(WORD_BITS);
+    assert!(
+        word_offset + dst.len() <= total_words,
+        "destination range overruns {len_bits}-bit vector"
+    );
+    for lit in terms.iter().flatten() {
+        assert_eq!(
+            lit.slice.len(),
+            len_bits,
+            "slice length {} bits != evaluated vector length {len_bits}",
+            lit.slice.len()
+        );
+    }
+
+    // Per-(term, literal) WAH cursors persist across the ascending
+    // segment sweep so each code word is decoded at most once per range.
+    let mut cursors: Vec<Vec<Option<WahCursor<'_>>>> = terms
+        .iter()
+        .map(|term| {
+            term.iter()
+                .map(|lit| match lit.slice {
+                    SliceStorage::Wah(w) => Some(WahCursor::new(w)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut acc = [0u64; SEGMENT_WORDS];
+    let mut scratch = [0u64; SEGMENT_WORDS];
+    for (chunk_idx, seg_dst) in dst.chunks_mut(SEGMENT_WORDS).enumerate() {
+        let seg = word_offset / SEGMENT_WORDS + chunk_idx;
+        let w0 = word_offset + chunk_idx * SEGMENT_WORDS;
+        let nw = seg_dst.len();
+        for (term, term_cursors) in terms.iter().zip(cursors.iter_mut()) {
+            if term.is_empty() {
+                // Tautology term: the segment saturates immediately.
+                seg_dst.fill(u64::MAX);
+                break;
+            }
+            let contrib = eval_stored_term_segment(
+                &mut acc,
+                &mut scratch,
+                term,
+                term_cursors,
+                seg,
+                w0,
+                nw,
+                stats,
+            );
+            match contrib {
+                TermSegment::Zero => {}
+                TermSegment::Ones => {
+                    seg_dst.fill(u64::MAX);
+                    break;
+                }
+                TermSegment::Mixed => {
+                    let mut all = u64::MAX;
+                    for (d, &a) in seg_dst.iter_mut().zip(&acc[..nw]) {
+                        *d |= a;
+                        all &= *d;
+                    }
+                    if all == u64::MAX {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    mask_range_tail(dst, word_offset, len_bits);
+}
+
+/// Evaluates a DNF over stored slices into a freshly allocated selection
+/// bitmap of `len_bits` bits.
+///
+/// # Panics
+///
+/// As [`eval_dnf_stored_range`].
+#[must_use]
+pub fn eval_dnf_stored(
+    terms: &[Vec<StoredLiteral<'_>>],
+    len_bits: usize,
+    stats: &mut KernelStats,
+) -> BitVec {
+    let mut dst = BitVec::zeros(len_bits);
+    eval_dnf_stored_range(&mut dst.words, 0, len_bits, terms, stats);
+    dst
+}
+
+/// Evaluates one non-empty stored term over one segment into
+/// `acc[..nw]`.
+#[allow(clippy::too_many_arguments)]
+fn eval_stored_term_segment(
+    acc: &mut [u64; SEGMENT_WORDS],
+    scratch: &mut [u64; SEGMENT_WORDS],
+    term: &[StoredLiteral<'_>],
+    cursors: &mut [Option<WahCursor<'_>>],
+    seg: usize,
+    w0: usize,
+    nw: usize,
+    stats: &mut KernelStats,
+) -> TermSegment {
+    if term.iter().any(|l| l.prunes_segment(seg)) {
+        stats.segments_pruned += 1;
+        return TermSegment::Zero;
+    }
+    let mut started = false;
+    for (li, lit) in term.iter().enumerate() {
+        // Fetch the literal's window: either a direct borrow of dense
+        // words, a materialised scratch window, or a uniform
+        // classification that resolves the literal without any words.
+        let src: &[u64] = match lit.slice {
+            SliceStorage::Dense(b) => {
+                stats.words_scanned += nw as u64;
+                stats.bytes_touched += 8 * nw as u64;
+                &b.words()[w0..w0 + nw]
+            }
+            SliceStorage::Roaring(r) => {
+                let wf = r.fill_window(w0, &mut scratch[..nw]);
+                stats.bytes_touched += wf.bytes_touched;
+                match resolve_window(wf.kind, lit.negated, stats) {
+                    WindowAction::TermDead => return TermSegment::Zero,
+                    WindowAction::Identity => continue,
+                    WindowAction::Fold => &scratch[..nw],
+                }
+            }
+            SliceStorage::Wah(_) => {
+                let cur = cursors[li].as_mut().expect("WAH literal has a cursor");
+                let wf = cur.fill_window(w0, &mut scratch[..nw]);
+                stats.bytes_touched += wf.bytes_touched;
+                match resolve_window(wf.kind, lit.negated, stats) {
+                    WindowAction::TermDead => return TermSegment::Zero,
+                    WindowAction::Identity => continue,
+                    WindowAction::Fold => &scratch[..nw],
+                }
+            }
+        };
+        let mut any = 0u64;
+        if started {
+            if lit.negated {
+                for (a, &s) in acc[..nw].iter_mut().zip(src) {
+                    *a &= !s;
+                    any |= *a;
+                }
+            } else {
+                for (a, &s) in acc[..nw].iter_mut().zip(src) {
+                    *a &= s;
+                    any |= *a;
+                }
+            }
+        } else {
+            if lit.negated {
+                for (a, &s) in acc[..nw].iter_mut().zip(src) {
+                    let v = !s;
+                    *a = v;
+                    any |= v;
+                }
+            } else {
+                for (a, &s) in acc[..nw].iter_mut().zip(src) {
+                    *a = s;
+                    any |= s;
+                }
+            }
+            started = true;
+        }
+        if any == 0 {
+            if li + 1 < term.len() {
+                stats.segments_short_circuited += 1;
+            }
+            return TermSegment::Zero;
+        }
+    }
+    if started {
+        TermSegment::Mixed
+    } else {
+        // Every literal was an identity window: the term is all ones
+        // here and no accumulator pass ever ran.
+        TermSegment::Ones
+    }
+}
+
+/// What a uniform (or materialised) window means for the literal fold.
+enum WindowAction {
+    /// The literal zeroes the whole term on this segment.
+    TermDead,
+    /// The literal is all-ones here: it drops out of the AND.
+    Identity,
+    /// The window was materialised; fold it.
+    Fold,
+}
+
+/// Maps a compressed window classification and literal polarity to a
+/// fold action, crediting skipped materialisations.
+fn resolve_window(kind: WindowKind, negated: bool, stats: &mut KernelStats) -> WindowAction {
+    match (kind, negated) {
+        (WindowKind::Zeros, false) | (WindowKind::Ones, true) => {
+            stats.compressed_chunks_skipped += 1;
+            WindowAction::TermDead
+        }
+        (WindowKind::Zeros, true) | (WindowKind::Ones, false) => {
+            stats.compressed_chunks_skipped += 1;
+            WindowAction::Identity
+        }
+        (WindowKind::Mixed, _) => WindowAction::Fold,
+    }
 }
 
 /// Zeroes bits at positions `>= len_bits` if the window `dst` (starting
@@ -583,16 +911,164 @@ mod tests {
     fn stats_merge_adds_fields() {
         let mut a = KernelStats {
             words_scanned: 1,
+            bytes_touched: 4,
+            compressed_chunks_skipped: 5,
             segments_pruned: 2,
             segments_short_circuited: 3,
         };
         a.merge(&KernelStats {
             words_scanned: 10,
+            bytes_touched: 40,
+            compressed_chunks_skipped: 50,
             segments_pruned: 20,
             segments_short_circuited: 30,
         });
         assert_eq!(a.words_scanned, 11);
+        assert_eq!(a.bytes_touched, 44);
+        assert_eq!(a.compressed_chunks_skipped, 55);
         assert_eq!(a.segments_pruned, 22);
         assert_eq!(a.segments_short_circuited, 33);
+    }
+
+    #[test]
+    fn dense_scans_report_bytes_touched() {
+        let len = SEGMENT_BITS;
+        let a = stripes(len, 2, 0);
+        let terms = vec![vec![Literal::new(&a, false)]];
+        let mut stats = KernelStats::new();
+        let _ = eval_dnf(&terms, len, &mut stats);
+        assert_eq!(stats.bytes_touched, 8 * stats.words_scanned);
+    }
+
+    fn storages_for(bits: &BitVec) -> Vec<SliceStorage> {
+        use crate::store::StoragePolicy;
+        vec![
+            SliceStorage::from_dense(bits.clone(), StoragePolicy::Dense),
+            SliceStorage::from_dense(bits.clone(), StoragePolicy::Roaring),
+            SliceStorage::from_dense(bits.clone(), StoragePolicy::Wah),
+        ]
+    }
+
+    #[test]
+    fn stored_eval_matches_dense_for_every_container_mix() {
+        let len = SEGMENT_BITS * 5 + 300;
+        let a = stripes(len, 3, 0);
+        let b: BitVec = (0..len).map(|i| (20_000..290_000).contains(&i)).collect();
+        let c = BitVec::from_positions(len, &[5, 9000, len - 1]);
+        let dense_terms = vec![
+            vec![Literal::new(&a, false), Literal::new(&b, true)],
+            vec![Literal::new(&c, false)],
+            vec![Literal::new(&b, false), Literal::new(&a, true)],
+        ];
+        let mut ds = KernelStats::new();
+        let expected = eval_dnf(&dense_terms, len, &mut ds);
+
+        for sa in storages_for(&a) {
+            for sb in storages_for(&b) {
+                for sc in storages_for(&c) {
+                    let terms = vec![
+                        vec![StoredLiteral::new(&sa, false), StoredLiteral::new(&sb, true)],
+                        vec![StoredLiteral::new(&sc, false)],
+                        vec![StoredLiteral::new(&sb, false), StoredLiteral::new(&sa, true)],
+                    ];
+                    let mut stats = KernelStats::new();
+                    let got = eval_dnf_stored(&terms, len, &mut stats);
+                    assert_eq!(
+                        got,
+                        expected,
+                        "mix {:?}/{:?}/{:?}",
+                        sa.kind(),
+                        sb.kind(),
+                        sc.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stored_eval_skips_uniform_compressed_windows() {
+        use crate::store::StoragePolicy;
+        // A very sparse slice: almost every window classifies as Zeros
+        // and kills the term without materialisation.
+        let len = SEGMENT_BITS * 64;
+        let sparse = BitVec::from_positions(len, &[17]);
+        let dense = stripes(len, 2, 0);
+        let ss = SliceStorage::from_dense(sparse, StoragePolicy::Roaring);
+        let sd = SliceStorage::from_dense(dense, StoragePolicy::Dense);
+        let terms = vec![vec![StoredLiteral::new(&ss, false), StoredLiteral::new(&sd, false)]];
+        let mut stats = KernelStats::new();
+        let got = eval_dnf_stored(&terms, len, &mut stats);
+        assert_eq!(got.count_ones(), 0); // 17 is odd
+        assert_eq!(stats.compressed_chunks_skipped, 63, "all but one window skipped");
+        // Only the one mixed window's dense partner was ever scanned.
+        assert_eq!(stats.words_scanned, SEGMENT_WORDS as u64);
+        assert!(stats.bytes_touched < 8 * 2 * (len as u64) / 64);
+    }
+
+    #[test]
+    fn stored_eval_all_identity_term_is_all_ones() {
+        use crate::store::StoragePolicy;
+        let len = SEGMENT_BITS * 2;
+        let full = SliceStorage::from_dense(BitVec::ones(len), StoragePolicy::Roaring);
+        let terms = vec![vec![StoredLiteral::new(&full, false)]];
+        let mut stats = KernelStats::new();
+        let got = eval_dnf_stored(&terms, len, &mut stats);
+        assert_eq!(got, BitVec::ones(len));
+        assert_eq!(stats.words_scanned, 0, "no dense words read");
+        assert_eq!(stats.compressed_chunks_skipped, 2);
+    }
+
+    #[test]
+    fn stored_eval_respects_summaries() {
+        use crate::store::StoragePolicy;
+        use crate::summary::summarize_slices;
+        let len = SEGMENT_BITS * 3;
+        let mut a = BitVec::zeros(len);
+        for i in SEGMENT_BITS..SEGMENT_BITS + 50 {
+            a.set(i, true);
+        }
+        let summaries = summarize_slices(&[a.clone()]);
+        let stored = SliceStorage::from_dense(a.clone(), StoragePolicy::Dense);
+        let terms = vec![vec![StoredLiteral::with_summary(&stored, false, &summaries[0])]];
+        let mut stats = KernelStats::new();
+        let got = eval_dnf_stored(&terms, len, &mut stats);
+        assert_eq!(got, a);
+        assert_eq!(stats.segments_pruned, 2);
+    }
+
+    #[test]
+    fn stored_range_evaluation_is_bit_identical_to_whole_vector() {
+        use crate::store::StoragePolicy;
+        let len = SEGMENT_BITS * 3 + 500;
+        let a = stripes(len, 11, 3);
+        let b: BitVec = (0..len).map(|i| i % 13 < 4).collect();
+        let sa = SliceStorage::from_dense(a, StoragePolicy::Wah);
+        let sb = SliceStorage::from_dense(b, StoragePolicy::Roaring);
+        let terms = vec![
+            vec![StoredLiteral::new(&sa, false), StoredLiteral::new(&sb, true)],
+            vec![StoredLiteral::new(&sb, false), StoredLiteral::new(&sa, true)],
+        ];
+        let mut stats = KernelStats::new();
+        let whole = eval_dnf_stored(&terms, len, &mut stats);
+
+        let mut split = BitVec::zeros(len);
+        let cut = 2 * SEGMENT_WORDS;
+        let (lo, hi) = split.words.split_at_mut(cut);
+        let mut s1 = KernelStats::new();
+        let mut s2 = KernelStats::new();
+        eval_dnf_stored_range(lo, 0, len, &terms, &mut s1);
+        eval_dnf_stored_range(hi, cut, len, &terms, &mut s2);
+        assert_eq!(split, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice length")]
+    fn stored_slice_length_mismatch_panics() {
+        use crate::store::StoragePolicy;
+        let s = SliceStorage::from_dense(BitVec::zeros(64), StoragePolicy::Dense);
+        let terms = vec![vec![StoredLiteral::new(&s, false)]];
+        let mut stats = KernelStats::new();
+        let _ = eval_dnf_stored(&terms, 4096, &mut stats);
     }
 }

@@ -14,6 +14,11 @@
 //!   bitmap, covering the "compression techniques (e.g. run-length) for
 //!   simple bitmap indexes" the paper lists as related work, and used by
 //!   the sparsity experiments.
+//! * [`roaring::RoaringBitmap`] — a chunked hybrid array/bitmap/run
+//!   compressed bitmap in the style of Chambi et al., with chunk-level
+//!   compressed-domain set operations and on-demand evaluation windows.
+//! * [`store::SliceStorage`] — the per-slice adaptive container choice
+//!   (dense word-packed, Roaring, or WAH) driven by measured density.
 //! * [`builder::BitVecBuilder`] — streaming construction helpers used by
 //!   the index builders.
 //! * [`kernels`] — fused, segment-streaming evaluation kernels that
@@ -48,13 +53,16 @@ mod iter;
 pub mod kernels;
 mod ops;
 pub mod rank;
+pub mod roaring;
 pub mod serial;
 mod serde_impl;
+pub mod store;
 pub mod summary;
 pub mod wah;
 
 pub use crate::core::{BitVec, WORD_BITS};
 pub use crate::error::BitVecError;
 pub use crate::iter::{BitIter, OnesIter};
-pub use crate::kernels::{KernelStats, Literal, SEGMENT_BITS, SEGMENT_WORDS};
+pub use crate::kernels::{KernelStats, Literal, StoredLiteral, SEGMENT_BITS, SEGMENT_WORDS};
+pub use crate::store::{SliceStorage, StorageKind, StoragePolicy};
 pub use crate::summary::SegmentSummary;

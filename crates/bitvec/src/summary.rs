@@ -130,6 +130,12 @@ pub fn summarize_slices(slices: &[BitVec]) -> Vec<SegmentSummary> {
     slices.iter().map(SegmentSummary::build).collect()
 }
 
+/// Builds summaries for a family of adaptively stored slices.
+#[must_use]
+pub fn summarize_storage(slices: &[crate::store::SliceStorage]) -> Vec<SegmentSummary> {
+    slices.iter().map(crate::store::SliceStorage::summary).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

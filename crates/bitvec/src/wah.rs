@@ -22,6 +22,7 @@
 
 use crate::core::BitVec;
 use crate::error::BitVecError;
+use crate::roaring::{WindowFill, WindowKind};
 
 /// Bits covered by one WAH group.
 pub const GROUP_BITS: usize = 63;
@@ -254,6 +255,35 @@ impl WahBitmap {
         }
     }
 
+    /// Value of bit `i`, by scanning the code sequence.
+    ///
+    /// `O(code words)` — fine for spot probes (row decoding); bulk reads
+    /// should go through [`WahCursor`] or [`WahBitmap::decompress`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range for {} bits", self.len);
+        let mut group = i / GROUP_BITS;
+        for &w in &self.code {
+            if w & FILL_FLAG != 0 {
+                let groups = (w & COUNT_MASK) as usize;
+                if group < groups {
+                    return w & FILL_VALUE != 0;
+                }
+                group -= groups;
+            } else {
+                if group == 0 {
+                    return w >> (i % GROUP_BITS) & 1 == 1;
+                }
+                group -= 1;
+            }
+        }
+        unreachable!("code words do not cover bit {i}")
+    }
+
     /// Serialises as `[u64 len][u64 code words...]`, little-endian.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -300,6 +330,160 @@ impl WahBitmap {
             });
         }
         Ok(Self { code, len })
+    }
+}
+
+/// Resumable decoder that materialises word-aligned evaluation windows
+/// out of a WAH code sequence without decompressing the whole bitmap.
+///
+/// The segment-major evaluator asks for windows in ascending row order;
+/// the cursor remembers which code piece it sits on, so a full sweep
+/// costs `O(code words + windows)` despite the 63-bit groups never
+/// aligning with the 64-bit window words. Asking for an earlier window
+/// resets and rescans from the front.
+#[derive(Debug)]
+pub struct WahCursor<'a> {
+    wah: &'a WahBitmap,
+    /// Index of the code piece the cursor sits on.
+    idx: usize,
+    /// Absolute index of the first group covered by piece `idx`.
+    group: u64,
+}
+
+impl<'a> WahCursor<'a> {
+    /// Opens a cursor at the start of `wah`.
+    #[must_use]
+    pub fn new(wah: &'a WahBitmap) -> Self {
+        Self { wah, idx: 0, group: 0 }
+    }
+
+    /// Groups covered by code piece `w`.
+    fn piece_groups(w: u64) -> u64 {
+        if w & FILL_FLAG != 0 {
+            w & COUNT_MASK
+        } else {
+            1
+        }
+    }
+
+    /// Materialises the window covering bits
+    /// `start_word * 64 .. (start_word + out.len()) * 64` (clipped to
+    /// the bitmap length) into `out`, or classifies a window lying
+    /// wholly inside one fill as uniform without writing any words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window starts at or past the end of a non-empty
+    /// bitmap.
+    pub fn fill_window(&mut self, start_word: usize, out: &mut [u64]) -> WindowFill {
+        let ws = start_word * 64;
+        let len = self.wah.len;
+        assert!(ws < len || len == 0, "window starts past end");
+        let valid = (len - ws).min(out.len() * 64);
+        let we_valid = ws + valid;
+        let mut touched = 0u64;
+        if self.group as usize * GROUP_BITS > ws {
+            self.idx = 0;
+            self.group = 0;
+        }
+        // Seek: skip pieces that end at or before the window start.
+        let code = &self.wah.code;
+        while self.idx < code.len() {
+            let g = Self::piece_groups(code[self.idx]);
+            if (self.group + g) as usize * GROUP_BITS <= ws {
+                self.idx += 1;
+                self.group += g;
+                touched += 8;
+            } else {
+                break;
+            }
+        }
+        // Uniform fast path: the whole (valid) window inside one fill.
+        if self.idx < code.len() {
+            let w = code[self.idx];
+            if w & FILL_FLAG != 0 {
+                let end_bit = (self.group + (w & COUNT_MASK)) as usize * GROUP_BITS;
+                if end_bit >= we_valid {
+                    return WindowFill {
+                        kind: if w & FILL_VALUE != 0 {
+                            WindowKind::Ones
+                        } else {
+                            WindowKind::Zeros
+                        },
+                        bytes_touched: touched + 8,
+                    };
+                }
+            }
+        }
+        // Mixed: decode every piece overlapping the window.
+        out.fill(0);
+        let we = ws + out.len() * 64;
+        let (mut i, mut g0) = (self.idx, self.group);
+        let mut any = false;
+        while i < code.len() && (g0 as usize) * GROUP_BITS < we {
+            let w = code[i];
+            touched += 8;
+            if w & FILL_FLAG != 0 {
+                let groups = w & COUNT_MASK;
+                if w & FILL_VALUE != 0 {
+                    let a = ((g0 as usize) * GROUP_BITS).max(ws);
+                    let b = (((g0 + groups) as usize) * GROUP_BITS).min(we_valid);
+                    if a < b {
+                        set_bit_range(out, a - ws, b - ws);
+                        any = true;
+                    }
+                }
+                g0 += groups;
+            } else {
+                let off = (g0 as usize * GROUP_BITS) as i64 - ws as i64;
+                if w & PAYLOAD_MASK != 0 {
+                    scatter_group(out, off, w & PAYLOAD_MASK);
+                    any = true;
+                }
+                g0 += 1;
+            }
+            i += 1;
+        }
+        WindowFill {
+            kind: if any { WindowKind::Mixed } else { WindowKind::Zeros },
+            bytes_touched: touched,
+        }
+    }
+}
+
+/// Sets bits `start..end` (exclusive) in a packed word buffer.
+fn set_bit_range(out: &mut [u64], start: usize, end: usize) {
+    debug_assert!(start < end && end <= out.len() * 64);
+    let (ws, we) = (start / 64, (end - 1) / 64);
+    let lo_mask = !0u64 << (start % 64);
+    let hi_mask = !0u64 >> (63 - (end - 1) % 64);
+    if ws == we {
+        out[ws] |= lo_mask & hi_mask;
+    } else {
+        out[ws] |= lo_mask;
+        for w in &mut out[ws + 1..we] {
+            *w = !0;
+        }
+        out[we] |= hi_mask;
+    }
+}
+
+/// ORs a 63-bit group payload into `out` at signed bit offset `off`
+/// (negative when the group starts before the window; bits outside the
+/// window are dropped).
+fn scatter_group(out: &mut [u64], off: i64, payload: u64) {
+    let (pos, payload) = if off < 0 {
+        (0usize, payload >> (-off).min(64) as u32)
+    } else {
+        (off as usize, payload)
+    };
+    if payload == 0 || pos >= out.len() * 64 {
+        return;
+    }
+    let (w, b) = (pos / 64, pos % 64);
+    out[w] |= payload << b;
+    if b > 0 && w + 1 < out.len() {
+        out[w + 1] |= payload >> (64 - b);
     }
 }
 
@@ -544,7 +728,7 @@ mod tests {
         let shapes: Vec<(BitVec, BitVec)> = vec![
             (
                 patterned(GROUP_BITS * 40 + 17, |i| i < GROUP_BITS * 10),
-                patterned(GROUP_BITS * 40 + 17, |i| i >= GROUP_BITS * 5 && i < GROUP_BITS * 30),
+                patterned(GROUP_BITS * 40 + 17, |i| (GROUP_BITS * 5..GROUP_BITS * 30).contains(&i)),
             ),
             (
                 patterned(5000, |i| i % 7 == 0 || i > 4000),
@@ -581,6 +765,57 @@ mod tests {
         // Positions 1 and rows-2 both fall on i % 3 != 0.
         assert_eq!(anded.count_ones(), 0);
         assert_eq!(sparse.or(&dense).count_ones(), dense.count_ones() + 2);
+    }
+
+    #[test]
+    fn cursor_windows_match_dense_words() {
+        let len = 300_000 + 17; // partial tail group and partial tail word
+        let bits = patterned(len, |i| {
+            (i.wrapping_mul(2654435761)) % 251 < 2 || (50_000..180_000).contains(&i)
+        });
+        let wah = WahBitmap::compress(&bits);
+        let mut cur = WahCursor::new(&wah);
+        let words = bits.words();
+        let mut buf = [0u64; 64];
+        let mut start = 0;
+        while start < words.len() {
+            let n = 64.min(words.len() - start);
+            let w = cur.fill_window(start, &mut buf[..n]);
+            let dense = &words[start..start + n];
+            match w.kind {
+                crate::roaring::WindowKind::Mixed => {
+                    assert_eq!(&buf[..n], dense, "window @{start}");
+                }
+                crate::roaring::WindowKind::Zeros => {
+                    assert!(dense.iter().all(|&x| x == 0), "window @{start}");
+                }
+                crate::roaring::WindowKind::Ones => {
+                    let valid = (len - start * 64).min(n * 64);
+                    for (j, &x) in dense.iter().enumerate() {
+                        let bits_here = (valid - j * 64).min(64);
+                        let mask = if bits_here == 64 { !0 } else { (1u64 << bits_here) - 1 };
+                        assert_eq!(x & mask, mask, "window @{start} word {j}");
+                    }
+                }
+            }
+            start += n;
+        }
+    }
+
+    #[test]
+    fn cursor_long_fill_windows_stay_uniform_and_cheap() {
+        let rows = GROUP_BITS * 64 * 1000;
+        let sparse = WahBitmap::compress(&BitVec::from_positions(rows, &[0, rows - 1]));
+        let mut cur = WahCursor::new(&sparse);
+        let mut buf = [0u64; 64];
+        // A window deep inside the long zero fill never decodes groups.
+        let w = cur.fill_window(3000, &mut buf);
+        assert_eq!(w.kind, crate::roaring::WindowKind::Zeros);
+        assert!(w.bytes_touched <= 3 * 8, "{} bytes", w.bytes_touched);
+        // Regressing to an earlier window rescans but stays correct.
+        let w = cur.fill_window(0, &mut buf);
+        assert_eq!(w.kind, crate::roaring::WindowKind::Mixed);
+        assert_eq!(buf[0], 1);
     }
 
     #[test]

@@ -24,8 +24,8 @@
 //! the summary (fetched alongside the vector's metadata) either way.
 
 use crate::expr::DnfExpr;
-use ebi_bitvec::kernels::{self, KernelStats, Literal};
-use ebi_bitvec::{BitVec, SegmentSummary};
+use ebi_bitvec::kernels::{self, KernelStats, Literal, StoredLiteral};
+use ebi_bitvec::{BitVec, SegmentSummary, SliceStorage};
 
 /// Cost counters for one or more expression evaluations.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -41,6 +41,12 @@ pub struct AccessTracker {
     /// Bitmap words actually read from slice storage by the fused
     /// kernels (the naive evaluator does not report this).
     pub words_scanned: u64,
+    /// Storage bytes examined: 8 per dense word plus every compressed
+    /// container byte the stored-slice kernels inspected.
+    pub bytes_touched: u64,
+    /// Compressed windows classified uniform (all-zero / all-one) from
+    /// container metadata, skipping materialisation entirely.
+    pub compressed_chunks_skipped: u64,
     /// (term, segment) pairs skipped via segment summaries before any
     /// word was read.
     pub segments_pruned: u64,
@@ -76,6 +82,8 @@ impl AccessTracker {
         self.literal_ops += other.literal_ops;
         self.or_ops += other.or_ops;
         self.words_scanned += other.words_scanned;
+        self.bytes_touched += other.bytes_touched;
+        self.compressed_chunks_skipped += other.compressed_chunks_skipped;
         self.segments_pruned += other.segments_pruned;
         self.segments_short_circuited += other.segments_short_circuited;
     }
@@ -83,6 +91,8 @@ impl AccessTracker {
     /// Folds fused-kernel work counters into the tracker.
     pub fn absorb_kernel_stats(&mut self, stats: &KernelStats) {
         self.words_scanned += stats.words_scanned;
+        self.bytes_touched += stats.bytes_touched;
+        self.compressed_chunks_skipped += stats.compressed_chunks_skipped;
         self.segments_pruned += stats.segments_pruned;
         self.segments_short_circuited += stats.segments_short_circuited;
     }
@@ -227,6 +237,211 @@ impl<'a> FusedPlan<'a> {
     pub fn eval_range(&self, dst: &mut [u64], word_offset: usize, stats: &mut KernelStats) {
         kernels::eval_dnf_range(dst, word_offset, self.row_count, &self.terms, stats);
     }
+}
+
+/// A retrieval expression lowered over adaptively stored slices
+/// ([`SliceStorage`]): the storage-aware counterpart of [`FusedPlan`].
+///
+/// When every slice the expression references is stored dense, the plan
+/// degenerates to the exact [`FusedPlan`] literal layout, so all-dense
+/// indexes pay nothing for the indirection. Otherwise product terms are
+/// lowered onto [`StoredLiteral`]s and evaluated compressed-domain:
+/// Roaring / WAH slices materialise 64-word windows on demand, and
+/// uniform windows resolve whole (term, segment) pairs from container
+/// metadata without decompression.
+///
+/// Like [`FusedPlan`], the plan borrows slices and summaries immutably
+/// and supports disjoint-window range evaluation for parallel callers.
+/// The paper's access metric is storage-independent:
+/// [`FusedPlan::record_access`] applies unchanged.
+#[derive(Debug, Clone)]
+pub struct StoredPlan<'a> {
+    inner: StoredPlanInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum StoredPlanInner<'a> {
+    /// Every referenced slice is dense: reuse the dense fused kernels.
+    Dense(FusedPlan<'a>),
+    /// At least one referenced slice is compressed.
+    Mixed {
+        terms: Vec<Vec<StoredLiteral<'a>>>,
+        row_count: usize,
+    },
+}
+
+impl<'a> StoredPlan<'a> {
+    /// Lowers `expr` over stored `slices` without segment summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with `row_count` or the
+    /// expression references a slice index `>= slices.len()`.
+    #[must_use]
+    pub fn new(expr: &DnfExpr, slices: &'a [SliceStorage], row_count: usize) -> Self {
+        Self::build(expr, slices, None, row_count)
+    }
+
+    /// Lowers `expr` with per-slice summaries enabling whole-segment
+    /// pruning. `summaries[i]` must describe `slices[i]`.
+    ///
+    /// # Panics
+    ///
+    /// As [`StoredPlan::new`], plus if `summaries.len() != slices.len()`.
+    #[must_use]
+    pub fn with_summaries(
+        expr: &DnfExpr,
+        slices: &'a [SliceStorage],
+        summaries: &'a [SegmentSummary],
+        row_count: usize,
+    ) -> Self {
+        assert_eq!(
+            summaries.len(),
+            slices.len(),
+            "one summary per slice required"
+        );
+        Self::build(expr, slices, Some(summaries), row_count)
+    }
+
+    fn build(
+        expr: &DnfExpr,
+        slices: &'a [SliceStorage],
+        summaries: Option<&'a [SegmentSummary]>,
+        row_count: usize,
+    ) -> Self {
+        for s in slices {
+            assert_eq!(s.len(), row_count, "slice length != row count");
+        }
+        assert!(
+            expr.support() >> slices.len().min(63) == 0 || slices.len() >= 64,
+            "expression references slice beyond the {} provided",
+            slices.len()
+        );
+        let all_dense = (0..64u32)
+            .filter(|i| expr.support() >> i & 1 == 1)
+            .all(|i| slices[i as usize].as_dense().is_some());
+        if all_dense {
+            // Borrow the dense views directly; unreferenced compressed
+            // slices are irrelevant to the plan.
+            let terms = expr
+                .cubes()
+                .iter()
+                .map(|cube| {
+                    (0..64u32)
+                        .filter(|i| cube.mask() >> i & 1 == 1)
+                        .map(|i| {
+                            let negated = cube.value() >> i & 1 == 0;
+                            let slice = slices[i as usize]
+                                .as_dense()
+                                .expect("checked dense above");
+                            match summaries {
+                                Some(sums) => {
+                                    Literal::with_summary(slice, negated, &sums[i as usize])
+                                }
+                                None => Literal::new(slice, negated),
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            return Self {
+                inner: StoredPlanInner::Dense(FusedPlan { terms, row_count }),
+            };
+        }
+        let terms = expr
+            .cubes()
+            .iter()
+            .map(|cube| {
+                (0..64u32)
+                    .filter(|i| cube.mask() >> i & 1 == 1)
+                    .map(|i| {
+                        let negated = cube.value() >> i & 1 == 0;
+                        let slice = &slices[i as usize];
+                        match summaries {
+                            Some(sums) => {
+                                StoredLiteral::with_summary(slice, negated, &sums[i as usize])
+                            }
+                            None => StoredLiteral::new(slice, negated),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            inner: StoredPlanInner::Mixed { terms, row_count },
+        }
+    }
+
+    /// Rows covered by the plan.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        match &self.inner {
+            StoredPlanInner::Dense(p) => p.row_count,
+            StoredPlanInner::Mixed { row_count, .. } => *row_count,
+        }
+    }
+
+    /// Whether the plan resolved to the all-dense fast path.
+    #[must_use]
+    pub fn is_dense(&self) -> bool {
+        matches!(self.inner, StoredPlanInner::Dense(_))
+    }
+
+    /// Evaluates the whole plan into a fresh selection bitmap.
+    #[must_use]
+    pub fn eval(&self, stats: &mut KernelStats) -> BitVec {
+        match &self.inner {
+            StoredPlanInner::Dense(p) => p.eval(stats),
+            StoredPlanInner::Mixed { terms, row_count } => {
+                kernels::eval_dnf_stored(terms, *row_count, stats)
+            }
+        }
+    }
+
+    /// Evaluates the plan into `dst`, a **zeroed** window covering words
+    /// `word_offset ..` of the selection bitmap. `word_offset` must be
+    /// segment-aligned; disjoint windows compose to the exact
+    /// whole-vector result.
+    ///
+    /// # Panics
+    ///
+    /// As [`ebi_bitvec::kernels::eval_dnf_stored_range`].
+    pub fn eval_range(&self, dst: &mut [u64], word_offset: usize, stats: &mut KernelStats) {
+        match &self.inner {
+            StoredPlanInner::Dense(p) => p.eval_range(dst, word_offset, stats),
+            StoredPlanInner::Mixed { terms, row_count } => {
+                kernels::eval_dnf_stored_range(dst, word_offset, *row_count, terms, stats);
+            }
+        }
+    }
+}
+
+/// Evaluates `expr` over adaptively stored slices, recording cost in
+/// `tracker`. Storage-aware counterpart of [`eval_expr_tracked`] /
+/// [`eval_expr_summarized`]: pass `Some(summaries)` to enable
+/// whole-segment pruning. `vectors_accessed` is identical whatever the
+/// per-slice container choice.
+///
+/// # Panics
+///
+/// As [`StoredPlan::new`] / [`StoredPlan::with_summaries`].
+#[must_use]
+pub fn eval_expr_stored(
+    expr: &DnfExpr,
+    slices: &[SliceStorage],
+    summaries: Option<&[SegmentSummary]>,
+    row_count: usize,
+    tracker: &mut AccessTracker,
+) -> BitVec {
+    let plan = match summaries {
+        Some(sums) => StoredPlan::with_summaries(expr, slices, sums, row_count),
+        None => StoredPlan::new(expr, slices, row_count),
+    };
+    FusedPlan::record_access(expr, tracker);
+    let mut stats = KernelStats::new();
+    let result = plan.eval(&mut stats);
+    tracker.absorb_kernel_stats(&stats);
+    result
 }
 
 /// Evaluates `expr` over `slices` (slice `i` = bitmap vector `B_i`),
@@ -483,6 +698,101 @@ mod tests {
             t_plain.words_scanned
         );
         assert!(t_sum.segments_pruned > 0, "B2 is constant per half: prunes");
+    }
+
+    #[test]
+    fn stored_plan_dense_fast_path_and_mixed_agree_with_naive() {
+        use ebi_bitvec::StoragePolicy;
+        let codes: Vec<u64> = (0..30_000u64)
+            .map(|i| if i % 97 == 0 { i % 8 } else { 0 })
+            .collect();
+        let dense = slices_for(&codes, 3);
+        let e = DnfExpr::parse("B2'B1B0 + B2B1' + B0'", 3).unwrap();
+        let expect = eval_expr_naive(&e, &dense, codes.len());
+
+        // All-dense storage resolves to the FusedPlan fast path.
+        let all_dense: Vec<SliceStorage> = dense
+            .iter()
+            .map(|b| SliceStorage::from_dense(b.clone(), StoragePolicy::Dense))
+            .collect();
+        let plan = StoredPlan::new(&e, &all_dense, codes.len());
+        assert!(plan.is_dense());
+        let mut stats = KernelStats::new();
+        assert_eq!(plan.eval(&mut stats), expect);
+        assert_eq!(stats.compressed_chunks_skipped, 0);
+
+        // Mixed storage (one slice per container kind) takes the stored
+        // kernels and still matches bit-for-bit.
+        let policies = [StoragePolicy::Dense, StoragePolicy::Roaring, StoragePolicy::Wah];
+        let mixed: Vec<SliceStorage> = dense
+            .iter()
+            .zip(policies)
+            .map(|(b, p)| SliceStorage::from_dense(b.clone(), p))
+            .collect();
+        let plan = StoredPlan::new(&e, &mixed, codes.len());
+        assert!(!plan.is_dense());
+        let mut stats = KernelStats::new();
+        assert_eq!(plan.eval(&mut stats), expect);
+        assert!(stats.bytes_touched > 0);
+    }
+
+    #[test]
+    fn stored_eval_keeps_vectors_accessed_invariant() {
+        use ebi_bitvec::StoragePolicy;
+        let codes: Vec<u64> = (0..40_000u64).map(|i| i * 31 % 8).collect();
+        let dense = slices_for(&codes, 3);
+        let summaries = summarize_slices(&dense);
+        let stored: Vec<SliceStorage> = dense
+            .iter()
+            .map(|b| SliceStorage::from_dense(b.clone(), StoragePolicy::Roaring))
+            .collect();
+        let e = DnfExpr::parse("B2B1' + B2'B0", 3).unwrap();
+        let mut t_dense = AccessTracker::new();
+        let mut t_stored = AccessTracker::new();
+        let d = eval_expr_tracked(&e, &dense, codes.len(), &mut t_dense);
+        let s = eval_expr_stored(&e, &stored, Some(&summaries), codes.len(), &mut t_stored);
+        assert_eq!(d, s);
+        assert_eq!(
+            t_dense.vectors_accessed(),
+            t_stored.vectors_accessed(),
+            "the paper's c_e metric must not depend on the container choice"
+        );
+        assert_eq!(t_dense.touched_mask(), t_stored.touched_mask());
+    }
+
+    #[test]
+    fn stored_plan_range_composition_matches_whole_eval() {
+        use ebi_bitvec::{StoragePolicy, SEGMENT_WORDS, WORD_BITS};
+        let codes: Vec<u64> = (0..20_000u64)
+            .map(|i| if i < 10_000 { 0 } else { i.wrapping_mul(37) % 16 })
+            .collect();
+        let dense = slices_for(&codes, 4);
+        let policies = [
+            StoragePolicy::Roaring,
+            StoragePolicy::Dense,
+            StoragePolicy::Wah,
+            StoragePolicy::Roaring,
+        ];
+        let stored: Vec<SliceStorage> = dense
+            .iter()
+            .zip(policies)
+            .map(|(b, p)| SliceStorage::from_dense(b.clone(), p))
+            .collect();
+        let e = DnfExpr::parse("B3B1 + B2'B0", 4).unwrap();
+        let plan = StoredPlan::new(&e, &stored, codes.len());
+        let mut stats = KernelStats::new();
+        let whole = plan.eval(&mut stats);
+        assert_eq!(whole, eval_expr_naive(&e, &dense, codes.len()));
+
+        let mut split = BitVec::zeros(codes.len());
+        let cut = SEGMENT_WORDS * 2;
+        let n_words = codes.len().div_ceil(WORD_BITS);
+        assert!(cut < n_words);
+        let (lo, hi) = split.words_mut().split_at_mut(cut);
+        let mut s = KernelStats::new();
+        plan.eval_range(lo, 0, &mut s);
+        plan.eval_range(hi, cut, &mut s);
+        assert_eq!(split, whole);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Differential property tests for compressed-domain evaluation.
+//!
+//! [`eval_expr_stored`] consumes slices in whatever container each one
+//! landed in ([`SliceStorage`]); its result must be bit-identical to
+//! the naive evaluator running over fully dense copies, for every
+//! mixture of Dense/Roaring/WAH slices, with and without segment
+//! summaries — and the paper's `vectors_accessed` metric must not
+//! notice the container choice at all.
+
+use ebi_bitvec::{BitVec, SliceStorage, StoragePolicy};
+use ebi_boolean::{eval_expr_naive, eval_expr_stored, AccessTracker, Cube, DnfExpr};
+use proptest::prelude::*;
+
+/// Deterministic xorshift so slice contents derive from one seed.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Builds `k` bitmap slices for `rows` pseudo-random codes, skewed so
+/// high-order slices carry long zero runs (the compressible case).
+fn random_slices(k: u32, rows: usize, seed: u64) -> Vec<BitVec> {
+    let mut slices = vec![BitVec::zeros(rows); k as usize];
+    let mut state = seed;
+    for row in 0..rows {
+        let r = next(&mut state);
+        // 3 in 4 rows draw from the two hot low codes; the rest sweep
+        // the whole code space.
+        let code = if r.is_multiple_of(4) { r >> 2 & ((1u64 << k) - 1) } else { r % 2 };
+        for (i, slice) in slices.iter_mut().enumerate() {
+            if code >> i & 1 == 1 {
+                slice.set(row, true);
+            }
+        }
+    }
+    slices
+}
+
+/// Lowers raw `(value, mask, tag)` triples into a DNF over `k` variables.
+fn build_expr(specs: &[(u64, u64, u32)], k: u32) -> DnfExpr {
+    let universe = (1u64 << k) - 1;
+    let cubes = specs
+        .iter()
+        .map(|&(value, mask, tag)| {
+            if tag == 0 {
+                Cube::tautology()
+            } else {
+                Cube::new(value & universe, mask & universe)
+            }
+        })
+        .collect();
+    DnfExpr::from_cubes(cubes, k)
+}
+
+/// Packs each slice under a pseudo-random per-slice policy.
+fn mixed_storage(dense: &[BitVec], seed: u64) -> Vec<SliceStorage> {
+    let mut state = seed;
+    dense
+        .iter()
+        .map(|b| {
+            let policy = match next(&mut state) % 4 {
+                0 => StoragePolicy::Dense,
+                1 => StoragePolicy::Roaring,
+                2 => StoragePolicy::Wah,
+                _ => StoragePolicy::Adaptive,
+            };
+            SliceStorage::from_dense(b.clone(), policy)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn stored_eval_matches_naive_over_mixed_containers(
+        seed in any::<u64>(),
+        k in 1u32..=6,
+        rows in 0usize..30_000,
+        specs in prop::collection::vec((any::<u64>(), any::<u64>(), 0u32..8), 0..6),
+    ) {
+        let dense = random_slices(k, rows, seed);
+        let stored = mixed_storage(&dense, seed ^ 0xA5A5);
+        let expr = build_expr(&specs, k);
+        let naive = eval_expr_naive(&expr, &dense, rows);
+
+        let mut tracker = AccessTracker::new();
+        let got = eval_expr_stored(&expr, &stored, None, rows, &mut tracker);
+        prop_assert_eq!(&got, &naive, "stored != naive (k={}, rows={})", k, rows);
+        // The paper's cost metric counts vectors, not bytes: container
+        // choice must leave it untouched.
+        prop_assert_eq!(tracker.vectors_accessed(), expr.vectors_accessed());
+
+        // Summary pruning on top of compressed storage changes nothing.
+        let summaries: Vec<_> = stored.iter().map(SliceStorage::summary).collect();
+        let mut tracker = AccessTracker::new();
+        let pruned = eval_expr_stored(&expr, &stored, Some(&summaries), rows, &mut tracker);
+        prop_assert_eq!(&pruned, &naive, "summarized stored != naive");
+        prop_assert_eq!(tracker.vectors_accessed(), expr.vectors_accessed());
+    }
+
+    #[test]
+    fn stored_eval_is_storage_independent(
+        seed in any::<u64>(),
+        k in 1u32..=5,
+        rows in 1usize..20_000,
+        picks in prop::collection::btree_set(0u64..32, 1..8),
+    ) {
+        // The same min-term sum under four uniform storage regimes:
+        // identical bitmaps, identical vectors_accessed, and the
+        // compressed runs charge no fewer *vectors*.
+        let codes: Vec<u64> = picks.into_iter().filter(|&c| c < (1 << k)).collect();
+        let expr = DnfExpr::minterm_sum(&codes, k);
+        let dense = random_slices(k, rows, seed);
+        let mut expect: Option<(BitVec, usize)> = None;
+        for policy in [
+            StoragePolicy::Dense,
+            StoragePolicy::Roaring,
+            StoragePolicy::Wah,
+            StoragePolicy::Adaptive,
+        ] {
+            let stored: Vec<SliceStorage> = dense
+                .iter()
+                .map(|b| SliceStorage::from_dense(b.clone(), policy))
+                .collect();
+            let mut tracker = AccessTracker::new();
+            let got = eval_expr_stored(&expr, &stored, None, rows, &mut tracker);
+            match &expect {
+                None => expect = Some((got, tracker.vectors_accessed())),
+                Some((bits, va)) => {
+                    prop_assert_eq!(&got, bits, "{:?} diverged", policy);
+                    prop_assert_eq!(tracker.vectors_accessed(), *va, "{:?} cost", policy);
+                }
+            }
+        }
+    }
+}

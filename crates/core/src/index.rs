@@ -5,9 +5,9 @@ use crate::mapping::Mapping;
 use crate::nulls::{NullPolicy, VOID_CODE};
 use crate::stats::QueryStats;
 use ebi_bitvec::builder::SliceFamilyBuilder;
-use ebi_bitvec::summary::summarize_slices;
-use ebi_bitvec::{BitVec, KernelStats, SegmentSummary};
-use ebi_boolean::{qm, AccessTracker, DnfExpr, FusedPlan};
+use ebi_bitvec::summary::{summarize_slices, summarize_storage};
+use ebi_bitvec::{BitVec, KernelStats, SegmentSummary, SliceStorage, StoragePolicy};
+use ebi_boolean::{qm, AccessTracker, DnfExpr, FusedPlan, StoredPlan};
 use ebi_storage::Cell;
 
 /// Result of one query: the selection bitmap (bit `j` set iff live row
@@ -47,6 +47,12 @@ pub struct QueryOptions {
     /// Consult per-slice [`SegmentSummary`] data (when present) to skip
     /// whole 4096-row segments before reading any bitmap word.
     pub use_summaries: bool,
+    /// Per-slice container choice. [`StoragePolicy::Adaptive`] (the
+    /// default) keeps mid-density slices dense and compresses skewed
+    /// ones; changing the policy via
+    /// [`EncodedBitmapIndex::set_query_options`] repacks every slice.
+    /// Results and `vectors_accessed` are identical for every policy.
+    pub storage_policy: StoragePolicy,
 }
 
 impl Default for QueryOptions {
@@ -54,6 +60,7 @@ impl Default for QueryOptions {
         Self {
             eval_threads: 1,
             use_summaries: true,
+            storage_policy: StoragePolicy::Adaptive,
         }
     }
 }
@@ -68,7 +75,7 @@ impl Default for QueryOptions {
 #[derive(Debug, Clone)]
 pub struct EncodedBitmapIndex {
     pub(crate) mapping: Mapping,
-    pub(crate) slices: Vec<BitVec>,
+    pub(crate) slices: Vec<SliceStorage>,
     pub(crate) rows: usize,
     pub(crate) policy: NullPolicy,
     /// Reserved codes (void, NULL) under `EncodedReserved`.
@@ -200,8 +207,13 @@ impl EncodedBitmapIndex {
             }
         }
 
-        let slices = fam.finish();
-        let summaries = Some(summarize_slices(&slices));
+        let dense = fam.finish();
+        let summaries = Some(summarize_slices(&dense));
+        let policy = QueryOptions::default().storage_policy;
+        let slices = dense
+            .into_iter()
+            .map(|b| SliceStorage::from_dense(b, policy))
+            .collect();
         Ok(Self {
             mapping,
             slices,
@@ -241,9 +253,10 @@ impl EncodedBitmapIndex {
         self.policy
     }
 
-    /// The encoded bitmap vectors, LSB (`B_0`) first.
+    /// The encoded bitmap vectors, LSB (`B_0`) first, in their current
+    /// per-slice container ([`SliceStorage`]).
     #[must_use]
-    pub fn slices(&self) -> &[BitVec] {
+    pub fn slices(&self) -> &[SliceStorage] {
         &self.slices
     }
 
@@ -259,7 +272,7 @@ impl EncodedBitmapIndex {
     /// Rebuilds the per-slice segment summaries after maintenance.
     /// One popcount pass over the slices: `O(k · rows / 64)`.
     pub fn refresh_summaries(&mut self) {
-        self.summaries = Some(summarize_slices(&self.slices));
+        self.summaries = Some(summarize_storage(&self.slices));
     }
 
     /// Current query evaluation options.
@@ -268,10 +281,17 @@ impl EncodedBitmapIndex {
         self.query_options
     }
 
-    /// Sets the query evaluation strategy (threading, summary pruning).
-    /// Never affects query results — only how fast they are produced.
+    /// Sets the query evaluation strategy (threading, summary pruning,
+    /// slice storage). Never affects query results — only how fast they
+    /// are produced. A changed [`QueryOptions::storage_policy`] repacks
+    /// every slice under the new policy.
     pub fn set_query_options(&mut self, options: QueryOptions) {
         assert!(options.eval_threads > 0, "at least one evaluation thread");
+        if options.storage_policy != self.query_options.storage_policy {
+            for s in &mut self.slices {
+                *s = s.repack(options.storage_policy);
+            }
+        }
         self.query_options = options;
     }
 
@@ -286,14 +306,14 @@ impl EncodedBitmapIndex {
     /// Storage footprint: bitmap vectors plus the mapping table.
     #[must_use]
     pub fn storage_bytes(&self) -> usize {
-        let vectors: usize = self
-            .slices
+        let vectors: usize = self.slices.iter().map(SliceStorage::storage_bytes).sum();
+        let companions: usize = self
+            .b_not_exist
             .iter()
-            .chain(self.b_not_exist.iter())
             .chain(self.b_null.iter())
             .map(BitVec::storage_bytes)
             .sum();
-        vectors + self.mapping.to_bytes().len()
+        vectors + companions + self.mapping.to_bytes().len()
     }
 
     /// Mean fraction of zero bits across the encoded vectors — compare
@@ -303,7 +323,7 @@ impl EncodedBitmapIndex {
         if self.slices.is_empty() {
             return 0.0;
         }
-        self.slices.iter().map(BitVec::sparsity).sum::<f64>() / self.slices.len() as f64
+        self.slices.iter().map(SliceStorage::sparsity).sum::<f64>() / self.slices.len() as f64
     }
 
     /// Don't-care codes: unassigned and unreserved at the current width.
@@ -456,9 +476,10 @@ impl EncodedBitmapIndex {
         }
     }
 
-    /// Evaluates the selection bitmap for `expr` via the fused kernels,
-    /// honouring [`QueryOptions`] (summary pruning, segment-parallel
-    /// threads). Bit-identical to naive whole-vector evaluation.
+    /// Evaluates the selection bitmap for `expr` via the storage-aware
+    /// fused kernels, honouring [`QueryOptions`] (summary pruning,
+    /// segment-parallel threads, per-slice containers). Bit-identical to
+    /// naive whole-vector evaluation over dense slices.
     fn eval_selection(&self, expr: &DnfExpr, tracker: &mut AccessTracker) -> BitVec {
         let summaries = if self.query_options.use_summaries {
             self.summaries.as_deref()
@@ -466,13 +487,13 @@ impl EncodedBitmapIndex {
             None
         };
         let plan = match summaries {
-            Some(s) => FusedPlan::with_summaries(expr, &self.slices, s, self.rows),
-            None => FusedPlan::new(expr, &self.slices, self.rows),
+            Some(s) => StoredPlan::with_summaries(expr, &self.slices, s, self.rows),
+            None => StoredPlan::new(expr, &self.slices, self.rows),
         };
         FusedPlan::record_access(expr, tracker);
         let mut stats = KernelStats::new();
         let bitmap =
-            crate::parallel::eval_plan(&plan, self.query_options.eval_threads, &mut stats);
+            crate::parallel::eval_plan_stored(&plan, self.query_options.eval_threads, &mut stats);
         tracker.absorb_kernel_stats(&stats);
         bitmap
     }
@@ -581,8 +602,8 @@ mod tests {
         assert_eq!(idx.mapping().code_of(1), Some(0b01));
         assert_eq!(idx.mapping().code_of(2), Some(0b10));
         // B0 = 010100, B1 = 001001 (LSB-first rows).
-        assert_eq!(idx.slices()[0].to_positions(), vec![1, 3]);
-        assert_eq!(idx.slices()[1].to_positions(), vec![2, 5]);
+        assert_eq!(idx.slices()[0].to_dense().to_positions(), vec![1, 3]);
+        assert_eq!(idx.slices()[1].to_dense().to_positions(), vec![2, 5]);
     }
 
     #[test]

@@ -67,8 +67,10 @@ impl EncodedBitmapIndex {
             },
         };
 
+        // Compressed containers are immutable: densify before mutating.
+        // A later `set_query_options` (or `repack`) restores the policy.
         for (i, slice) in self.slices.iter_mut().enumerate() {
-            slice.push(code >> i & 1 == 1);
+            slice.densify().push(code >> i & 1 == 1);
         }
         // Segment summaries are stale once slice bits change; drop them
         // rather than risk pruning live rows. `refresh_summaries`
@@ -104,7 +106,7 @@ impl EncodedBitmapIndex {
             NullPolicy::EncodedReserved => {
                 // Recode the row to the void code (0): Theorem 2.1.
                 for (i, slice) in self.slices.iter_mut().enumerate() {
-                    slice.set(row, VOID_CODE >> i & 1 == 1);
+                    slice.densify().set(row, VOID_CODE >> i & 1 == 1);
                 }
                 self.summaries = None;
                 // A voided row is also no longer NULL.
@@ -157,7 +159,7 @@ impl EncodedBitmapIndex {
             },
         };
         for (i, slice) in self.slices.iter_mut().enumerate() {
-            slice.set(row, code >> i & 1 == 1);
+            slice.densify().set(row, code >> i & 1 == 1);
         }
         self.summaries = None;
         // Maintain companions: the row is (no longer) NULL, and an
@@ -230,7 +232,7 @@ impl EncodedBitmapIndex {
             });
         }
         self.mapping.widen();
-        self.slices.push(BitVec::zeros(self.rows));
+        self.slices.push(BitVec::zeros(self.rows).into());
         self.expr_cache.clear(); // cached expressions are now stale
         self.summaries = None; // slice count changed
         Ok(true)
@@ -290,7 +292,7 @@ mod tests {
         assert_eq!(idx.slices().len(), 3);
         assert_eq!(idx.mapping().code_of(4), Some(0b100));
         // Existing tuples all have B2 = 0.
-        assert_eq!(idx.slices()[2].to_positions(), vec![4]);
+        assert_eq!(idx.slices()[2].to_dense().to_positions(), vec![4]);
         // Old values still retrieve correctly: f_a gained the B2' literal.
         let r = idx.eq(0).unwrap();
         assert_eq!(r.bitmap.to_positions(), vec![0]);

@@ -16,8 +16,8 @@ use crate::mapping::Mapping;
 use crate::nulls::NullPolicy;
 use crate::persist::IndexHandle;
 use crate::stats::QueryStats;
-use ebi_bitvec::BitVec;
-use ebi_boolean::{eval_expr_tracked, qm, AccessTracker};
+use ebi_bitvec::{BitVec, SliceStorage};
+use ebi_boolean::{eval_expr_stored, qm, AccessTracker};
 use ebi_storage::buffer::{BufferPool, BufferStats};
 use ebi_storage::segment::{read_segment_buffered, SegmentHandle};
 use ebi_storage::pager::Pager;
@@ -86,7 +86,22 @@ impl<'a> PagedIndex<'a> {
         self.pool.reset_stats();
     }
 
-    fn fetch_vector(&self, h: &SegmentHandle) -> Result<BitVec, CoreError> {
+    /// Fetches one slice in its stored container; evaluation consumes
+    /// compressed containers directly, so no decompression happens here.
+    fn fetch_vector(&self, h: &SegmentHandle) -> Result<SliceStorage, CoreError> {
+        let raw = read_segment_buffered(&self.pool, self.page_size, h).map_err(|e| {
+            CoreError::InvalidCode {
+                detail: format!("storage error while reading vector: {e}"),
+            }
+        })?;
+        SliceStorage::from_bytes(&raw).map_err(|e| CoreError::InvalidCode {
+            detail: format!("corrupt bitmap vector: {e}"),
+        })
+    }
+
+    /// Fetches a companion vector (`B_NULL` / `B_NotExist`); companions
+    /// are persisted as plain dense bitmaps, without a storage tag.
+    fn fetch_companion(&self, h: &SegmentHandle) -> Result<BitVec, CoreError> {
         let raw = read_segment_buffered(&self.pool, self.page_size, h).map_err(|e| {
             CoreError::InvalidCode {
                 detail: format!("storage error while reading vector: {e}"),
@@ -118,29 +133,31 @@ impl<'a> PagedIndex<'a> {
             .filter_map(|&v| self.mapping.code_of(v))
             .collect();
         let expr = qm::minimize(&codes, &self.dont_care_codes(), self.width());
-        // Materialise exactly the slices in the expression's support;
-        // placeholders elsewhere (never touched by evaluation).
-        let mut slices: Vec<BitVec> = Vec::with_capacity(self.handle.slices.len());
+        // Materialise exactly the slices in the expression's support, in
+        // their stored container — compressed slices are evaluated
+        // compressed-domain; placeholders elsewhere (never touched by
+        // evaluation).
+        let mut slices: Vec<SliceStorage> = Vec::with_capacity(self.handle.slices.len());
         for (i, h) in self.handle.slices.iter().enumerate() {
             if expr.support() >> i & 1 == 1 {
                 slices.push(self.fetch_vector(h)?);
             } else {
-                slices.push(BitVec::zeros(self.rows));
+                slices.push(BitVec::zeros(self.rows).into());
             }
         }
         let mut tracker = AccessTracker::new();
-        let mut bitmap = eval_expr_tracked(&expr, &slices, self.rows, &mut tracker);
+        let mut bitmap = eval_expr_stored(&expr, &slices, None, self.rows, &mut tracker);
         let mut rendered = expr.to_string();
         if self.policy == NullPolicy::SeparateVectors && !expr.is_false() {
             if let Some(h) = &self.handle.b_null {
-                let bn = self.fetch_vector(h)?;
+                let bn = self.fetch_companion(h)?;
                 tracker.touch(self.width());
                 tracker.literal_ops += 1;
                 bitmap.and_not_assign(&bn);
                 rendered.push_str(" · B_NULL'");
             }
             if let Some(h) = &self.handle.b_not_exist {
-                let ne = self.fetch_vector(h)?;
+                let ne = self.fetch_companion(h)?;
                 tracker.touch(self.width() + 1);
                 tracker.literal_ops += 1;
                 bitmap.and_not_assign(&ne);
@@ -244,8 +261,9 @@ mod tests {
         paged.reset_pool_stats();
         let r = paged.in_list(&(0..16).collect::<Vec<_>>()).unwrap();
         assert_eq!(r.stats.vectors_accessed, 1);
-        // Serialised vector = 8-byte length header + 4096/8 payload.
-        let pages_per_vector = (8 + 4_096usize / 8).div_ceil(128) as u64;
+        // Serialised vector = 1-byte storage tag + 8-byte length header
+        // + 4096/8 payload (small index: slices stay dense).
+        let pages_per_vector = (1 + 8 + 4_096usize / 8).div_ceil(128) as u64;
         assert_eq!(paged.pool_stats().misses, pages_per_vector);
     }
 

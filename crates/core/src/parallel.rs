@@ -9,11 +9,16 @@
 //! is fixed up front (one cheap serial distinct-scan), so the result is
 //! **bit-identical** to the serial build.
 //!
-//! **Evaluation** ([`eval_plan`]): a lowered [`FusedPlan`] reads its
-//! slices immutably and writes each destination word exactly once, so
-//! the selection bitmap can be split into segment-aligned word ranges
-//! and filled concurrently — same chunking discipline as construction,
-//! same bit-identical guarantee.
+//! **Evaluation** ([`eval_plan`], [`eval_plan_stored`]): a lowered
+//! [`FusedPlan`] / [`StoredPlan`] reads its slices immutably and writes
+//! each destination word exactly once, so the selection bitmap can be
+//! split into segment-aligned word ranges and filled concurrently —
+//! same chunking discipline as construction, same bit-identical
+//! guarantee. Both entry points auto-fall back to the serial path when
+//! the input is too small to amortise thread spawns or the host exposes
+//! a single core (measured: parallel evaluation was 0.86× serial at 1M
+//! rows); [`eval_plan_forced`] / [`eval_plan_stored_forced`] bypass the
+//! heuristic for tests and benchmarks.
 
 use crate::error::CoreError;
 use crate::index::{BuildOptions, EncodedBitmapIndex};
@@ -22,7 +27,7 @@ use crate::nulls::NullPolicy;
 use ebi_bitvec::builder::SliceFamilyBuilder;
 use ebi_bitvec::summary::summarize_slices;
 use ebi_bitvec::{BitVec, KernelStats, SEGMENT_WORDS, WORD_BITS};
-use ebi_boolean::FusedPlan;
+use ebi_boolean::{FusedPlan, StoredPlan};
 use ebi_storage::Cell;
 
 /// Minimum rows per chunk; chunks are rounded to multiples of 64 so the
@@ -33,25 +38,35 @@ const MIN_CHUNK: usize = 4_096;
 /// spawn overhead exceeds the scan cost and the serial path wins.
 const MIN_EVAL_WORDS: usize = 4 * SEGMENT_WORDS;
 
-/// Evaluates `plan` into a fresh selection bitmap using up to `threads`
-/// workers over disjoint segment-aligned word ranges.
-///
-/// With `threads == 1` (or an input too small to split) this is the
-/// plain serial fused evaluation. The result is bit-identical either
-/// way, and `stats` accumulates the work counters of every worker.
-///
-/// # Panics
-///
-/// Panics if `threads == 0`, or propagates the plan's own length
-/// mismatch panics.
-#[must_use]
-pub fn eval_plan(plan: &FusedPlan<'_>, threads: usize, stats: &mut KernelStats) -> BitVec {
+/// Rows below which multi-threaded evaluation is not worth the spawn
+/// and cache-line handoff cost even with idle cores: the eval_kernels
+/// benchmark shows the parallel engine at 0.86× serial for 1M rows.
+const AUTO_PARALLEL_MIN_ROWS: usize = 2_000_000;
+
+/// Caps requested evaluation threads by the auto-serial heuristic:
+/// inputs under [`AUTO_PARALLEL_MIN_ROWS`] rows, or a host exposing a
+/// single core, evaluate serially regardless of the request.
+fn effective_threads(requested: usize, rows: usize) -> usize {
+    if requested <= 1 || rows < AUTO_PARALLEL_MIN_ROWS {
+        return 1;
+    }
+    match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => requested,
+        _ => 1,
+    }
+}
+
+/// Splits `rows` into segment-aligned chunks filled by `threads`
+/// workers calling `eval_range(chunk, word_offset, stats)`.
+fn eval_ranged<F>(rows: usize, threads: usize, stats: &mut KernelStats, eval_range: F) -> BitVec
+where
+    F: Fn(&mut [u64], usize, &mut KernelStats) + Sync,
+{
     assert!(threads > 0, "at least one evaluation thread");
-    let rows = plan.row_count();
     let total_words = rows.div_ceil(WORD_BITS);
     let mut dst = BitVec::zeros(rows);
     if threads == 1 || total_words < 2 * MIN_EVAL_WORDS {
-        plan.eval_range(dst.words_mut(), 0, stats);
+        eval_range(dst.words_mut(), 0, stats);
         return dst;
     }
 
@@ -63,8 +78,9 @@ pub fn eval_plan(plan: &FusedPlan<'_>, threads: usize, stats: &mut KernelStats) 
     let mut worker_stats: Vec<KernelStats> = vec![KernelStats::new(); chunks.len()];
     crossbeam::thread::scope(|scope| {
         for (i, (chunk, slot)) in chunks.into_iter().zip(&mut worker_stats).enumerate() {
+            let eval_range = &eval_range;
             scope.spawn(move |_| {
-                plan.eval_range(chunk, i * chunk_words, slot);
+                eval_range(chunk, i * chunk_words, slot);
             });
         }
     })
@@ -73,6 +89,67 @@ pub fn eval_plan(plan: &FusedPlan<'_>, threads: usize, stats: &mut KernelStats) 
         stats.merge(s);
     }
     dst
+}
+
+/// Evaluates `plan` into a fresh selection bitmap using up to `threads`
+/// workers over disjoint segment-aligned word ranges, with the
+/// auto-serial heuristic applied (small inputs and single-core hosts
+/// evaluate serially whatever `threads` says).
+///
+/// The result is bit-identical either way, and `stats` accumulates the
+/// work counters of every worker.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates the plan's own length
+/// mismatch panics.
+#[must_use]
+pub fn eval_plan(plan: &FusedPlan<'_>, threads: usize, stats: &mut KernelStats) -> BitVec {
+    assert!(threads > 0, "at least one evaluation thread");
+    eval_plan_forced(plan, effective_threads(threads, plan.row_count()), stats)
+}
+
+/// As [`eval_plan`] but honours `threads` exactly (no auto-serial
+/// heuristic) — for tests and benchmarks that must exercise the split
+/// path regardless of host core count.
+///
+/// # Panics
+///
+/// As [`eval_plan`].
+#[must_use]
+pub fn eval_plan_forced(plan: &FusedPlan<'_>, threads: usize, stats: &mut KernelStats) -> BitVec {
+    eval_ranged(plan.row_count(), threads, stats, |chunk, off, s| {
+        plan.eval_range(chunk, off, s);
+    })
+}
+
+/// Storage-aware twin of [`eval_plan`]: evaluates a [`StoredPlan`] over
+/// mixed dense/compressed slices, same splitting discipline, same
+/// auto-serial heuristic, bit-identical results.
+///
+/// # Panics
+///
+/// As [`eval_plan`].
+#[must_use]
+pub fn eval_plan_stored(plan: &StoredPlan<'_>, threads: usize, stats: &mut KernelStats) -> BitVec {
+    assert!(threads > 0, "at least one evaluation thread");
+    eval_plan_stored_forced(plan, effective_threads(threads, plan.row_count()), stats)
+}
+
+/// As [`eval_plan_stored`] but honours `threads` exactly.
+///
+/// # Panics
+///
+/// As [`eval_plan`].
+#[must_use]
+pub fn eval_plan_stored_forced(
+    plan: &StoredPlan<'_>,
+    threads: usize,
+    stats: &mut KernelStats,
+) -> BitVec {
+    eval_ranged(plan.row_count(), threads, stats, |chunk, off, s| {
+        plan.eval_range(chunk, off, s);
+    })
 }
 
 /// Builds an encoded bitmap index in parallel over `threads` workers.
@@ -186,6 +263,11 @@ pub fn build_parallel(
     }
 
     let summaries = Some(summarize_slices(&slices));
+    let policy = crate::index::QueryOptions::default().storage_policy;
+    let slices = slices
+        .into_iter()
+        .map(|b| ebi_bitvec::SliceStorage::from_dense(b, policy))
+        .collect();
     Ok(EncodedBitmapIndex {
         mapping,
         slices,
@@ -329,22 +411,63 @@ mod tests {
         let cells = column(100_001, 32, false);
         let idx = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
         let expr = DnfExpr::parse("B4'B2B0 + B3B1' + B4B3B2'", 5).unwrap();
-        let plan = FusedPlan::with_summaries(
-            &expr,
-            idx.slices(),
-            idx.summaries().unwrap(),
-            idx.rows(),
-        );
+        let dense: Vec<BitVec> = idx.slices().iter().map(|s| s.to_dense()).collect();
+        let summaries = summarize_slices(&dense);
+        let plan = FusedPlan::with_summaries(&expr, &dense, &summaries, idx.rows());
         let mut serial_stats = KernelStats::new();
-        let serial = eval_plan(&plan, 1, &mut serial_stats);
+        let serial = eval_plan_forced(&plan, 1, &mut serial_stats);
         for threads in [2, 3, 8] {
             let mut stats = KernelStats::new();
-            let parallel = eval_plan(&plan, threads, &mut stats);
+            let parallel = eval_plan_forced(&plan, threads, &mut stats);
             assert_eq!(parallel, serial, "threads={threads}");
             assert_eq!(
                 stats.words_scanned, serial_stats.words_scanned,
                 "splitting must not change work, threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn stored_parallel_eval_matches_serial_across_containers() {
+        use ebi_boolean::DnfExpr;
+        // Skewed column over enough rows that the adaptive policy
+        // compresses some slices.
+        let cells: Vec<Cell> = (0..200_000u64)
+            .map(|i| Cell::Value(if i % 16 == 0 { (i / 16) % 32 } else { 0 }))
+            .collect();
+        let idx = EncodedBitmapIndex::build(cells).unwrap();
+        assert!(
+            idx.slices()
+                .iter()
+                .any(|s| s.kind() != ebi_bitvec::StorageKind::Dense),
+            "adaptive policy should compress skewed slices"
+        );
+        let expr = DnfExpr::parse("B4'B2B0 + B3B1'", 5).unwrap();
+        let plan = StoredPlan::with_summaries(
+            &expr,
+            idx.slices(),
+            idx.summaries().unwrap(),
+            idx.rows(),
+        );
+        let mut s1 = KernelStats::new();
+        let serial = eval_plan_stored_forced(&plan, 1, &mut s1);
+        for threads in [2, 4] {
+            let mut s = KernelStats::new();
+            let parallel = eval_plan_stored_forced(&plan, threads, &mut s);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn effective_threads_applies_the_auto_serial_heuristic() {
+        // Small inputs never split, whatever the host looks like.
+        assert_eq!(effective_threads(8, 100_000), 1);
+        assert_eq!(effective_threads(1, 10_000_000), 1);
+        // Large inputs split only when the host has more than one core.
+        let big = effective_threads(8, 10_000_000);
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => assert_eq!(big, 8),
+            _ => assert_eq!(big, 1),
         }
     }
 
@@ -356,6 +479,7 @@ mod tests {
         par_idx.set_query_options(crate::index::QueryOptions {
             eval_threads: 4,
             use_summaries: true,
+            ..Default::default()
         });
         for v in [0u64, 7, 13, 39] {
             let s = serial_idx.eq(v).unwrap();
@@ -380,6 +504,7 @@ mod tests {
         idx.set_query_options(crate::index::QueryOptions {
             eval_threads: 8,
             use_summaries: true,
+            ..Default::default()
         });
         // 500 rows < 2 * MIN_EVAL_WORDS segments: serial path, still correct.
         let r = idx.eq(3).unwrap();

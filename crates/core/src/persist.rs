@@ -10,7 +10,7 @@ use crate::error::CoreError;
 use crate::index::EncodedBitmapIndex;
 use crate::mapping::Mapping;
 use crate::nulls::NullPolicy;
-use ebi_bitvec::BitVec;
+use ebi_bitvec::{BitVec, SliceStorage};
 use ebi_storage::pager::Pager;
 use ebi_storage::segment::{read_segment, write_segment, SegmentHandle};
 use ebi_storage::StorageError;
@@ -153,9 +153,9 @@ pub fn load_index(pager: &Pager, handle: &IndexHandle) -> Result<EncodedBitmapIn
         .iter()
         .map(|h| {
             let raw = read_segment(pager, h).map_err(wrap)?;
-            BitVec::from_bytes(raw.into()).map_err(bitvec_err)
+            SliceStorage::from_bytes(&raw).map_err(bitvec_err)
         })
-        .collect::<Result<Vec<_>, CoreError>>()?;
+        .collect::<Result<Vec<SliceStorage>, CoreError>>()?;
     let mapping = Mapping::from_bytes(&read_segment(pager, &handle.mapping).map_err(wrap)?)?;
     let meta = decode_meta(&read_segment(pager, &handle.meta).map_err(wrap)?)?;
     let read_companion = |h: &Option<SegmentHandle>| -> Result<Option<BitVec>, CoreError> {
@@ -179,16 +179,21 @@ pub fn load_index(pager: &Pager, handle: &IndexHandle) -> Result<EncodedBitmapIn
             ),
         });
     }
-    for s in slices.iter().chain(b_not_exist.iter()).chain(b_null.iter()) {
-        if s.len() != meta.rows {
+    let lengths = slices
+        .iter()
+        .map(SliceStorage::len)
+        .chain(b_not_exist.iter().map(BitVec::len))
+        .chain(b_null.iter().map(BitVec::len));
+    for len in lengths {
+        if len != meta.rows {
             return Err(CoreError::InvalidCode {
-                detail: format!("vector of {} bits vs {} rows", s.len(), meta.rows),
+                detail: format!("vector of {len} bits vs {} rows", meta.rows),
             });
         }
     }
     // Summaries are derived data: cheaper to rebuild on load than to
     // persist and cross-validate.
-    let summaries = Some(ebi_bitvec::summary::summarize_slices(&slices));
+    let summaries = Some(ebi_bitvec::summary::summarize_storage(&slices));
     Ok(EncodedBitmapIndex {
         mapping,
         slices,

@@ -16,6 +16,14 @@ pub struct QueryStats {
     /// Unlike [`vectors_accessed`](Self::vectors_accessed) this shrinks
     /// when segment pruning or short-circuiting skips work.
     pub words_scanned: u64,
+    /// Storage bytes the kernels examined: 8 per dense word plus every
+    /// compressed container byte inspected. Shrinks with compressed
+    /// storage while `vectors_accessed` stays invariant.
+    pub bytes_touched: u64,
+    /// Compressed evaluation windows resolved as uniform (all-zero /
+    /// all-one) straight from container metadata, without
+    /// decompression.
+    pub compressed_chunks_skipped: u64,
     /// Whole 4096-row segments skipped via segment summaries.
     pub segments_pruned: u64,
     /// Segments abandoned mid-term because the accumulator went all-zero.
@@ -35,6 +43,8 @@ impl QueryStats {
             literal_ops: tracker.literal_ops,
             cube_evals: tracker.cube_evals,
             words_scanned: tracker.words_scanned,
+            bytes_touched: tracker.bytes_touched,
+            compressed_chunks_skipped: tracker.compressed_chunks_skipped,
             segments_pruned: tracker.segments_pruned,
             segments_short_circuited: tracker.segments_short_circuited,
             expression,

@@ -278,6 +278,7 @@ mod tests {
         tuned.set_query_options(ebi_core::index::QueryOptions {
             eval_threads: 3,
             use_summaries: true,
+            ..Default::default()
         });
 
         let q = DnfQuery {

@@ -80,7 +80,7 @@ fn fig2_full_expansion_sequence() {
     let out = idx.append(Cell::Value(4)).unwrap();
     assert!(out.added_slice);
     assert_eq!(idx.slices().len(), 3);
-    assert_eq!(idx.slices()[2].to_positions(), vec![4]);
+    assert_eq!(idx.slices()[2].to_dense().to_positions(), vec![4]);
     // Revised retrieval functions: f_a..f_d gain B2' (our reducer may
     // absorb it into the don't-cares 101/110/111 where that is sound).
     assert_eq!(idx.explain_in_list(&[0]).to_string(), "B2'B1'B0'");
