@@ -300,7 +300,10 @@ mod tests {
             Cell::Value(0),
         ]);
         // NULL row carries placeholder 0 but must not match A = 0.
-        assert_eq!(SelectionIndex::eq(&idx, 0).bitmap.to_positions(), vec![0, 3]);
+        assert_eq!(
+            SelectionIndex::eq(&idx, 0).bitmap.to_positions(),
+            vec![0, 3]
+        );
         idx.delete(0);
         assert_eq!(SelectionIndex::eq(&idx, 0).bitmap.to_positions(), vec![3]);
         let r = idx.range(0, 10);

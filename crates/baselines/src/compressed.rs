@@ -89,7 +89,10 @@ impl SelectionIndex for CompressedEncodedIndex {
     }
 
     fn in_list(&self, values: &[u64]) -> QueryResult {
-        let codes: Vec<u64> = values.iter().filter_map(|&v| self.mapping.code_of(v)).collect();
+        let codes: Vec<u64> = values
+            .iter()
+            .filter_map(|&v| self.mapping.code_of(v))
+            .collect();
         let k = self.mapping.width();
         let expr = qm::minimize(&codes, &self.dont_cares, k);
         // Compressed-domain evaluation: the stored kernels walk only the
@@ -191,9 +194,7 @@ mod tests {
     #[test]
     fn skewed_data_compresses_uniform_does_not() {
         let skew = CompressedEncodedIndex::build(skewed_cells(50_000, 512));
-        let uni = CompressedEncodedIndex::build(
-            (0..50_000u64).map(|i| Cell::Value(i % 512)),
-        );
+        let uni = CompressedEncodedIndex::build((0..50_000u64).map(|i| Cell::Value(i % 512)));
         assert!(
             skew.compression_ratio() < 0.8,
             "skewed ratio {}",

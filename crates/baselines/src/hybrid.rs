@@ -192,7 +192,10 @@ impl SelectionIndex for HybridBTreeBitmapIndex {
     }
 
     fn storage_bytes(&self) -> usize {
-        self.leaves.values().map(HybridLeaf::storage_bytes).sum::<usize>()
+        self.leaves
+            .values()
+            .map(HybridLeaf::storage_bytes)
+            .sum::<usize>()
             + self.leaves.len() * 8
     }
 }
@@ -239,7 +242,11 @@ mod tests {
                 .filter(|&(_, &v)| v >= lo && v <= hi)
                 .map(|(i, _)| i)
                 .collect();
-            assert_eq!(idx.range(lo, hi).bitmap.to_positions(), expect, "[{lo},{hi}]");
+            assert_eq!(
+                idx.range(lo, hi).bitmap.to_positions(),
+                expect,
+                "[{lo},{hi}]"
+            );
         }
         let r = idx.in_list(&[3, 103, 99999]);
         let expect: Vec<usize> = col
@@ -271,10 +278,8 @@ mod tests {
         );
         assert_eq!(aggressive.bitmap_vector_count(), 0);
         assert_eq!(aggressive.threshold_div(), 5);
-        let lax = HybridBTreeBitmapIndex::build_with_threshold(
-            col.iter().map(|&v| Cell::Value(v)),
-            100,
-        );
+        let lax =
+            HybridBTreeBitmapIndex::build_with_threshold(col.iter().map(|&v| Cell::Value(v)), 100);
         assert_eq!(lax.bitmap_vector_count(), 10);
     }
 }

@@ -53,8 +53,7 @@ impl MultiComponentIndex {
             components += 1;
             span = span.saturating_mul(base);
         }
-        let mut vectors =
-            vec![vec![BitVec::zeros(rows); base as usize]; components];
+        let mut vectors = vec![vec![BitVec::zeros(rows); base as usize]; components];
         let mut b_null: Option<BitVec> = None;
         for (row, cell) in cells.iter().enumerate() {
             match cell.value() {
@@ -237,8 +236,7 @@ impl SelectionIndex for MultiComponentIndex {
     }
 
     fn bitmap_vector_count(&self) -> usize {
-        self.vectors.iter().map(Vec::len).sum::<usize>()
-            + usize::from(self.b_null.is_some())
+        self.vectors.iter().map(Vec::len).sum::<usize>() + usize::from(self.b_null.is_some())
     }
 
     fn storage_bytes(&self) -> usize {

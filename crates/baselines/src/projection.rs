@@ -144,7 +144,10 @@ mod tests {
     #[test]
     fn scans_answer_all_query_shapes() {
         let idx = sample();
-        assert_eq!(SelectionIndex::eq(&idx, 5).bitmap.to_positions(), vec![0, 3]);
+        assert_eq!(
+            SelectionIndex::eq(&idx, 5).bitmap.to_positions(),
+            vec![0, 3]
+        );
         assert_eq!(idx.in_list(&[2, 9]).bitmap.to_positions(), vec![1, 4]);
         assert_eq!(idx.range(2, 5).bitmap.to_positions(), vec![0, 1, 3]);
         assert_eq!(SelectionIndex::eq(&idx, 77).bitmap.count_ones(), 0);
@@ -174,6 +177,9 @@ mod tests {
         let mut idx = sample();
         idx.append(Cell::Value(2));
         assert_eq!(idx.rows(), 6);
-        assert_eq!(SelectionIndex::eq(&idx, 2).bitmap.to_positions(), vec![1, 5]);
+        assert_eq!(
+            SelectionIndex::eq(&idx, 2).bitmap.to_positions(),
+            vec![1, 5]
+        );
     }
 }

@@ -87,7 +87,11 @@ impl RangeBasedBitmapIndex {
     }
 
     fn bucket_range(&self, b: usize) -> (u64, u64) {
-        let lo = if b == 0 { 0 } else { self.bounds[b - 1].saturating_add(1) };
+        let lo = if b == 0 {
+            0
+        } else {
+            self.bounds[b - 1].saturating_add(1)
+        };
         (lo, self.bounds[b])
     }
 }
@@ -193,7 +197,11 @@ impl SelectionIndex for RangeBasedBitmapIndex {
 
     fn storage_bytes(&self) -> usize {
         // Bitmaps plus the kept projection for verification.
-        self.bitmaps.iter().map(BitVec::storage_bytes).sum::<usize>() + self.raw.len() * 8
+        self.bitmaps
+            .iter()
+            .map(BitVec::storage_bytes)
+            .sum::<usize>()
+            + self.raw.len() * 8
     }
 }
 
@@ -264,17 +272,17 @@ mod tests {
     fn eq_and_inlist_verify_candidates() {
         let col = [10u64, 20, 30, 20, 10];
         let idx = RangeBasedBitmapIndex::build(col.iter().map(|&v| Cell::Value(v)), 2);
-        assert_eq!(SelectionIndex::eq(&idx, 20).bitmap.to_positions(), vec![1, 3]);
+        assert_eq!(
+            SelectionIndex::eq(&idx, 20).bitmap.to_positions(),
+            vec![1, 3]
+        );
         assert_eq!(idx.in_list(&[10, 30]).bitmap.to_positions(), vec![0, 2, 4]);
         assert_eq!(SelectionIndex::eq(&idx, 99).bitmap.count_ones(), 0);
     }
 
     #[test]
     fn nulls_land_in_no_bucket() {
-        let idx = RangeBasedBitmapIndex::build(
-            vec![Cell::Value(5), Cell::Null, Cell::Value(7)],
-            2,
-        );
+        let idx = RangeBasedBitmapIndex::build(vec![Cell::Value(5), Cell::Null, Cell::Value(7)], 2);
         assert_eq!(idx.range(0, 100).bitmap.to_positions(), vec![0, 2]);
     }
 

@@ -1,10 +1,10 @@
 //! The simple bitmap index (§2.1) — one vector per distinct value.
 
 use crate::traits::SelectionIndex;
+use ebi_bitvec::BitVec;
 use ebi_boolean::AccessTracker;
 use ebi_core::index::QueryResult;
 use ebi_core::QueryStats;
-use ebi_bitvec::BitVec;
 use ebi_storage::Cell;
 use std::collections::BTreeMap;
 
@@ -275,7 +275,10 @@ mod tests {
     #[test]
     fn nulls_never_match_values() {
         let idx = SimpleBitmapIndex::build(vec![Cell::Value(1), Cell::Null, Cell::Value(1)]);
-        assert_eq!(SelectionIndex::eq(&idx, 1).bitmap.to_positions(), vec![0, 2]);
+        assert_eq!(
+            SelectionIndex::eq(&idx, 1).bitmap.to_positions(),
+            vec![0, 2]
+        );
         assert_eq!(idx.is_null().bitmap.to_positions(), vec![1]);
     }
 
@@ -301,7 +304,10 @@ mod tests {
         assert_eq!(SelectionIndex::eq(&idx, 7).bitmap.to_positions(), vec![6]);
         assert_eq!(idx.is_null().bitmap.to_positions(), vec![7]);
         // Old vectors answer at the new length without panicking.
-        assert_eq!(SelectionIndex::eq(&idx, 0).bitmap.to_positions(), vec![0, 4]);
+        assert_eq!(
+            SelectionIndex::eq(&idx, 0).bitmap.to_positions(),
+            vec![0, 4]
+        );
     }
 
     #[test]

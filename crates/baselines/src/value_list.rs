@@ -134,11 +134,7 @@ mod tests {
     use super::*;
 
     fn sample() -> ValueListIndex {
-        ValueListIndex::build_with(
-            (0..1000u64).map(|i| Cell::Value(i % 50)),
-            8,
-            128,
-        )
+        ValueListIndex::build_with((0..1000u64).map(|i| Cell::Value(i % 50)), 8, 128)
     }
 
     #[test]
@@ -164,7 +160,10 @@ mod tests {
     #[test]
     fn nulls_are_not_indexed() {
         let idx = ValueListIndex::build(vec![Cell::Value(1), Cell::Null, Cell::Value(1)]);
-        assert_eq!(SelectionIndex::eq(&idx, 1).bitmap.to_positions(), vec![0, 2]);
+        assert_eq!(
+            SelectionIndex::eq(&idx, 1).bitmap.to_positions(),
+            vec![0, 2]
+        );
         assert_eq!(idx.rows(), 3, "rows still count the NULL slot");
     }
 
@@ -182,7 +181,10 @@ mod tests {
     fn page_cost_equals_node_reads() {
         let idx = sample();
         let r = SelectionIndex::eq(&idx, 3);
-        assert_eq!(idx.query_pages(&r.stats, 4096), r.stats.vectors_accessed as u64);
+        assert_eq!(
+            idx.query_pages(&r.stats, 4096),
+            r.stats.vectors_accessed as u64
+        );
         assert_eq!(idx.bitmap_vector_count(), 0);
         // Nodes page by payload, so the footprint is at least one page
         // per node and grows with the stored RID lists.

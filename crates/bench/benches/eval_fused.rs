@@ -11,7 +11,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ebi_bench::uniform_cells;
 use ebi_bitvec::summary::summarize_slices;
-use ebi_boolean::{eval_expr_naive, eval_expr_summarized, eval_expr_tracked, qm, AccessTracker, FusedPlan};
+use ebi_boolean::{
+    eval_expr_naive, eval_expr_summarized, eval_expr_tracked, qm, AccessTracker, FusedPlan,
+};
 use ebi_core::parallel::eval_plan_forced;
 use ebi_core::EncodedBitmapIndex;
 use std::hint::black_box;
@@ -58,12 +60,16 @@ fn bench_eval(c: &mut Criterion) {
                 black_box(eval_expr_tracked(e, slices, rows, &mut t))
             });
         });
-        group.bench_with_input(BenchmarkId::new("fused_summarized", delta), &expr, |b, e| {
-            b.iter(|| {
-                let mut t = AccessTracker::new();
-                black_box(eval_expr_summarized(e, slices, &summaries, rows, &mut t))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fused_summarized", delta),
+            &expr,
+            |b, e| {
+                b.iter(|| {
+                    let mut t = AccessTracker::new();
+                    black_box(eval_expr_summarized(e, slices, &summaries, rows, &mut t))
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("fused_parallel", delta), &expr, |b, e| {
             b.iter(|| {
                 let plan = FusedPlan::with_summaries(e, slices, &summaries, rows);

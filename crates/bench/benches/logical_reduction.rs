@@ -24,9 +24,13 @@ fn bench_qm(c: &mut Criterion) {
         });
         // Scattered selection (every third code).
         let scattered: Vec<u64> = (0..m).step_by(3).collect();
-        group.bench_with_input(BenchmarkId::new("scattered_third", k), &scattered, |b, on| {
-            b.iter(|| black_box(qm::minimize(on, &[], k)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("scattered_third", k),
+            &scattered,
+            |b, on| {
+                b.iter(|| black_box(qm::minimize(on, &[], k)));
+            },
+        );
     }
     group.finish();
 }

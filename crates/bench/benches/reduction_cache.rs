@@ -25,13 +25,9 @@ fn bench_reduction_cache(c: &mut Criterion) {
     for delta in [8u64, 64, 512] {
         let selection: Vec<u64> = (0..delta).collect();
         warm.precompute_predicates(std::slice::from_ref(&selection));
-        group.bench_with_input(
-            BenchmarkId::new("uncached", delta),
-            &selection,
-            |b, sel| {
-                b.iter(|| black_box(cold.in_list(sel).unwrap()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("uncached", delta), &selection, |b, sel| {
+            b.iter(|| black_box(cold.in_list(sel).unwrap()));
+        });
         group.bench_with_input(
             BenchmarkId::new("precomputed", delta),
             &selection,

@@ -33,7 +33,10 @@ fn main() {
         .iter()
         .map(|&v| {
             let bitmap = SelectionIndex::eq(&simple, v).bitmap;
-            (v, write_segment(&simple_pager, &bitmap.to_bytes()).expect("persist"))
+            (
+                v,
+                write_segment(&simple_pager, &bitmap.to_bytes()).expect("persist"),
+            )
         })
         .collect();
 

@@ -31,8 +31,8 @@ use ebi_bench::uniform_cells;
 use ebi_bitvec::summary::summarize_slices;
 use ebi_bitvec::{BitVec, KernelStats, SliceStorage, StoragePolicy};
 use ebi_boolean::{
-    eval_expr_naive, eval_expr_stored, eval_expr_summarized, eval_expr_tracked, qm,
-    AccessTracker, FusedPlan,
+    eval_expr_naive, eval_expr_stored, eval_expr_summarized, eval_expr_tracked, qm, AccessTracker,
+    FusedPlan,
 };
 use ebi_core::parallel::eval_plan_forced;
 use ebi_core::EncodedBitmapIndex;
@@ -133,7 +133,9 @@ fn measure(rows: usize, iters: usize, threads: usize, out: &mut Vec<Row>) {
         });
         let fused_summarized_ns = median_ns(iters, || {
             let mut t = AccessTracker::new();
-            std::hint::black_box(eval_expr_summarized(&expr, slices, &summaries, rows, &mut t));
+            std::hint::black_box(eval_expr_summarized(
+                &expr, slices, &summaries, rows, &mut t,
+            ));
         });
         let fused_parallel_ns = median_ns(iters, || {
             let plan = FusedPlan::with_summaries(&expr, slices, &summaries, rows);
@@ -283,8 +285,14 @@ fn main() {
     }
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"workload\": \"fig9-style range selections, m = {M}, QM-reduced\",");
-    let _ = writeln!(json, "  \"engines\": [\"naive\", \"fused\", \"fused_summarized\", \"fused_parallel\"],");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"fig9-style range selections, m = {M}, QM-reduced\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"engines\": [\"naive\", \"fused\", \"fused_summarized\", \"fused_parallel\"],"
+    );
     let _ = writeln!(json, "  \"unit\": \"median wall-clock ns\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"cores_available\": {cores},");

@@ -80,6 +80,12 @@ fn main() {
     let t_b = run_for_cardinality(1000, &deltas_b);
     write_result("fig09b_A1000.csv", &t_b.to_csv());
 
-    println!("hallmarks: ce_best(50,32) = {} (paper: 1, saving 83%)", ce_best(50, 32));
-    println!("           ce_best(1000,512) = {} (paper: 1, saving 90%)", ce_best(1000, 512));
+    println!(
+        "hallmarks: ce_best(50,32) = {} (paper: 1, saving 83%)",
+        ce_best(50, 32)
+    );
+    println!(
+        "           ce_best(1000,512) = {} (paper: 1, saving 90%)",
+        ce_best(1000, 512)
+    );
 }

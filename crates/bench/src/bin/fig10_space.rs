@@ -13,7 +13,9 @@ use ebi_bench::{uniform_cells, write_result};
 use ebi_core::EncodedBitmapIndex;
 
 fn main() {
-    let cardinalities: Vec<u64> = vec![2, 4, 8, 16, 32, 50, 64, 128, 256, 512, 1000, 2048, 4096, 12000];
+    let cardinalities: Vec<u64> = vec![
+        2, 4, 8, 16, 32, 50, 64, 128, 256, 512, 1000, 2048, 4096, 12000,
+    ];
     let rows = 50_000usize;
     let mut table = TextTable::new([
         "m",

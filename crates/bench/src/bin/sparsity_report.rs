@@ -40,14 +40,20 @@ fn main() {
             })
             .collect();
         let simple_wah_bytes: usize = simple_wah.iter().map(WahBitmap::storage_bytes).sum();
-        let simple_ratio = simple_wah.iter().map(WahBitmap::compression_ratio).sum::<f64>()
+        let simple_ratio = simple_wah
+            .iter()
+            .map(WahBitmap::compression_ratio)
+            .sum::<f64>()
             / simple_vec_count as f64;
         let encoded_wah: Vec<WahBitmap> = encoded
             .slices()
             .iter()
             .map(|s| WahBitmap::compress(&s.to_dense()))
             .collect();
-        let encoded_ratio = encoded_wah.iter().map(WahBitmap::compression_ratio).sum::<f64>()
+        let encoded_ratio = encoded_wah
+            .iter()
+            .map(WahBitmap::compression_ratio)
+            .sum::<f64>()
             / encoded_wah.len() as f64;
 
         table.row([

@@ -33,11 +33,7 @@ fn main() {
     let separate = build(NullPolicy::SeparateVectors);
     let reserved = build(NullPolicy::EncodedReserved);
 
-    let mut table = TextTable::new([
-        "query",
-        "separate_vectors",
-        "encoded_reserved(Thm 2.1)",
-    ]);
+    let mut table = TextTable::new(["query", "separate_vectors", "encoded_reserved(Thm 2.1)"]);
     let deltas = [1u64, 4, 16, 64, 128];
     for &delta in &deltas {
         let selection: Vec<u64> = (0..delta).collect();
@@ -50,7 +46,9 @@ fn main() {
             b.stats.vectors_accessed.to_string(),
         ]);
     }
-    println!("== Theorem 2.1: existence-mask cost by NULL policy (m = {m}, {rows} rows, ~1% deleted) ==");
+    println!(
+        "== Theorem 2.1: existence-mask cost by NULL policy (m = {m}, {rows} rows, ~1% deleted) =="
+    );
     println!("{}", table.render());
     println!("note: the reserved-code index also answers without ever storing B_NotExist.");
     write_result("theorem21.csv", &table.to_csv());

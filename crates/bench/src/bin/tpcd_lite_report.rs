@@ -21,9 +21,19 @@ fn main() {
     );
     let started = std::time::Instant::now();
     let suite = TpcdLite::new(&spec).expect("build suite");
-    println!("index build (4 indexes + measure slices): {:?}", started.elapsed());
+    println!(
+        "index build (4 indexes + measure slices): {:?}",
+        started.elapsed()
+    );
 
-    let mut table = TextTable::new(["template", "rows", "groups", "vectors", "elapsed_ms", "first_groups"]);
+    let mut table = TextTable::new([
+        "template",
+        "rows",
+        "groups",
+        "vectors",
+        "elapsed_ms",
+        "first_groups",
+    ]);
     let run_start = std::time::Instant::now();
     let results = suite.run_standard_mix(&spec).expect("run mix");
     for r in &results {

@@ -83,14 +83,17 @@ fn main() {
     println!(
         "== TPC-D-style mix: {} queries, {:.0}% range searches, m = {m}, {} rows ==",
         workload.len(),
-        100.0 * workload
-            .iter()
-            .filter(|q| q.predicate.is_range_search())
-            .count() as f64
+        100.0
+            * workload
+                .iter()
+                .filter(|q| q.predicate.is_range_search())
+                .count() as f64
             / workload.len() as f64,
         DEFAULT_ROWS,
     );
-    println!("(units: bitmap vectors for bitmap families, nodes for trees, buckets for range-based)");
+    println!(
+        "(units: bitmap vectors for bitmap families, nodes for trees, buckets for range-based)"
+    );
     println!("{}", table.render());
     write_result("tpcd_mix.csv", &table.to_csv());
 }

@@ -17,7 +17,8 @@ fn main() {
         "peak_delta",
         "peak_saving(paper)",
     ]);
-    for (m, paper_ratio, paper_saving) in [(50u64, 0.84, "83% @ δ=32"), (1000, 0.90, "90% @ δ=512")] {
+    for (m, paper_ratio, paper_saving) in [(50u64, 0.84, "83% @ δ=32"), (1000, 0.90, "90% @ δ=512")]
+    {
         let s = summary(m);
         table.row([
             m.to_string(),

@@ -169,7 +169,11 @@ impl BitVec {
     /// Panics if `i >= len()`.
     #[must_use]
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
     }
 
@@ -179,7 +183,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len()`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
         if value {
             self.words[w] |= 1u64 << b;

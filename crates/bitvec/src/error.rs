@@ -58,8 +58,6 @@ mod tests {
     #[test]
     fn implements_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
-        takes_err(&BitVecError::Corrupt {
-            detail: "x".into(),
-        });
+        takes_err(&BitVecError::Corrupt { detail: "x".into() });
     }
 }

@@ -766,10 +766,7 @@ mod tests {
         let len = SEGMENT_BITS + 100;
         let a = stripes(len, 2, 0);
         let b = stripes(len, 2, 1);
-        let terms = vec![
-            vec![Literal::new(&a, false)],
-            vec![Literal::new(&b, false)],
-        ];
+        let terms = vec![vec![Literal::new(&a, false)], vec![Literal::new(&b, false)]];
         let mut stats = KernelStats::new();
         let r = eval_dnf(&terms, len, &mut stats);
         assert_eq!(r, BitVec::ones(len));
@@ -967,9 +964,15 @@ mod tests {
             for sb in storages_for(&b) {
                 for sc in storages_for(&c) {
                     let terms = vec![
-                        vec![StoredLiteral::new(&sa, false), StoredLiteral::new(&sb, true)],
+                        vec![
+                            StoredLiteral::new(&sa, false),
+                            StoredLiteral::new(&sb, true),
+                        ],
                         vec![StoredLiteral::new(&sc, false)],
-                        vec![StoredLiteral::new(&sb, false), StoredLiteral::new(&sa, true)],
+                        vec![
+                            StoredLiteral::new(&sb, false),
+                            StoredLiteral::new(&sa, true),
+                        ],
                     ];
                     let mut stats = KernelStats::new();
                     let got = eval_dnf_stored(&terms, len, &mut stats);
@@ -996,11 +999,17 @@ mod tests {
         let dense = stripes(len, 2, 0);
         let ss = SliceStorage::from_dense(sparse, StoragePolicy::Roaring);
         let sd = SliceStorage::from_dense(dense, StoragePolicy::Dense);
-        let terms = vec![vec![StoredLiteral::new(&ss, false), StoredLiteral::new(&sd, false)]];
+        let terms = vec![vec![
+            StoredLiteral::new(&ss, false),
+            StoredLiteral::new(&sd, false),
+        ]];
         let mut stats = KernelStats::new();
         let got = eval_dnf_stored(&terms, len, &mut stats);
         assert_eq!(got.count_ones(), 0); // 17 is odd
-        assert_eq!(stats.compressed_chunks_skipped, 63, "all but one window skipped");
+        assert_eq!(
+            stats.compressed_chunks_skipped, 63,
+            "all but one window skipped"
+        );
         // Only the one mixed window's dense partner was ever scanned.
         assert_eq!(stats.words_scanned, SEGMENT_WORDS as u64);
         assert!(stats.bytes_touched < 8 * 2 * (len as u64) / 64);
@@ -1030,7 +1039,11 @@ mod tests {
         }
         let summaries = summarize_slices(&[a.clone()]);
         let stored = SliceStorage::from_dense(a.clone(), StoragePolicy::Dense);
-        let terms = vec![vec![StoredLiteral::with_summary(&stored, false, &summaries[0])]];
+        let terms = vec![vec![StoredLiteral::with_summary(
+            &stored,
+            false,
+            &summaries[0],
+        )]];
         let mut stats = KernelStats::new();
         let got = eval_dnf_stored(&terms, len, &mut stats);
         assert_eq!(got, a);
@@ -1046,8 +1059,14 @@ mod tests {
         let sa = SliceStorage::from_dense(a, StoragePolicy::Wah);
         let sb = SliceStorage::from_dense(b, StoragePolicy::Roaring);
         let terms = vec![
-            vec![StoredLiteral::new(&sa, false), StoredLiteral::new(&sb, true)],
-            vec![StoredLiteral::new(&sb, false), StoredLiteral::new(&sa, true)],
+            vec![
+                StoredLiteral::new(&sa, false),
+                StoredLiteral::new(&sb, true),
+            ],
+            vec![
+                StoredLiteral::new(&sb, false),
+                StoredLiteral::new(&sa, true),
+            ],
         ];
         let mut stats = KernelStats::new();
         let whole = eval_dnf_stored(&terms, len, &mut stats);

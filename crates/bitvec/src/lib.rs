@@ -54,8 +54,8 @@ pub mod kernels;
 mod ops;
 pub mod rank;
 pub mod roaring;
-pub mod serial;
 mod serde_impl;
+pub mod serial;
 pub mod store;
 pub mod summary;
 pub mod wah;

@@ -83,7 +83,10 @@ impl BitVec {
     #[must_use]
     pub fn is_subset(&self, other: &Self) -> bool {
         self.check_len(other, "is_subset");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Population count of `self & other` without materialising it.

@@ -71,7 +71,11 @@ impl RankIndex {
     /// Panics if `i > bits.len()` or the directory does not match `bits`.
     #[must_use]
     pub fn rank1(&self, bits: &BitVec, i: usize) -> usize {
-        assert_eq!(bits.len(), self.len, "RankIndex built for a different bitmap");
+        assert_eq!(
+            bits.len(),
+            self.len,
+            "RankIndex built for a different bitmap"
+        );
         assert!(i <= bits.len(), "rank position {i} out of range");
         let word = i / WORD_BITS;
         let sb = word / SUPER_WORDS;
@@ -91,7 +95,11 @@ impl RankIndex {
     /// at most `k` ones.
     #[must_use]
     pub fn select1(&self, bits: &BitVec, k: usize) -> Option<usize> {
-        assert_eq!(bits.len(), self.len, "RankIndex built for a different bitmap");
+        assert_eq!(
+            bits.len(),
+            self.len,
+            "RankIndex built for a different bitmap"
+        );
         if k >= self.total_ones {
             return None;
         }

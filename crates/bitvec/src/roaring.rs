@@ -316,10 +316,7 @@ impl RoaringBitmap {
     /// Compressed heap bytes (containers plus 4-byte chunk keys).
     #[must_use]
     pub fn storage_bytes(&self) -> usize {
-        self.chunks
-            .iter()
-            .map(|(_, c)| 4 + c.storage_bytes())
-            .sum()
+        self.chunks.iter().map(|(_, c)| 4 + c.storage_bytes()).sum()
     }
 
     /// Bitwise AND directly on the compressed forms.
@@ -443,7 +440,10 @@ impl RoaringBitmap {
             "window crosses a chunk boundary"
         );
         let start_bit = start_word * 64;
-        assert!(start_bit < self.len || self.len == 0, "window starts past end");
+        assert!(
+            start_bit < self.len || self.len == 0,
+            "window starts past end"
+        );
         // Bits of the window that are inside `len`.
         let valid = (self.len - start_bit).min(out.len() * 64);
         let idx = match self.chunks.binary_search_by_key(&key, |&(k, _)| k) {
@@ -606,9 +606,7 @@ impl RoaringBitmap {
                 return Err(corrupt(format!("chunk key {key} out of order")));
             }
             if key as usize > max_key {
-                return Err(corrupt(format!(
-                    "chunk key {key} beyond {len}-bit bitmap"
-                )));
+                return Err(corrupt(format!("chunk key {key} beyond {len}-bit bitmap")));
             }
             prev_key = Some(key);
             let kind = r.u8()?;
@@ -740,7 +738,11 @@ fn and_containers(a: &Container, b: &Container) -> Option<Container> {
     let out = match (a, b) {
         (Array(xs), Array(ys)) => {
             // Gallop the smaller list through the larger one.
-            let (small, large) = if xs.len() <= ys.len() { (xs, ys) } else { (ys, xs) };
+            let (small, large) = if xs.len() <= ys.len() {
+                (xs, ys)
+            } else {
+                (ys, xs)
+            };
             let mut out = Vec::new();
             let mut j = 0;
             for &x in small {
@@ -1030,7 +1032,10 @@ mod tests {
             ("empty", BitVec::new()),
             ("all zero", BitVec::zeros(200_000)),
             ("all one", BitVec::ones(200_000)),
-            ("sparse", BitVec::from_positions(300_000, &[3, 65_535, 65_536, 299_999])),
+            (
+                "sparse",
+                BitVec::from_positions(300_000, &[3, 65_535, 65_536, 299_999]),
+            ),
             ("alternating", patterned(150_000, |i| i % 2 == 0)),
             ("clustered", patterned(150_000, |i| (i / 5000) % 3 == 0)),
             ("partial tail", patterned(CHUNK_BITS + 77, |i| i % 5 == 0)),
@@ -1078,12 +1083,15 @@ mod tests {
         let b = patterned(len, |i| {
             let c = i / CHUNK_BITS;
             match c {
-                0 => (i % CHUNK_BITS) > 30_000,              // run
-                1 => (i.wrapping_mul(40503)) % 89 < 43,      // bitmap
-                _ => i % 733 == 0,                           // array
+                0 => (i % CHUNK_BITS) > 30_000,         // run
+                1 => (i.wrapping_mul(40503)) % 89 < 43, // bitmap
+                _ => i % 733 == 0,                      // array
             }
         });
-        let (ra, rb) = (RoaringBitmap::from_bitvec(&a), RoaringBitmap::from_bitvec(&b));
+        let (ra, rb) = (
+            RoaringBitmap::from_bitvec(&a),
+            RoaringBitmap::from_bitvec(&b),
+        );
         assert_eq!(ra.and(&rb).to_bitvec(), &a & &b, "AND");
         assert_eq!(ra.or(&rb).to_bitvec(), &a | &b, "OR");
         let not_b = {
@@ -1124,7 +1132,15 @@ mod tests {
             }
         });
         let r = RoaringBitmap::from_bitvec(&bits);
-        for i in [0, 17, 18, CHUNK_BITS, CHUNK_BITS + 99, CHUNK_BITS + 100, len - 1] {
+        for i in [
+            0,
+            17,
+            18,
+            CHUNK_BITS,
+            CHUNK_BITS + 99,
+            CHUNK_BITS + 100,
+            len - 1,
+        ] {
             assert_eq!(r.bit(i), bits.bit(i), "bit {i}");
         }
     }
@@ -1172,7 +1188,11 @@ mod tests {
             let w = r.fill_window(start, &mut buf[..n]);
             match w.kind {
                 WindowKind::Mixed => {
-                    assert_eq!(&buf[..n], &bits.words()[start..start + n], "window @{start}");
+                    assert_eq!(
+                        &buf[..n],
+                        &bits.words()[start..start + n],
+                        "window @{start}"
+                    );
                 }
                 WindowKind::Zeros => {
                     assert!(bits.words()[start..start + n].iter().all(|&x| x == 0));
@@ -1206,7 +1226,10 @@ mod tests {
     fn serialisation_rejects_corruption() {
         let r = RoaringBitmap::from_bitvec(&BitVec::from_positions(CHUNK_BITS, &[7, 9]));
         let good = r.to_bytes();
-        assert!(RoaringBitmap::from_bytes(&good[..good.len() - 1]).is_err(), "truncated");
+        assert!(
+            RoaringBitmap::from_bytes(&good[..good.len() - 1]).is_err(),
+            "truncated"
+        );
         let mut bad_kind = good.clone();
         bad_kind[16] = 9; // container kind byte
         assert!(RoaringBitmap::from_bytes(&bad_kind).is_err(), "bad kind");

@@ -52,8 +52,8 @@ impl<'de> Deserialize<'de> for BitVec {
         }
         let raw_len = len_field.ok_or_else(|| D::Error::custom("BitVec: missing len"))?;
         let words = words_field.ok_or_else(|| D::Error::custom("BitVec: missing words"))?;
-        let len = usize::try_from(raw_len)
-            .map_err(|_| D::Error::custom("bit length overflows usize"))?;
+        let len =
+            usize::try_from(raw_len).map_err(|_| D::Error::custom("bit length overflows usize"))?;
         if words.len() != len.div_ceil(WORD_BITS) {
             return Err(D::Error::custom(format!(
                 "{} words inconsistent with {len} bits",

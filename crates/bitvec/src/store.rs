@@ -320,7 +320,8 @@ mod tests {
     #[test]
     fn adaptive_policy_follows_density() {
         // Small vectors stay dense regardless of density.
-        let small = SliceStorage::from_dense(BitVec::from_positions(1000, &[5]), StoragePolicy::Adaptive);
+        let small =
+            SliceStorage::from_dense(BitVec::from_positions(1000, &[5]), StoragePolicy::Adaptive);
         assert_eq!(small.kind(), StorageKind::Dense);
 
         // Mid-density large vectors stay dense (compression is a loss).
@@ -349,7 +350,11 @@ mod tests {
     #[test]
     fn forced_policies_and_accessors_agree_across_kinds() {
         let bits = patterned(200_000, |i| i % 97 == 0 || (30_000..90_000).contains(&i));
-        for policy in [StoragePolicy::Dense, StoragePolicy::Roaring, StoragePolicy::Wah] {
+        for policy in [
+            StoragePolicy::Dense,
+            StoragePolicy::Roaring,
+            StoragePolicy::Wah,
+        ] {
             let s = SliceStorage::from_dense(bits.clone(), policy);
             assert_eq!(s.len(), bits.len(), "{policy:?}");
             assert_eq!(s.count_ones(), bits.count_ones(), "{policy:?}");
@@ -377,7 +382,11 @@ mod tests {
     #[test]
     fn byte_roundtrip_every_kind() {
         let bits = patterned(150_000, |i| i % 53 == 0);
-        for policy in [StoragePolicy::Dense, StoragePolicy::Roaring, StoragePolicy::Wah] {
+        for policy in [
+            StoragePolicy::Dense,
+            StoragePolicy::Roaring,
+            StoragePolicy::Wah,
+        ] {
             let s = SliceStorage::from_dense(bits.clone(), policy);
             let restored = SliceStorage::from_bytes(&s.to_bytes()).unwrap();
             assert_eq!(restored, s, "{policy:?}");
@@ -389,7 +398,11 @@ mod tests {
     #[test]
     fn serde_roundtrip_every_kind() {
         let bits = patterned(150_000, |i| (20_000..120_000).contains(&i));
-        for policy in [StoragePolicy::Dense, StoragePolicy::Roaring, StoragePolicy::Wah] {
+        for policy in [
+            StoragePolicy::Dense,
+            StoragePolicy::Roaring,
+            StoragePolicy::Wah,
+        ] {
             let s = SliceStorage::from_dense(bits.clone(), policy);
             let tree = s.serialize(ValueSerializer).unwrap();
             let restored = SliceStorage::deserialize(ValueDeserializer(tree)).unwrap();

@@ -110,10 +110,11 @@ impl SegmentSummary {
     /// buffer (for index maintenance after appends or deletes).
     pub fn rebuild(&mut self, bits: &BitVec) {
         self.ones.clear();
-        self.ones.extend(bits.words().chunks(SEGMENT_WORDS).map(|seg| {
-            let c: u32 = seg.iter().map(|w| w.count_ones()).sum();
-            u16::try_from(c).expect("segment popcount exceeds 4096")
-        }));
+        self.ones
+            .extend(bits.words().chunks(SEGMENT_WORDS).map(|seg| {
+                let c: u32 = seg.iter().map(|w| w.count_ones()).sum();
+                u16::try_from(c).expect("segment popcount exceeds 4096")
+            }));
         self.len = bits.len();
     }
 
@@ -133,7 +134,10 @@ pub fn summarize_slices(slices: &[BitVec]) -> Vec<SegmentSummary> {
 /// Builds summaries for a family of adaptively stored slices.
 #[must_use]
 pub fn summarize_storage(slices: &[crate::store::SliceStorage]) -> Vec<SegmentSummary> {
-    slices.iter().map(crate::store::SliceStorage::summary).collect()
+    slices
+        .iter()
+        .map(crate::store::SliceStorage::summary)
+        .collect()
 }
 
 #[cfg(test)]

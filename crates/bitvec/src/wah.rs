@@ -210,8 +210,14 @@ impl WahBitmap {
             }
             match (a.peek(), b.peek()) {
                 (
-                    Run::Fill { ones: va, groups: na },
-                    Run::Fill { ones: vb, groups: nb },
+                    Run::Fill {
+                        ones: va,
+                        groups: na,
+                    },
+                    Run::Fill {
+                        ones: vb,
+                        groups: nb,
+                    },
                 ) => {
                     let n = na.min(nb).min(remaining);
                     out.push_fill(op.apply_bool(va, vb), n);
@@ -354,7 +360,11 @@ impl<'a> WahCursor<'a> {
     /// Opens a cursor at the start of `wah`.
     #[must_use]
     pub fn new(wah: &'a WahBitmap) -> Self {
-        Self { wah, idx: 0, group: 0 }
+        Self {
+            wah,
+            idx: 0,
+            group: 0,
+        }
     }
 
     /// Groups covered by code piece `w`.
@@ -445,7 +455,11 @@ impl<'a> WahCursor<'a> {
             i += 1;
         }
         WindowFill {
-            kind: if any { WindowKind::Mixed } else { WindowKind::Zeros },
+            kind: if any {
+                WindowKind::Mixed
+            } else {
+                WindowKind::Zeros
+            },
             bytes_touched: touched,
         }
     }
@@ -668,7 +682,10 @@ mod tests {
             ("all one", BitVec::ones(1000)),
             ("sparse", BitVec::from_positions(10_000, &[3, 5000, 9999])),
             ("alternating", patterned(500, |i| i % 2 == 0)),
-            ("partial tail", patterned(GROUP_BITS * 3 + 7, |i| i % 5 == 0)),
+            (
+                "partial tail",
+                patterned(GROUP_BITS * 3 + 7, |i| i % 5 == 0),
+            ),
         ] {
             let wah = WahBitmap::compress(&bits);
             assert_eq!(wah.decompress(), bits, "{name}");
@@ -728,7 +745,9 @@ mod tests {
         let shapes: Vec<(BitVec, BitVec)> = vec![
             (
                 patterned(GROUP_BITS * 40 + 17, |i| i < GROUP_BITS * 10),
-                patterned(GROUP_BITS * 40 + 17, |i| (GROUP_BITS * 5..GROUP_BITS * 30).contains(&i)),
+                patterned(GROUP_BITS * 40 + 17, |i| {
+                    (GROUP_BITS * 5..GROUP_BITS * 30).contains(&i)
+                }),
             ),
             (
                 patterned(5000, |i| i % 7 == 0 || i > 4000),
@@ -743,7 +762,11 @@ mod tests {
         ];
         for (a, b) in shapes {
             let (wa, wb) = (WahBitmap::compress(&a), WahBitmap::compress(&b));
-            assert_eq!(wa.and(&wb), WahBitmap::compress(&(&a & &b)), "AND canonical");
+            assert_eq!(
+                wa.and(&wb),
+                WahBitmap::compress(&(&a & &b)),
+                "AND canonical"
+            );
             assert_eq!(wa.or(&wb), WahBitmap::compress(&(&a | &b)), "OR canonical");
         }
     }
@@ -793,7 +816,11 @@ mod tests {
                     let valid = (len - start * 64).min(n * 64);
                     for (j, &x) in dense.iter().enumerate() {
                         let bits_here = (valid - j * 64).min(64);
-                        let mask = if bits_here == 64 { !0 } else { (1u64 << bits_here) - 1 };
+                        let mask = if bits_here == 64 {
+                            !0
+                        } else {
+                            (1u64 << bits_here) - 1
+                        };
                         assert_eq!(x & mask, mask, "window @{start} word {j}");
                     }
                 }

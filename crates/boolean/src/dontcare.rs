@@ -31,7 +31,10 @@ impl DontCareComparison {
     #[must_use]
     pub fn best(&self) -> &DnfExpr {
         let kw = (self.with.vectors_accessed(), self.with.literal_count());
-        let kn = (self.without.vectors_accessed(), self.without.literal_count());
+        let kn = (
+            self.without.vectors_accessed(),
+            self.without.literal_count(),
+        );
         if kw <= kn {
             &self.with
         } else {
@@ -43,7 +46,10 @@ impl DontCareComparison {
     #[must_use]
     pub fn dontcares_helped(&self) -> bool {
         (self.with.vectors_accessed(), self.with.literal_count())
-            < (self.without.vectors_accessed(), self.without.literal_count())
+            < (
+                self.without.vectors_accessed(),
+                self.without.literal_count(),
+            )
     }
 }
 

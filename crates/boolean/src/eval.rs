@@ -109,7 +109,10 @@ impl AccessTracker {
     /// ignored in release builds; they previously wrapped the shift and
     /// silently corrupted the count for slice `i - 64`.
     pub fn touch(&mut self, i: u32) {
-        debug_assert!(i < 64, "slice index {i} exceeds the 64-vector tracker limit");
+        debug_assert!(
+            i < 64,
+            "slice index {i} exceeds the 64-vector tracker limit"
+        );
         if i < 64 {
             self.touched |= 1 << i;
         }
@@ -331,9 +334,7 @@ impl<'a> StoredPlan<'a> {
                         .filter(|i| cube.mask() >> i & 1 == 1)
                         .map(|i| {
                             let negated = cube.value() >> i & 1 == 0;
-                            let slice = slices[i as usize]
-                                .as_dense()
-                                .expect("checked dense above");
+                            let slice = slices[i as usize].as_dense().expect("checked dense above");
                             match summaries {
                                 Some(sums) => {
                                     Literal::with_summary(slice, negated, &sums[i as usize])
@@ -530,7 +531,11 @@ pub fn eval_expr_naive(expr: &DnfExpr, slices: &[BitVec], row_count: usize) -> B
             let slice = &slices[i as usize];
             match &mut acc {
                 None => {
-                    acc = Some(if positive { slice.clone() } else { slice.negated() });
+                    acc = Some(if positive {
+                        slice.clone()
+                    } else {
+                        slice.negated()
+                    });
                 }
                 Some(a) => {
                     if positive {
@@ -723,7 +728,11 @@ mod tests {
 
         // Mixed storage (one slice per container kind) takes the stored
         // kernels and still matches bit-for-bit.
-        let policies = [StoragePolicy::Dense, StoragePolicy::Roaring, StoragePolicy::Wah];
+        let policies = [
+            StoragePolicy::Dense,
+            StoragePolicy::Roaring,
+            StoragePolicy::Wah,
+        ];
         let mixed: Vec<SliceStorage> = dense
             .iter()
             .zip(policies)
@@ -764,7 +773,13 @@ mod tests {
     fn stored_plan_range_composition_matches_whole_eval() {
         use ebi_bitvec::{StoragePolicy, SEGMENT_WORDS, WORD_BITS};
         let codes: Vec<u64> = (0..20_000u64)
-            .map(|i| if i < 10_000 { 0 } else { i.wrapping_mul(37) % 16 })
+            .map(|i| {
+                if i < 10_000 {
+                    0
+                } else {
+                    i.wrapping_mul(37) % 16
+                }
+            })
             .collect();
         let dense = slices_for(&codes, 4);
         let policies = [

@@ -33,7 +33,10 @@ impl DnfExpr {
     /// The constant-false expression (empty sum).
     #[must_use]
     pub fn empty(k: u32) -> Self {
-        Self { cubes: Vec::new(), k }
+        Self {
+            cubes: Vec::new(),
+            k,
+        }
     }
 
     /// Builds an expression from cubes, normalising order and duplicates.
@@ -291,7 +294,11 @@ mod tests {
     #[test]
     fn duplicate_cubes_are_normalised_away() {
         let e = DnfExpr::from_cubes(
-            vec![Cube::minterm(1, 2), Cube::minterm(1, 2), Cube::minterm(2, 2)],
+            vec![
+                Cube::minterm(1, 2),
+                Cube::minterm(1, 2),
+                Cube::minterm(2, 2),
+            ],
             2,
         );
         assert_eq!(e.cubes().len(), 2);

@@ -127,19 +127,22 @@ pub fn minimize(on: &[u64], dc: &[u64], k: u32) -> DnfExpr {
         // Candidate implicants that cover something still uncovered.
         let mut candidates: Vec<usize> = (0..primes.len())
             .filter(|i| !chosen.contains(i))
-            .filter(|&i| remaining_terms.iter().any(|&t| primes[i].covers(on_terms[t])))
+            .filter(|&i| {
+                remaining_terms
+                    .iter()
+                    .any(|&t| primes[i].covers(on_terms[t]))
+            })
             .collect();
         // Drop candidates dominated by another candidate (covers a subset
         // of remaining terms with >= literals).
         candidates = prune_dominated(&candidates, &primes, &on_terms, &remaining_terms);
 
-        let picked = if candidates.len() <= PETRICK_MAX_PIS
-            && remaining_terms.len() <= PETRICK_MAX_TERMS
-        {
-            petrick_cover(&candidates, &primes, &on_terms, &remaining_terms, &chosen)
-        } else {
-            greedy_cover(&candidates, &primes, &on_terms, &remaining_terms, &chosen)
-        };
+        let picked =
+            if candidates.len() <= PETRICK_MAX_PIS && remaining_terms.len() <= PETRICK_MAX_TERMS {
+                petrick_cover(&candidates, &primes, &on_terms, &remaining_terms, &chosen)
+            } else {
+                greedy_cover(&candidates, &primes, &on_terms, &remaining_terms, &chosen)
+            };
         chosen.extend(picked);
     }
 
@@ -282,9 +285,11 @@ fn greedy_cover(
             .filter(|&(gain, _, _)| gain > 0)
             // max gain, then min new vars, then min literals
             .max_by(|a, b| {
-                a.0.cmp(&b.0)
-                    .then(b.2.cmp(&a.2))
-                    .then(primes[b.1].literal_count().cmp(&primes[a.1].literal_count()))
+                a.0.cmp(&b.0).then(b.2.cmp(&a.2)).then(
+                    primes[b.1]
+                        .literal_count()
+                        .cmp(&primes[a.1].literal_count()),
+                )
             });
         let Some((_, c, _)) = best else {
             unreachable!("uncovered term with no candidate implicant");
@@ -309,7 +314,10 @@ mod tests {
             if on_set.contains(&code) {
                 assert!(expr.covers(code), "{expr} must cover on-code {code:#b}");
             } else if !dc_set.contains(&code) {
-                assert!(!expr.covers(code), "{expr} must not cover off-code {code:#b}");
+                assert!(
+                    !expr.covers(code),
+                    "{expr} must not cover off-code {code:#b}"
+                );
             }
         }
     }
@@ -438,11 +446,7 @@ mod tests {
         for j in 0..=k {
             let on: Vec<u64> = (0..(1u64 << j)).collect();
             let e = minimize(&on, &[], k);
-            assert_eq!(
-                e.vectors_accessed(),
-                (k - j) as usize,
-                "j={j}: {e}"
-            );
+            assert_eq!(e.vectors_accessed(), (k - j) as usize, "j={j}: {e}");
         }
     }
 

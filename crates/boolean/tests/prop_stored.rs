@@ -30,7 +30,11 @@ fn random_slices(k: u32, rows: usize, seed: u64) -> Vec<BitVec> {
         let r = next(&mut state);
         // 3 in 4 rows draw from the two hot low codes; the rest sweep
         // the whole code space.
-        let code = if r.is_multiple_of(4) { r >> 2 & ((1u64 << k) - 1) } else { r % 2 };
+        let code = if r.is_multiple_of(4) {
+            r >> 2 & ((1u64 << k) - 1)
+        } else {
+            r % 2
+        };
         for (i, slice) in slices.iter_mut().enumerate() {
             if code >> i & 1 == 1 {
                 slice.set(row, true);

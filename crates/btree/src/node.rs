@@ -21,4 +21,3 @@ pub(crate) enum Node {
         next: Option<NodeId>,
     },
 }
-

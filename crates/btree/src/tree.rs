@@ -159,23 +159,21 @@ impl BTreeIndex {
     fn insert_rec(&mut self, node: NodeId, key: u64, rid: u32) -> Option<(u64, NodeId)> {
         self.writes.set(self.writes.get() + 1);
         match &mut self.arena[node] {
-            Node::Leaf { keys, rids, .. } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => {
-                        rids[i].push(rid);
+            Node::Leaf { keys, rids, .. } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    rids[i].push(rid);
+                    None
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    rids.insert(i, vec![rid]);
+                    if keys.len() > self.degree {
+                        Some(self.split_leaf(node))
+                    } else {
                         None
                     }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        rids.insert(i, vec![rid]);
-                        if keys.len() > self.degree {
-                            Some(self.split_leaf(node))
-                        } else {
-                            None
-                        }
-                    }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let slot = keys.partition_point(|&k| k <= key);
                 let child = children[slot];
@@ -403,7 +401,9 @@ mod tests {
     fn many_inserts_keep_invariants_and_order() {
         let mut t = BTreeIndex::new(4, 64);
         // Adversarial order: interleave ascending and descending.
-        let keys: Vec<u64> = (0..500u64).map(|i| if i % 2 == 0 { i } else { 1000 - i }).collect();
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| if i % 2 == 0 { i } else { 1000 - i })
+            .collect();
         for (rid, &k) in keys.iter().enumerate() {
             t.insert(k, rid as u32);
             if rid % 97 == 0 {
@@ -427,7 +427,9 @@ mod tests {
         }
         let mut got = t.range(100, 200);
         got.sort_unstable();
-        let expect: Vec<u32> = (0..300u32).filter(|&k| (100..=200).contains(&(u64::from(k) * 3))).collect();
+        let expect: Vec<u32> = (0..300u32)
+            .filter(|&k| (100..=200).contains(&(u64::from(k) * 3)))
+            .collect();
         assert_eq!(got, expect);
         assert!(t.range(5000, 9000).is_empty());
         assert!(t.range(10, 5).is_empty(), "inverted range is empty");
@@ -443,7 +445,10 @@ mod tests {
         let _ = t.search(2048);
         let reads = t.stats().node_reads;
         assert_eq!(reads as usize, t.depth(), "one read per level");
-        assert!(reads <= 6, "depth {reads} too deep for degree 8 / 4096 keys");
+        assert!(
+            reads <= 6,
+            "depth {reads} too deep for degree 8 / 4096 keys"
+        );
     }
 
     #[test]

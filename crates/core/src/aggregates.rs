@@ -410,9 +410,17 @@ mod tests {
         let values: Vec<u64> = (1..=100).collect();
         let m = BitSlicedMeasure::build(values.iter().map(|&v| Cell::Value(v)));
         let all = BitVec::ones(100);
-        assert_eq!(m.median_where(&all).value, Some(50), "lower median of 1..=100");
+        assert_eq!(
+            m.median_where(&all).value,
+            Some(50),
+            "lower median of 1..=100"
+        );
         let quartiles = m.ntile_where(&all, 4).value;
-        assert_eq!(quartiles, vec![26, 51, 76], "rank-based quartile boundaries");
+        assert_eq!(
+            quartiles,
+            vec![26, 51, 76],
+            "rank-based quartile boundaries"
+        );
         assert_eq!(m.ntile_where(&all, 1).value, Vec::<u64>::new());
         assert_eq!(m.median_where(&BitVec::zeros(100)).value, None);
     }
@@ -448,7 +456,11 @@ mod tests {
         let all = BitVec::ones(5);
         assert_eq!(m.sum_where(&all).value, 60);
         assert_eq!(m.count_where(&all).value, 3);
-        assert_eq!(m.min_where(&all).value, Some(10), "NULL's placeholder 0 ignored");
+        assert_eq!(
+            m.min_where(&all).value,
+            Some(10),
+            "NULL's placeholder 0 ignored"
+        );
         assert_eq!(m.median_where(&all).value, Some(20));
     }
 

@@ -225,11 +225,7 @@ mod tests {
                 for c in b + 1..8 {
                     for d in c + 1..8 {
                         let set = [all[a], all[b], all[c], all[d]];
-                        assert_eq!(
-                            has_prime_chain(&set),
-                            as_subcube(&set).is_some(),
-                            "{set:?}"
-                        );
+                        assert_eq!(has_prime_chain(&set), as_subcube(&set).is_some(), "{set:?}");
                     }
                 }
             }

@@ -88,12 +88,7 @@ fn bipartition(group: &mut [usize], half: usize, affinity: &[u32], m: usize) {
     }
     // Greedy seed: start from the member with the highest total affinity,
     // grow the left side by strongest attachment to it.
-    let total = |v: usize| -> u64 {
-        group
-            .iter()
-            .map(|&u| u64::from(affinity[v * m + u]))
-            .sum()
-    };
+    let total = |v: usize| -> u64 { group.iter().map(|&u| u64::from(affinity[v * m + u])).sum() };
     let seed_pos = (0..n)
         .max_by_key(|&i| total(group[i]))
         .expect("non-empty group");
@@ -192,7 +187,10 @@ mod tests {
             aff_cost <= id_cost,
             "affinity {aff_cost} should not lose to identity {id_cost}"
         );
-        assert_eq!(aff_cost, 2, "each cluster is half the domain: one vector each");
+        assert_eq!(
+            aff_cost, 2,
+            "each cluster is half the domain: one vector each"
+        );
     }
 
     #[test]

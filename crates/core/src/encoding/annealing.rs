@@ -58,7 +58,8 @@ impl EncodingStrategy for AnnealingEncoding {
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         let rebuild = |codes: &[u64]| -> Mapping {
-            let pairs: Vec<(u64, u64)> = values.iter().copied().zip(codes.iter().copied()).collect();
+            let pairs: Vec<(u64, u64)> =
+                values.iter().copied().zip(codes.iter().copied()).collect();
             let mut m = Mapping::new(problem.width);
             for (v, c) in pairs {
                 m.insert(v, c).expect("permutation stays bijective");
@@ -96,8 +97,8 @@ impl EncodingStrategy for AnnealingEncoding {
             }
             let cand = rebuild(&proposal);
             let cost = workload_cost(&cand, problem.predicates) as f64;
-            let accept = cost <= current_cost
-                || rng.random::<f64>() < ((current_cost - cost) / temp).exp();
+            let accept =
+                cost <= current_cost || rng.random::<f64>() < ((current_cost - cost) / temp).exp();
             if accept {
                 codes = proposal;
                 current_cost = cost;

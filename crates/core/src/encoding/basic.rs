@@ -83,7 +83,9 @@ mod tests {
     fn identity_is_order_preserving() {
         let values = [30u64, 10, 20];
         let preds: Vec<Vec<u64>> = vec![];
-        let m = IdentityEncoding.encode(&problem(&values, &preds, 2)).unwrap();
+        let m = IdentityEncoding
+            .encode(&problem(&values, &preds, 2))
+            .unwrap();
         assert_eq!(m.code_of(10), Some(0));
         assert_eq!(m.code_of(20), Some(1));
         assert_eq!(m.code_of(30), Some(2));
@@ -108,7 +110,9 @@ mod tests {
         // {011,010,110,111} tile the subcube x1x and reduce to B1 alone.
         let values: Vec<u64> = (0..8).collect();
         let preds = vec![vec![2u64, 3, 4, 5]];
-        let id = IdentityEncoding.encode(&problem(&values, &preds, 3)).unwrap();
+        let id = IdentityEncoding
+            .encode(&problem(&values, &preds, 3))
+            .unwrap();
         let gr = GrayEncoding.encode(&problem(&values, &preds, 3)).unwrap();
         let id_cost = achieved_cost(&id, &preds[0]);
         let gray_cost = achieved_cost(&gr, &preds[0]);
@@ -136,6 +140,9 @@ mod tests {
     #[test]
     fn gray_sequence_is_the_reflected_code() {
         let first8: Vec<u64> = (0..8).map(gray).collect();
-        assert_eq!(first8, vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]);
+        assert_eq!(
+            first8,
+            vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]
+        );
     }
 }

@@ -114,7 +114,10 @@ mod tests {
             forbidden_codes: &[0],
         };
         assert!(p.validate().is_err(), "4 values, 3 allowed codes");
-        let ok = EncodingProblem { width: 3, ..p.clone() };
+        let ok = EncodingProblem {
+            width: 3,
+            ..p.clone()
+        };
         assert!(ok.validate().is_ok());
         let dup_values = [1u64, 1];
         let dup = EncodingProblem {

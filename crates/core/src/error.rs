@@ -64,8 +64,12 @@ mod tests {
 
     #[test]
     fn messages_name_the_problem() {
-        assert!(CoreError::UnknownValue { value: 9 }.to_string().contains('9'));
-        assert!(CoreError::DomainFull { width: 3 }.to_string().contains("width 3"));
+        assert!(CoreError::UnknownValue { value: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(CoreError::DomainFull { width: 3 }
+            .to_string()
+            .contains("width 3"));
         assert!(CoreError::RowOutOfRange { row: 4, rows: 2 }
             .to_string()
             .contains("row 4"));

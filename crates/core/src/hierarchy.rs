@@ -251,7 +251,10 @@ mod tests {
         assert!(h.level("company").is_some());
         assert!(h.level("nope").is_none());
         assert_eq!(h.level("company").unwrap().members("b").unwrap(), &[5, 6]);
-        assert_eq!(h.level("alliance").unwrap().group_names(), vec!["X", "Y", "Z"]);
+        assert_eq!(
+            h.level("alliance").unwrap().group_names(),
+            vec!["X", "Y", "Z"]
+        );
     }
 
     #[test]

@@ -152,8 +152,9 @@ impl EncodedBitmapIndex {
                         ensure_covers(&m, &distinct)?;
                         if m.value_of(VOID_CODE).is_some() {
                             return Err(CoreError::Encoding {
-                                detail: "EncodedReserved requires code 0 to stay free for void tuples"
-                                    .into(),
+                                detail:
+                                    "EncodedReserved requires code 0 to stay free for void tuples"
+                                        .into(),
                             });
                         }
                         m
@@ -348,7 +349,10 @@ impl EncodedBitmapIndex {
                 return cached.clone();
             }
         }
-        let codes: Vec<u64> = values.iter().filter_map(|&v| self.mapping.code_of(v)).collect();
+        let codes: Vec<u64> = values
+            .iter()
+            .filter_map(|&v| self.mapping.code_of(v))
+            .collect();
         qm::minimize(&codes, &self.dont_care_codes(), self.width())
     }
 
@@ -361,8 +365,10 @@ impl EncodedBitmapIndex {
     pub fn precompute_predicates(&mut self, predicates: &[Vec<u64>]) {
         for pred in predicates {
             let key = normalise_values(pred);
-            let codes: Vec<u64> =
-                key.iter().filter_map(|&v| self.mapping.code_of(v)).collect();
+            let codes: Vec<u64> = key
+                .iter()
+                .filter_map(|&v| self.mapping.code_of(v))
+                .collect();
             let expr = qm::minimize(&codes, &self.dont_care_codes(), self.width());
             self.expr_cache.insert(key, expr);
         }
@@ -466,9 +472,7 @@ impl EncodedBitmapIndex {
             }
             NullPolicy::EncodedReserved => {
                 let expr = match self.null_code {
-                    Some(code) => {
-                        qm::minimize(&[code], &self.dont_care_codes(), self.width())
-                    }
+                    Some(code) => qm::minimize(&[code], &self.dont_care_codes(), self.width()),
                     None => DnfExpr::empty(self.width()),
                 };
                 self.run_expr(&expr)
@@ -778,15 +782,9 @@ mod tests {
     fn precomputed_predicates_answer_identically() {
         let cells: Vec<Cell> = (0..2000u64).map(|i| Cell::Value(i % 100)).collect();
         let mut idx = EncodedBitmapIndex::build(cells).unwrap();
-        let predicates: Vec<Vec<u64>> = vec![
-            (0..40).collect(),
-            vec![5, 10, 15],
-            (60..100).collect(),
-        ];
-        let before: Vec<_> = predicates
-            .iter()
-            .map(|p| idx.in_list(p).unwrap())
-            .collect();
+        let predicates: Vec<Vec<u64>> =
+            vec![(0..40).collect(), vec![5, 10, 15], (60..100).collect()];
+        let before: Vec<_> = predicates.iter().map(|p| idx.in_list(p).unwrap()).collect();
         idx.precompute_predicates(&predicates);
         assert_eq!(idx.cached_predicates(), 3);
         for (p, expect) in predicates.iter().zip(&before) {

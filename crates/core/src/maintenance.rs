@@ -83,10 +83,7 @@ impl EncodedBitmapIndex {
             ne.push(false);
         }
         self.rows += 1;
-        Ok(AppendOutcome {
-            row,
-            added_slice,
-        })
+        Ok(AppendOutcome { row, added_slice })
     }
 
     /// Deletes (voids) a row. The slot stays addressable; value queries

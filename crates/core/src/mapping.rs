@@ -62,7 +62,8 @@ impl Mapping {
     pub fn sequential(m: usize) -> Self {
         let mut map = Self::new(Self::width_for(m));
         for v in 0..m as u64 {
-            map.insert(v, v).expect("sequential codes are unique and fit");
+            map.insert(v, v)
+                .expect("sequential codes are unique and fit");
         }
         map
     }
@@ -237,7 +238,10 @@ impl Mapping {
         let n = u64::from_le_bytes(raw[4..12].try_into().expect("8 bytes")) as usize;
         if raw.len() != 12 + n * 16 || width > 63 {
             return Err(CoreError::InvalidCode {
-                detail: format!("mapping blob of {} bytes inconsistent with {n} entries", raw.len()),
+                detail: format!(
+                    "mapping blob of {} bytes inconsistent with {n} entries",
+                    raw.len()
+                ),
             });
         }
         let mut map = Self::new(width);

@@ -19,8 +19,8 @@ use crate::stats::QueryStats;
 use ebi_bitvec::{BitVec, SliceStorage};
 use ebi_boolean::{eval_expr_stored, qm, AccessTracker};
 use ebi_storage::buffer::{BufferPool, BufferStats};
-use ebi_storage::segment::{read_segment_buffered, SegmentHandle};
 use ebi_storage::pager::Pager;
+use ebi_storage::segment::{read_segment_buffered, SegmentHandle};
 
 /// An encoded bitmap index resident in the page store, queried through
 /// an LRU buffer pool.

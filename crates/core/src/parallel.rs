@@ -337,10 +337,7 @@ mod tests {
             assert_eq!(parallel.slices(), serial.slices(), "rows={rows}");
             assert_eq!(parallel.rows(), serial.rows());
             for v in 0..50u64 {
-                assert_eq!(
-                    parallel.eq(v).unwrap().bitmap,
-                    serial.eq(v).unwrap().bitmap
-                );
+                assert_eq!(parallel.eq(v).unwrap().bitmap, serial.eq(v).unwrap().bitmap);
             }
             assert_eq!(parallel.is_null().bitmap, serial.is_null().bitmap);
         }
@@ -443,12 +440,8 @@ mod tests {
             "adaptive policy should compress skewed slices"
         );
         let expr = DnfExpr::parse("B4'B2B0 + B3B1'", 5).unwrap();
-        let plan = StoredPlan::with_summaries(
-            &expr,
-            idx.slices(),
-            idx.summaries().unwrap(),
-            idx.rows(),
-        );
+        let plan =
+            StoredPlan::with_summaries(&expr, idx.slices(), idx.summaries().unwrap(), idx.rows());
         let mut s1 = KernelStats::new();
         let serial = eval_plan_stored_forced(&plan, 1, &mut s1);
         for threads in [2, 4] {

@@ -252,7 +252,13 @@ mod tests {
     #[test]
     fn reserved_policy_roundtrip() {
         let cells: Vec<Cell> = (0..50u64)
-            .map(|i| if i % 9 == 0 { Cell::Null } else { Cell::Value(i % 6) })
+            .map(|i| {
+                if i % 9 == 0 {
+                    Cell::Null
+                } else {
+                    Cell::Value(i % 6)
+                }
+            })
             .collect();
         let mut idx = EncodedBitmapIndex::build_with(
             cells,

@@ -104,12 +104,11 @@ impl RangeBasedIndex {
         let cells: Vec<Cell> = column
             .iter()
             .map(|&v| {
-                let pid = partitions
-                    .iter()
-                    .position(|iv| iv.contains(v))
-                    .ok_or(CoreError::BadInterval {
+                let pid = partitions.iter().position(|iv| iv.contains(v)).ok_or(
+                    CoreError::BadInterval {
                         detail: format!("value {v} outside domain [{}, {})", domain.lo, domain.hi),
-                    })?;
+                    },
+                )?;
                 Ok(Cell::Value(pid as u64))
             })
             .collect::<Result<_, CoreError>>()?;
@@ -271,7 +270,10 @@ mod tests {
         // Row i holds value 6 + i.
         let r = idx.query_range(8, 12).unwrap();
         assert_eq!(r.bitmap.to_positions(), vec![2, 3, 4, 5], "values 8..12");
-        assert_eq!(r.stats.vectors_accessed, 1, "B0 alone, thanks to don't-cares");
+        assert_eq!(
+            r.stats.vectors_accessed, 1,
+            "B0 alone, thanks to don't-cares"
+        );
         let r2 = idx.query_range(16, 20).unwrap();
         assert_eq!(r2.bitmap.to_positions(), vec![10, 11, 12, 13]);
     }
@@ -297,29 +299,18 @@ mod tests {
     #[test]
     fn default_interval_encoding_also_answers() {
         let column: Vec<u64> = (6..20).chain(6..20).collect();
-        let idx = RangeBasedIndex::build(
-            &column,
-            Interval::new(6, 20),
-            &paper_figure7_ranges(),
-            None,
-        )
-        .unwrap();
+        let idx =
+            RangeBasedIndex::build(&column, Interval::new(6, 20), &paper_figure7_ranges(), None)
+                .unwrap();
         let r = idx.query_range(6, 10).unwrap();
-        let expect: Vec<usize> = (0..28)
-            .filter(|&i| (6..10).contains(&column[i]))
-            .collect();
+        let expect: Vec<usize> = (0..28).filter(|&i| (6..10).contains(&column[i])).collect();
         assert_eq!(r.bitmap.to_positions(), expect);
     }
 
     #[test]
     fn out_of_domain_values_rejected_at_build() {
-        let err = RangeBasedIndex::build(
-            &[5],
-            Interval::new(6, 20),
-            &paper_figure7_ranges(),
-            None,
-        )
-        .unwrap_err();
+        let err = RangeBasedIndex::build(&[5], Interval::new(6, 20), &paper_figure7_ranges(), None)
+            .unwrap_err();
         assert!(matches!(err, CoreError::BadInterval { .. }));
         // Ranges outside the domain too.
         assert!(partition_domain(6, 20, &[Interval::new(0, 9)]).is_err());

@@ -213,12 +213,7 @@ mod tests {
 
     #[test]
     fn reencode_preserves_deletions_and_nulls() {
-        let cells = vec![
-            Cell::Value(1),
-            Cell::Null,
-            Cell::Value(2),
-            Cell::Value(3),
-        ];
+        let cells = vec![Cell::Value(1), Cell::Null, Cell::Value(2), Cell::Value(3)];
         let mut idx = EncodedBitmapIndex::build(cells).unwrap();
         idx.delete(3).unwrap();
         let remapped = Mapping::from_pairs(&[(1, 0b10), (2, 0b00), (3, 0b01)]).unwrap();

@@ -108,11 +108,7 @@ impl<'a> BufferPool<'a> {
         inner.stats.misses += 1;
         if inner.cached.len() >= self.capacity {
             // Evict the least recently used frame.
-            if let Some((&victim, _)) = inner
-                .cached
-                .iter()
-                .min_by_key(|(_, (_, last))| *last)
-            {
+            if let Some((&victim, _)) = inner.cached.iter().min_by_key(|(_, (_, last))| *last) {
                 inner.cached.remove(&victim);
                 inner.stats.evictions += 1;
             }

@@ -51,9 +51,11 @@ impl Catalog {
     ///
     /// [`StorageError::Catalog`] if the table does not exist.
     pub fn drop_table(&mut self, name: &str) -> Result<Table, StorageError> {
-        self.tables.remove(name).ok_or_else(|| StorageError::Catalog {
-            detail: format!("no table {name:?}"),
-        })
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StorageError::Catalog {
+                detail: format!("no table {name:?}"),
+            })
     }
 
     /// Registered names, sorted.

@@ -70,12 +70,18 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(StorageError::PageOutOfRange { page: 9, allocated: 3 }
-            .to_string()
-            .contains("page 9"));
-        assert!(StorageError::PayloadTooLarge { len: 10, page_size: 4 }
-            .to_string()
-            .contains("exceeds"));
+        assert!(StorageError::PageOutOfRange {
+            page: 9,
+            allocated: 3
+        }
+        .to_string()
+        .contains("page 9"));
+        assert!(StorageError::PayloadTooLarge {
+            len: 10,
+            page_size: 4
+        }
+        .to_string()
+        .contains("exceeds"));
         assert!(StorageError::RowOutOfRange { row: 5, rows: 2 }
             .to_string()
             .contains("row 5"));

@@ -121,10 +121,12 @@ impl Pager {
     /// [`StorageError::PageOutOfRange`] for unallocated ids.
     pub fn read_page(&self, id: PageId) -> Result<Vec<u8>, StorageError> {
         let pages = self.pages.lock();
-        let page = pages.get(id.0 as usize).ok_or(StorageError::PageOutOfRange {
-            page: id.0,
-            allocated: pages.len() as u64,
-        })?;
+        let page = pages
+            .get(id.0 as usize)
+            .ok_or(StorageError::PageOutOfRange {
+                page: id.0,
+                allocated: pages.len() as u64,
+            })?;
         self.stats.lock().page_reads += 1;
         Ok(page.to_vec())
     }

@@ -241,9 +241,12 @@ impl Table {
     /// [`StorageError::Schema`] for unknown columns,
     /// [`StorageError::RowOutOfRange`] for bad rows.
     pub fn cell(&self, row: usize, column: &str) -> Result<Cell, StorageError> {
-        let col = self.columns.get(column).ok_or_else(|| StorageError::Schema {
-            detail: format!("no column {column:?} in table {:?}", self.name),
-        })?;
+        let col = self
+            .columns
+            .get(column)
+            .ok_or_else(|| StorageError::Schema {
+                detail: format!("no column {column:?} in table {:?}", self.name),
+            })?;
         col.get(row).ok_or(StorageError::RowOutOfRange {
             row,
             rows: self.rows,
@@ -255,10 +258,7 @@ impl Table {
     /// # Panics
     ///
     /// Panics if `column` is unknown.
-    pub fn scan<'a>(
-        &'a self,
-        column: &str,
-    ) -> impl Iterator<Item = (usize, Cell, bool)> + 'a {
+    pub fn scan<'a>(&'a self, column: &str) -> impl Iterator<Item = (usize, Cell, bool)> + 'a {
         let col = self
             .columns
             .get(column)

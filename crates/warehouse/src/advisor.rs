@@ -140,8 +140,7 @@ pub fn advise(
                         continue;
                     }
                     let saved = (choice.storage_bytes - cand.storage_bytes) as f64;
-                    let extra =
-                        cand.workload_units.saturating_sub(choice.workload_units) as f64;
+                    let extra = cand.workload_units.saturating_sub(choice.workload_units) as f64;
                     let score = extra / saved;
                     if best.is_none_or(|(_, _, s)| score < s) {
                         best = Some((ci, ki, score));
@@ -201,7 +200,11 @@ mod tests {
         }
         // High-cardinality range workloads should not pick the simple
         // bitmap index.
-        let hi = report.choices.iter().find(|c| c.column == "hi_card").unwrap();
+        let hi = report
+            .choices
+            .iter()
+            .find(|c| c.column == "hi_card")
+            .unwrap();
         assert_ne!(hi.family, "simple-bitmap");
     }
 
@@ -216,7 +219,10 @@ mod tests {
             tight.total_bytes <= budget || tight.total_bytes < free.total_bytes,
             "advisor must shrink under a budget"
         );
-        assert!(tight.total_units >= free.total_units, "units cannot improve");
+        assert!(
+            tight.total_units >= free.total_units,
+            "units cannot improve"
+        );
     }
 
     #[test]

@@ -201,10 +201,7 @@ mod tests {
         exec.register("a", &a_idx);
         exec.register("b", &b_idx);
         let (bitmap, report) = exec.run(&ConjunctiveQuery {
-            clauses: vec![
-                query("a", Predicate::Eq(1)),
-                query("b", Predicate::Eq(2)),
-            ],
+            clauses: vec![query("a", Predicate::Eq(1)), query("b", Predicate::Eq(2))],
         });
         let expect: Vec<usize> = (0..60).filter(|i| i % 4 == 1 && i % 3 == 2).collect();
         assert_eq!(bitmap.to_positions(), expect);
@@ -244,10 +241,7 @@ mod tests {
         let (bitmap, report) = exec.run_dnf(&DnfQuery {
             disjuncts: vec![
                 ConjunctiveQuery {
-                    clauses: vec![
-                        query("a", Predicate::Eq(1)),
-                        query("b", Predicate::Eq(2)),
-                    ],
+                    clauses: vec![query("a", Predicate::Eq(1)), query("b", Predicate::Eq(2))],
                 },
                 ConjunctiveQuery {
                     clauses: vec![query("a", Predicate::Eq(3))],

@@ -210,10 +210,7 @@ mod tests {
             counts[c.value().unwrap() as usize] += 1;
         }
         for (v, &n) in counts.iter().enumerate() {
-            assert!(
-                (8_000..12_000).contains(&n),
-                "value {v} appeared {n} times"
-            );
+            assert!((8_000..12_000).contains(&n), "value {v} appeared {n} times");
         }
     }
 

@@ -147,21 +147,13 @@ impl GroupSetIndex {
                 counts[id as usize] += 1;
             }
         }
-        self.combos
-            .iter()
-            .cloned()
-            .zip(counts)
-            .collect()
+        self.combos.iter().cloned().zip(counts).collect()
     }
 
     /// Rows of one combination.
     #[must_use]
     pub fn group_rows(&self, combo: &[u64]) -> Vec<usize> {
-        let Some(id) = self
-            .combos
-            .iter()
-            .position(|c| c == combo)
-        else {
+        let Some(id) = self.combos.iter().position(|c| c == combo) else {
             return Vec::new();
         };
         self.inner
@@ -259,7 +251,7 @@ mod tests {
     }
 
     #[test]
-    fn groups_match_a_scan(){
+    fn groups_match_a_scan() {
         let (a, b) = columns();
         let idx = GroupSetIndex::build(&[&a, &b]).unwrap();
         for (combo, _) in idx.group_counts() {

@@ -43,8 +43,12 @@ impl BitmapJoinIndex {
         let missing = |what: &str| CoreError::Encoding {
             detail: format!("join index: missing column {what:?}"),
         };
-        let keys = dimension.column(key_column).ok_or_else(|| missing(key_column))?;
-        let attrs = dimension.column(attr_column).ok_or_else(|| missing(attr_column))?;
+        let keys = dimension
+            .column(key_column)
+            .ok_or_else(|| missing(key_column))?;
+        let attrs = dimension
+            .column(attr_column)
+            .ok_or_else(|| missing(attr_column))?;
         if fact.column(fk_column).is_none() {
             return Err(missing(fk_column));
         }
@@ -107,7 +111,8 @@ mod tests {
     fn dimension() -> Table {
         let mut dim = Table::new("products", &["key", "category"]);
         for key in 0..30u64 {
-            dim.append_row(&[Cell::Value(key), Cell::Value(key % 3)]).unwrap();
+            dim.append_row(&[Cell::Value(key), Cell::Value(key % 3)])
+                .unwrap();
         }
         dim
     }
@@ -142,8 +147,8 @@ mod tests {
 
     #[test]
     fn in_list_over_categories() {
-        let jix = BitmapJoinIndex::build(&fact(), "product", &dimension(), "key", "category")
-            .unwrap();
+        let jix =
+            BitmapJoinIndex::build(&fact(), "product", &dimension(), "key", "category").unwrap();
         let r = jix.in_list(&[0, 2]);
         let expect: Vec<usize> = (0..200).filter(|&i| (i % 30) % 3 != 1).collect();
         assert_eq!(r.bitmap.to_positions(), expect);
@@ -156,8 +161,8 @@ mod tests {
         fact.append_row(&[Cell::Value(999)]).unwrap(); // dangling key
         fact.append_row(&[Cell::Value(1)]).unwrap();
         fact.delete_row(2).unwrap();
-        let jix = BitmapJoinIndex::build(&fact, "product", &dimension(), "key", "category")
-            .unwrap();
+        let jix =
+            BitmapJoinIndex::build(&fact, "product", &dimension(), "key", "category").unwrap();
         assert_eq!(jix.eq(0).bitmap.to_positions(), vec![0]);
         assert_eq!(jix.eq(1).bitmap.count_ones(), 0, "deleted fact row");
         // The dangling row matches no category.
@@ -168,11 +173,9 @@ mod tests {
 
     #[test]
     fn missing_columns_are_reported() {
-        let err = BitmapJoinIndex::build(&fact(), "nope", &dimension(), "key", "category")
-            .unwrap_err();
+        let err =
+            BitmapJoinIndex::build(&fact(), "nope", &dimension(), "key", "category").unwrap_err();
         assert!(matches!(err, CoreError::Encoding { .. }));
-        assert!(
-            BitmapJoinIndex::build(&fact(), "product", &dimension(), "key", "ghost").is_err()
-        );
+        assert!(BitmapJoinIndex::build(&fact(), "product", &dimension(), "key", "ghost").is_err());
     }
 }

@@ -159,9 +159,13 @@ mod tests {
     #[test]
     fn hierarchy_members_resolve_rollup_selections() {
         let star = sales_star();
-        let x = star.hierarchy_members("salespoint", "alliance", "X").unwrap();
+        let x = star
+            .hierarchy_members("salespoint", "alliance", "X")
+            .unwrap();
         assert_eq!(x, vec![1, 2, 3, 4, 5, 6, 7, 8]);
-        assert!(star.hierarchy_members("salespoint", "alliance", "Q").is_none());
+        assert!(star
+            .hierarchy_members("salespoint", "alliance", "Q")
+            .is_none());
         assert!(star.hierarchy_members("product", "alliance", "X").is_none());
     }
 }

@@ -64,9 +64,8 @@ impl TpcdLite {
     pub fn new(spec: &StarSpec) -> Result<Self, CoreError> {
         let fact = generate_sales_fact(spec);
         let rows = fact.row_count();
-        let collect = |col: &str| -> Vec<Option<u64>> {
-            fact.scan(col).map(|(_, c, _)| c.value()).collect()
-        };
+        let collect =
+            |col: &str| -> Vec<Option<u64>> { fact.scan(col).map(|(_, c, _)| c.value()).collect() };
         let raw = RawColumns {
             product: collect("product"),
             salespoint: collect("salespoint"),
@@ -89,7 +88,9 @@ impl TpcdLite {
             },
         )?;
         let to_cells = |vals: &[Option<u64>]| -> Vec<Cell> {
-            vals.iter().map(|v| v.map_or(Cell::Null, Cell::Value)).collect()
+            vals.iter()
+                .map(|v| v.map_or(Cell::Null, Cell::Value))
+                .collect()
         };
         Ok(Self {
             product_idx: EncodedBitmapIndex::build(to_cells(&raw.product))?,
@@ -182,9 +183,12 @@ impl TpcdLite {
     ///
     /// [`CoreError::Encoding`] for unknown alliances.
     pub fn local_supplier(&self, alliance: &str) -> Result<TemplateResult, CoreError> {
-        let level = self.hierarchy.level("alliance").ok_or(CoreError::Encoding {
-            detail: "no alliance level".into(),
-        })?;
+        let level = self
+            .hierarchy
+            .level("alliance")
+            .ok_or(CoreError::Encoding {
+                detail: "no alliance level".into(),
+            })?;
         let members = level.members(alliance).ok_or_else(|| CoreError::Encoding {
             detail: format!("unknown alliance {alliance:?}"),
         })?;
@@ -263,7 +267,9 @@ impl TpcdLite {
         let total = self.quantity.sum_where(&in_window);
         let promoted = self.quantity.sum_where(&promo_window);
         // Share in basis points so the result stays integral.
-        let share_bp = (promoted.value * 10_000).checked_div(total.value).unwrap_or(0);
+        let share_bp = (promoted.value * 10_000)
+            .checked_div(total.value)
+            .unwrap_or(0);
         Ok(TemplateResult {
             name: "promotion_share",
             rows: promo_window.count_ones(),
@@ -314,8 +320,7 @@ mod tests {
         for branch in 1..=12u64 {
             let sum: u128 = (0..t.rows())
                 .filter(|&i| {
-                    raw.date[i].is_some_and(|d| d <= 50)
-                        && raw.salespoint[i] == Some(branch - 1)
+                    raw.date[i].is_some_and(|d| d <= 50) && raw.salespoint[i] == Some(branch - 1)
                 })
                 .map(|i| u128::from(raw.quantity[i].unwrap()))
                 .sum();
@@ -384,7 +389,10 @@ mod tests {
                 *sums.entry(p).or_insert(0) += u128::from(q);
             }
         }
-        let best = sums.iter().max_by_key(|(p, s)| (**s, std::cmp::Reverse(**p))).unwrap();
+        let best = sums
+            .iter()
+            .max_by_key(|(p, s)| (**s, std::cmp::Reverse(**p)))
+            .unwrap();
         assert_eq!(r.groups[0].1, *best.1);
     }
 

@@ -111,8 +111,7 @@ impl WorkloadSpec {
                         Predicate::Range(lo, (lo + delta - 1).min(m - 1))
                     } else {
                         // Scattered IN-list of the same width.
-                        let mut vs: Vec<u64> =
-                            (0..delta).map(|_| rng.random_range(0..m)).collect();
+                        let mut vs: Vec<u64> = (0..delta).map(|_| rng.random_range(0..m)).collect();
                         vs.sort_unstable();
                         vs.dedup();
                         Predicate::InList(vs)

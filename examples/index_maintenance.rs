@@ -42,7 +42,11 @@ fn main() {
     show(&idx, "after expansion");
     for v in 0..5u64 {
         let r = idx.eq(v).expect("query");
-        println!("  f_{v} = {:<12} rows {:?}", r.stats.expression, r.bitmap.to_positions());
+        println!(
+            "  f_{v} = {:<12} rows {:?}",
+            r.stats.expression,
+            r.bitmap.to_positions()
+        );
     }
 
     // ------------------------------------------------------------------

@@ -35,7 +35,10 @@ fn main() {
     let med = measure.median_where(&filter);
     let quartiles = measure.ntile_where(&filter, 4);
     println!("rows     : {}", filter.count_ones());
-    println!("SUM      : {} ({} vectors)", sum.value, sum.vectors_accessed);
+    println!(
+        "SUM      : {} ({} vectors)",
+        sum.value, sum.vectors_accessed
+    );
     println!("AVG      : {:.2}", avg.value.unwrap());
     println!("MEDIAN   : {}", med.value.unwrap());
     println!("QUARTILES: {:?}", quartiles.value);

@@ -73,7 +73,9 @@ fn main() {
     let out = idx.append(Cell::Value(e)).expect("append");
     println!(
         "append 'e': row {}, new vector added: {} (width now {})",
-        out.row, out.added_slice, idx.width()
+        out.row,
+        out.added_slice,
+        idx.width()
     );
     let q = idx.eq(a).expect("query");
     println!(

@@ -29,7 +29,10 @@ fn main() {
     )
     .expect("build range-based index");
 
-    println!("range-based encoded bitmap index over {} rows, domain 6 <= A < 20", column.len());
+    println!(
+        "range-based encoded bitmap index over {} rows, domain 6 <= A < 20",
+        column.len()
+    );
     println!("induced partition: {:?}", idx.partitions());
     println!("\npredefined range selections:");
     for (lo, hi) in [(6u64, 10u64), (8, 12), (10, 13), (16, 20)] {
@@ -42,7 +45,10 @@ fn main() {
         );
     }
     let misaligned = idx.query_range(7, 11);
-    println!("  7 <= A < 11  -> {:?}", misaligned.err().map(|e| e.to_string()));
+    println!(
+        "  7 <= A < 11  -> {:?}",
+        misaligned.err().map(|e| e.to_string())
+    );
 
     // ------------------------------------------------------------------
     // 2. Total-order preserving encoding: Figure 6.

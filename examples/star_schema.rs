@@ -53,9 +53,15 @@ fn main() {
     .expect("build hierarchy-encoded index");
     let naive_idx = EncodedBitmapIndex::build(branch_cells.iter().copied()).expect("build");
 
-    println!("SALES fact: {} rows, 12 branches, hierarchy company->alliance", star.fact().row_count());
+    println!(
+        "SALES fact: {} rows, 12 branches, hierarchy company->alliance",
+        star.fact().row_count()
+    );
     println!("\nroll-up selections (OLAP: 'sales of all companies in alliance …'):");
-    println!("{:<28} {:>18} {:>18}", "selection", "hierarchy-encoded", "naive-encoded");
+    println!(
+        "{:<28} {:>18} {:>18}",
+        "selection", "hierarchy-encoded", "naive-encoded"
+    );
     for level in hierarchy.levels() {
         for group in level.group_names() {
             let members = star

@@ -101,9 +101,7 @@ fn main() {
         ],
     };
     let (bitmap, report) = exec.run(&q);
-    println!(
-        "  product IN [0,128) AND region IN {{3,7,11}} AND month IN [6,8]"
-    );
+    println!("  product IN [0,128) AND region IN {{3,7,11}} AND month IN [6,8]");
     println!(
         "  -> {} rows, {} total vector reads across 3 single-attribute indexes",
         bitmap.count_ones(),

@@ -87,11 +87,7 @@ fn all_families_agree_on_skewed_data() {
 
 #[test]
 fn all_families_agree_with_nulls_present() {
-    let cells = generate_column(
-        &ColumnSpec::uniform(32).with_nulls_ppm(50_000),
-        2_000,
-        0xE4,
-    );
+    let cells = generate_column(&ColumnSpec::uniform(32).with_nulls_ppm(50_000), 2_000, 0xE4);
     run_all(&cells, 32, 30, 0xE5);
 }
 
@@ -130,10 +126,26 @@ fn deletion_consistency_across_policies_and_families() {
             .filter(|&(i, c)| !dead[i] && c.value() == Some(v))
             .map(|(i, _)| i)
             .collect();
-        assert_eq!(encoded.eq(v).unwrap().bitmap.to_positions(), expect, "encoded v={v}");
-        assert_eq!(reserved.eq(v).unwrap().bitmap.to_positions(), expect, "reserved v={v}");
-        assert_eq!(SelectionIndex::eq(&simple, v).bitmap.to_positions(), expect, "simple v={v}");
-        assert_eq!(SelectionIndex::eq(&sliced, v).bitmap.to_positions(), expect, "sliced v={v}");
+        assert_eq!(
+            encoded.eq(v).unwrap().bitmap.to_positions(),
+            expect,
+            "encoded v={v}"
+        );
+        assert_eq!(
+            reserved.eq(v).unwrap().bitmap.to_positions(),
+            expect,
+            "reserved v={v}"
+        );
+        assert_eq!(
+            SelectionIndex::eq(&simple, v).bitmap.to_positions(),
+            expect,
+            "simple v={v}"
+        );
+        assert_eq!(
+            SelectionIndex::eq(&sliced, v).bitmap.to_positions(),
+            expect,
+            "sliced v={v}"
+        );
     }
 }
 

@@ -86,7 +86,11 @@ fn fig2_full_expansion_sequence() {
     assert_eq!(idx.explain_in_list(&[0]).to_string(), "B2'B1'B0'");
     let fd = idx.explain_in_list(&[3]);
     for code in 0..5u64 {
-        assert_eq!(fd.covers(code), code == 3, "f_d on assigned code {code:03b}");
+        assert_eq!(
+            fd.covers(code),
+            code == 3,
+            "f_d on assigned code {code:03b}"
+        );
     }
     // All five values retrieve their exact rows.
     for v in 0..5u64 {

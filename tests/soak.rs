@@ -90,22 +90,22 @@ fn soak(policy: NullPolicy, seed: u64, ops: usize) {
             }
             Op::QueryIn(vs) => {
                 let got = idx.in_list(&vs).unwrap().bitmap.to_positions();
-                let expect =
-                    match_rows(&shadow, |c| c.value().is_some_and(|v| vs.contains(&v)));
+                let expect = match_rows(&shadow, |c| c.value().is_some_and(|v| vs.contains(&v)));
                 assert_eq!(got, expect, "step {step}: in({vs:?}) under {policy:?}");
                 queries_checked += 1;
             }
             Op::QueryRange(lo, hi) => {
                 let got = idx.range(lo, hi).unwrap().bitmap.to_positions();
-                let expect =
-                    match_rows(&shadow, |c| c.value().is_some_and(|v| v >= lo && v <= hi));
-                assert_eq!(got, expect, "step {step}: range({lo},{hi}) under {policy:?}");
+                let expect = match_rows(&shadow, |c| c.value().is_some_and(|v| v >= lo && v <= hi));
+                assert_eq!(
+                    got, expect,
+                    "step {step}: range({lo},{hi}) under {policy:?}"
+                );
                 queries_checked += 1;
             }
             Op::QueryNotIn(vs) => {
                 let got = idx.not_in_list(&vs).unwrap().bitmap.to_positions();
-                let expect =
-                    match_rows(&shadow, |c| c.value().is_some_and(|v| !vs.contains(&v)));
+                let expect = match_rows(&shadow, |c| c.value().is_some_and(|v| !vs.contains(&v)));
                 assert_eq!(got, expect, "step {step}: not_in({vs:?}) under {policy:?}");
                 queries_checked += 1;
             }

@@ -93,13 +93,17 @@ fn prime_chain_subdomains_cost_k_minus_p() {
     // bits) must cost exactly 4 − 2 = 2 vectors.
     let mapping = Mapping::sequential(16);
     for (subdomain, expected) in [
-        (vec![0u64, 1, 2, 3], 2),     // low 2 bits free
-        (vec![0, 1], 3),              // 1-subcube: 3 vectors
-        (vec![0, 4, 8, 12], 2),       // bits 2,3 free
+        (vec![0u64, 1, 2, 3], 2),          // low 2 bits free
+        (vec![0, 1], 3),                   // 1-subcube: 3 vectors
+        (vec![0, 4, 8, 12], 2),            // bits 2,3 free
         (vec![0, 1, 2, 3, 4, 5, 6, 7], 1), // 3-subcube
     ] {
         assert!(check(&mapping, &subdomain).holds(), "{subdomain:?}");
-        assert_eq!(achieved_cost(&mapping, &subdomain), expected, "{subdomain:?}");
+        assert_eq!(
+            achieved_cost(&mapping, &subdomain),
+            expected,
+            "{subdomain:?}"
+        );
     }
 }
 
