@@ -143,6 +143,32 @@ impl KernelStats {
         self.segments_pruned += other.segments_pruned;
         self.segments_short_circuited += other.segments_short_circuited;
     }
+
+    /// Adds these counters to the process-wide kernel metrics
+    /// (`ebi_kernel_*_total` families) in `registry`. Callers batch: the
+    /// kernels accumulate into a stack-resident `KernelStats` and
+    /// publish once per evaluation, so the hot loops never touch the
+    /// registry.
+    pub fn publish_to(&self, registry: &ebi_obs::MetricsRegistry) {
+        let counters = [
+            ("ebi_kernel_words_scanned_total", self.words_scanned),
+            ("ebi_kernel_bytes_touched_total", self.bytes_touched),
+            (
+                "ebi_kernel_compressed_chunks_skipped_total",
+                self.compressed_chunks_skipped,
+            ),
+            ("ebi_kernel_segments_pruned_total", self.segments_pruned),
+            (
+                "ebi_kernel_segments_short_circuited_total",
+                self.segments_short_circuited,
+            ),
+        ];
+        for (name, v) in counters {
+            if v != 0 {
+                registry.counter(name, &[]).add(v);
+            }
+        }
+    }
 }
 
 /// OR-accumulates one product term (the AND of `literals`) into
@@ -1089,5 +1115,27 @@ mod tests {
         let terms = vec![vec![StoredLiteral::new(&s, false)]];
         let mut stats = KernelStats::new();
         let _ = eval_dnf_stored(&terms, 4096, &mut stats);
+    }
+
+    #[test]
+    fn kernel_stats_publish_to_registry() {
+        let stats = KernelStats {
+            words_scanned: 10,
+            bytes_touched: 80,
+            compressed_chunks_skipped: 0,
+            segments_pruned: 3,
+            segments_short_circuited: 1,
+        };
+        let reg = ebi_obs::MetricsRegistry::new();
+        stats.publish_to(&reg);
+        stats.publish_to(&reg);
+        assert_eq!(reg.counter("ebi_kernel_words_scanned_total", &[]).get(), 20);
+        assert_eq!(
+            reg.counter("ebi_kernel_segments_pruned_total", &[]).get(),
+            6
+        );
+        // Zero-valued counters are skipped, not registered as zeros.
+        let names: Vec<String> = reg.snapshot().into_iter().map(|s| s.name).collect();
+        assert!(!names.contains(&"ebi_kernel_compressed_chunks_skipped_total".to_string()));
     }
 }

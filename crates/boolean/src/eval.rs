@@ -27,6 +27,29 @@ use crate::expr::DnfExpr;
 use ebi_bitvec::kernels::{self, KernelStats, Literal, StoredLiteral};
 use ebi_bitvec::{BitVec, SegmentSummary, SliceStorage};
 
+/// Errors from expression-evaluation bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// A slice index beyond the tracker's 64-vector mask was touched.
+    SliceIndexOutOfRange {
+        /// The offending slice index.
+        index: u32,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SliceIndexOutOfRange { index } => {
+                write!(f, "slice index {index} exceeds the 64-vector tracker limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
 /// Cost counters for one or more expression evaluations.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccessTracker {
@@ -105,17 +128,33 @@ impl AccessTracker {
     /// indices `0..64` are representable — matching the evaluator's own
     /// `k ≤ 64` limit (an encoded bitmap index needs `k = ⌈log₂ m⌉`
     /// slices, and `k > 64` would require more than `2^64` attribute
-    /// values). Out-of-range indices are rejected in debug builds and
-    /// ignored in release builds; they previously wrapped the shift and
-    /// silently corrupted the count for slice `i - 64`.
+    /// values).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `i >= 64` in **all** build profiles. Out-of-range
+    /// indices used to be a debug-only assertion that release builds
+    /// silently ignored, which let a miscounting caller ship; callers
+    /// that want to handle the limit gracefully use [`Self::try_touch`].
     pub fn touch(&mut self, i: u32) {
-        debug_assert!(
-            i < 64,
-            "slice index {i} exceeds the 64-vector tracker limit"
-        );
-        if i < 64 {
-            self.touched |= 1 << i;
+        if let Err(e) = self.try_touch(i) {
+            panic!("{e}");
         }
+    }
+
+    /// Fallible variant of [`Self::touch`]: records a touch of slice
+    /// `i`, or reports [`EvalError::SliceIndexOutOfRange`] when `i` does
+    /// not fit the 64-vector mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::SliceIndexOutOfRange`] when `i >= 64`.
+    pub fn try_touch(&mut self, i: u32) -> Result<(), EvalError> {
+        if i >= 64 {
+            return Err(EvalError::SliceIndexOutOfRange { index: i });
+        }
+        self.touched |= 1 << i;
+        Ok(())
     }
 }
 
@@ -665,10 +704,27 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
     #[should_panic(expected = "64-vector tracker limit")]
     fn tracker_touch_rejects_out_of_range_index() {
+        // Panics in every build profile — release included — since the
+        // silent-ignore release path was promoted to a typed error.
         AccessTracker::new().touch(64);
+    }
+
+    #[test]
+    fn tracker_try_touch_reports_typed_error() {
+        let mut t = AccessTracker::new();
+        assert_eq!(t.try_touch(63), Ok(()));
+        assert_eq!(t.touched_mask(), 1 << 63);
+        let err = t.try_touch(64).unwrap_err();
+        assert_eq!(err, EvalError::SliceIndexOutOfRange { index: 64 });
+        assert_eq!(
+            err.to_string(),
+            "slice index 64 exceeds the 64-vector tracker limit"
+        );
+        // The failed touch left the mask unchanged.
+        assert_eq!(t.touched_mask(), 1 << 63);
+        assert_eq!(t.vectors_accessed(), 1);
     }
 
     #[test]

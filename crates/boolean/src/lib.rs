@@ -49,6 +49,7 @@ pub mod support;
 pub use cube::Cube;
 pub use eval::{
     eval_expr, eval_expr_naive, eval_expr_stored, eval_expr_summarized, eval_expr_tracked,
-    AccessTracker, FusedPlan, StoredPlan,
+    AccessTracker, EvalError, FusedPlan, StoredPlan,
 };
 pub use expr::DnfExpr;
+pub use qm::{CoverMethod, ReduceStats};

@@ -27,6 +27,60 @@ const PETRICK_MAX_TERMS: usize = 96;
 /// Cap on the intermediate product size during Petrick expansion.
 const PETRICK_MAX_PRODUCTS: usize = 100_000;
 
+/// How the non-essential part of the cover was selected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CoverMethod {
+    /// Essential prime implicants alone covered the on-set.
+    #[default]
+    EssentialOnly,
+    /// Petrick's method ran to completion (exact cover).
+    Petrick,
+    /// The bounded greedy cover took over (candidate or product blow-up).
+    Greedy,
+}
+
+impl CoverMethod {
+    /// Stable lowercase name for exports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::EssentialOnly => "essential_only",
+            Self::Petrick => "petrick",
+            Self::Greedy => "greedy",
+        }
+    }
+}
+
+/// Counters describing one logical-reduction run, for the query-lifecycle
+/// profiler: how large the min-term expansion was, how many prime
+/// implicants Quine–McCluskey produced, how hard cover selection worked,
+/// and what came out.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Distinct on-set min-terms.
+    pub minterms: u64,
+    /// Don't-care codes supplied (footnote 3).
+    pub dont_cares: u64,
+    /// Prime implicants generated.
+    pub prime_implicants: u64,
+    /// Essential prime implicants extracted before cover search.
+    pub essential_primes: u64,
+    /// Non-essential candidates surviving dominance pruning.
+    pub cover_candidates: u64,
+    /// Peak intermediate product count during Petrick expansion
+    /// (0 unless Petrick ran).
+    pub petrick_products_peak: u64,
+    /// How the cover was completed.
+    pub cover_method: CoverMethod,
+    /// Product terms in the reduced expression.
+    pub cubes_out: u64,
+    /// Literals in the reduced expression.
+    pub literals_out: u64,
+    /// Distinct bitmap vectors the reduced expression reads — the
+    /// paper's `c_e`.
+    pub vectors_out: u64,
+}
+
 /// Generates all prime implicants of the function with on-set `on` and
 /// don't-care set `dc` over `k` variables.
 ///
@@ -83,11 +137,24 @@ pub fn prime_implicants(on: &[u64], dc: &[u64], k: u32) -> Vec<Cube> {
 /// constant-false expression.
 #[must_use]
 pub fn minimize(on: &[u64], dc: &[u64], k: u32) -> DnfExpr {
+    let mut stats = ReduceStats::default();
+    minimize_with_stats(on, dc, k, &mut stats)
+}
+
+/// Like [`minimize`], additionally filling `stats` with the run's
+/// reduction counters (min-term expansion size, prime-implicant count,
+/// Petrick effort, cover method, output shape).
+#[must_use]
+pub fn minimize_with_stats(on: &[u64], dc: &[u64], k: u32, stats: &mut ReduceStats) -> DnfExpr {
+    *stats = ReduceStats::default();
     if on.is_empty() {
         return DnfExpr::empty(k);
     }
     let on_set: HashSet<u64> = on.iter().copied().collect();
+    stats.minterms = on_set.len() as u64;
+    stats.dont_cares = dc.iter().collect::<HashSet<_>>().len() as u64;
     let primes = prime_implicants(on, dc, k);
+    stats.prime_implicants = primes.len() as u64;
 
     // Which prime implicants cover each on-set min-term.
     let on_terms: Vec<u64> = {
@@ -121,6 +188,7 @@ pub fn minimize(on: &[u64], dc: &[u64], k: u32) -> DnfExpr {
             }
         }
     }
+    stats.essential_primes = chosen.len() as u64;
 
     let remaining_terms: Vec<usize> = (0..on_terms.len()).filter(|&i| !covered[i]).collect();
     if !remaining_terms.is_empty() {
@@ -136,17 +204,35 @@ pub fn minimize(on: &[u64], dc: &[u64], k: u32) -> DnfExpr {
         // Drop candidates dominated by another candidate (covers a subset
         // of remaining terms with >= literals).
         candidates = prune_dominated(&candidates, &primes, &on_terms, &remaining_terms);
+        stats.cover_candidates = candidates.len() as u64;
 
         let picked =
             if candidates.len() <= PETRICK_MAX_PIS && remaining_terms.len() <= PETRICK_MAX_TERMS {
-                petrick_cover(&candidates, &primes, &on_terms, &remaining_terms, &chosen)
+                stats.cover_method = CoverMethod::Petrick;
+                petrick_cover(
+                    &candidates,
+                    &primes,
+                    &on_terms,
+                    &remaining_terms,
+                    &chosen,
+                    stats,
+                )
             } else {
+                stats.cover_method = CoverMethod::Greedy;
                 greedy_cover(&candidates, &primes, &on_terms, &remaining_terms, &chosen)
             };
         chosen.extend(picked);
     }
 
-    DnfExpr::from_cubes(chosen.into_iter().map(|i| primes[i]).collect(), k)
+    let expr = DnfExpr::from_cubes(chosen.into_iter().map(|i| primes[i]).collect(), k);
+    stats.cubes_out = expr.cubes().len() as u64;
+    stats.literals_out = expr
+        .cubes()
+        .iter()
+        .map(|c| u64::from(c.literal_count()))
+        .sum();
+    stats.vectors_out = expr.vectors_accessed() as u64;
+    expr
 }
 
 /// Removes candidates whose remaining-coverage is a strict subset of
@@ -199,6 +285,7 @@ fn petrick_cover(
     on_terms: &[u64],
     remaining: &[usize],
     chosen: &[usize],
+    stats: &mut ReduceStats,
 ) -> Vec<usize> {
     // Each product is a set of candidate indices, packed into a u32 mask
     // over `candidates` (|candidates| <= PETRICK_MAX_PIS <= 24).
@@ -227,8 +314,10 @@ fn petrick_cover(
             }
         }
         products = kept;
+        stats.petrick_products_peak = stats.petrick_products_peak.max(products.len() as u64);
         if products.len() > PETRICK_MAX_PRODUCTS {
             // Fall back rather than risk runaway memory.
+            stats.cover_method = CoverMethod::Greedy;
             return greedy_cover(candidates, primes, on_terms, remaining, chosen);
         }
     }
@@ -448,6 +537,48 @@ mod tests {
             let e = minimize(&on, &[], k);
             assert_eq!(e.vectors_accessed(), (k - j) as usize, "j={j}: {e}");
         }
+    }
+
+    #[test]
+    fn minimize_with_stats_describes_the_run() {
+        // Figure 1: two min-terms reduce to the single-literal B1'.
+        let mut stats = ReduceStats::default();
+        let e = minimize_with_stats(&[0b00, 0b01], &[], 2, &mut stats);
+        assert_eq!(e, DnfExpr::parse("B1'", 2).unwrap());
+        assert_eq!(stats.minterms, 2);
+        assert_eq!(stats.dont_cares, 0);
+        assert_eq!(stats.prime_implicants, 1);
+        assert_eq!(stats.essential_primes, 1);
+        assert_eq!(stats.cover_method, CoverMethod::EssentialOnly);
+        assert_eq!(stats.cubes_out, 1);
+        assert_eq!(stats.literals_out, 1);
+        assert_eq!(stats.vectors_out, 1);
+
+        // The classic QM demo exercises the cover search.
+        let on = [4u64, 8, 10, 11, 12, 15];
+        let dc = [9u64, 14];
+        let e = minimize_with_stats(&on, &dc, 4, &mut stats);
+        assert_valid_reduction(&e, &on, &dc, 4);
+        assert_eq!(stats.minterms, 6);
+        assert_eq!(stats.dont_cares, 2);
+        assert!(stats.prime_implicants >= stats.essential_primes);
+        assert_eq!(stats.cubes_out, e.cubes().len() as u64);
+        assert_eq!(stats.vectors_out, e.vectors_accessed() as u64);
+        if stats.cover_method == CoverMethod::Petrick {
+            assert!(stats.petrick_products_peak > 0);
+        }
+
+        // Stats reset between runs: the empty selection reports zeros.
+        let e = minimize_with_stats(&[], &[], 3, &mut stats);
+        assert!(e.is_false());
+        assert_eq!(stats, ReduceStats::default());
+    }
+
+    #[test]
+    fn cover_method_names_are_stable() {
+        assert_eq!(CoverMethod::EssentialOnly.as_str(), "essential_only");
+        assert_eq!(CoverMethod::Petrick.as_str(), "petrick");
+        assert_eq!(CoverMethod::Greedy.as_str(), "greedy");
     }
 
     #[test]

@@ -53,6 +53,12 @@ pub struct QueryOptions {
     /// [`EncodedBitmapIndex::set_query_options`] repacks every slice.
     /// Results and `vectors_accessed` are identical for every policy.
     pub storage_policy: StoragePolicy,
+    /// Emit query-lifecycle spans (reduce / plan / eval) and publish
+    /// kernel counters to the global `ebi-obs` metrics registry. Spans
+    /// only record when the global subscriber is also on
+    /// (`ebi_obs::set_enabled(true)`); with `profile: false` (the
+    /// default) the query path contains no observability calls at all.
+    pub profile: bool,
 }
 
 impl Default for QueryOptions {
@@ -61,6 +67,7 @@ impl Default for QueryOptions {
             eval_threads: 1,
             use_summaries: true,
             storage_policy: StoragePolicy::Adaptive,
+            profile: false,
         }
     }
 }
@@ -344,8 +351,14 @@ impl EncodedBitmapIndex {
     /// [`EncodedBitmapIndex::precompute_predicates`].
     #[must_use]
     pub fn explain_in_list(&self, values: &[u64]) -> DnfExpr {
+        let mut span = if self.query_options.profile {
+            ebi_obs::active_child("reduce")
+        } else {
+            ebi_obs::Span::none()
+        };
         if !self.expr_cache.is_empty() {
             if let Some(cached) = self.expr_cache.get(&normalise_values(values)) {
+                span.attr("cached", 1);
                 return cached.clone();
             }
         }
@@ -353,7 +366,22 @@ impl EncodedBitmapIndex {
             .iter()
             .filter_map(|&v| self.mapping.code_of(v))
             .collect();
-        qm::minimize(&codes, &self.dont_care_codes(), self.width())
+        let mut rs = qm::ReduceStats::default();
+        let expr = qm::minimize_with_stats(&codes, &self.dont_care_codes(), self.width(), &mut rs);
+        if span.is_live() {
+            span.attr("minterms", rs.minterms);
+            span.attr("dont_cares", rs.dont_cares);
+            span.attr("prime_implicants", rs.prime_implicants);
+            span.attr("essential_primes", rs.essential_primes);
+            span.attr("cover_candidates", rs.cover_candidates);
+            span.attr("petrick_products_peak", rs.petrick_products_peak);
+            // 0 = essential_only, 1 = petrick, 2 = greedy.
+            span.attr("cover_method", rs.cover_method as u64);
+            span.attr("cubes_out", rs.cubes_out);
+            span.attr("literals_out", rs.literals_out);
+            span.attr("vectors_out", rs.vectors_out);
+        }
+        expr
     }
 
     /// Reduces and caches the retrieval expressions of predefined
@@ -485,19 +513,48 @@ impl EncodedBitmapIndex {
     /// segment-parallel threads, per-slice containers). Bit-identical to
     /// naive whole-vector evaluation over dense slices.
     fn eval_selection(&self, expr: &DnfExpr, tracker: &mut AccessTracker) -> BitVec {
+        let profile = self.query_options.profile;
         let summaries = if self.query_options.use_summaries {
             self.summaries.as_deref()
         } else {
             None
         };
+        let mut plan_span = if profile {
+            ebi_obs::active_child("plan")
+        } else {
+            ebi_obs::Span::none()
+        };
         let plan = match summaries {
             Some(s) => StoredPlan::with_summaries(expr, &self.slices, s, self.rows),
             None => StoredPlan::new(expr, &self.slices, self.rows),
         };
+        if plan_span.is_live() {
+            plan_span.attr("dense_fast_path", u64::from(plan.is_dense()));
+            plan_span.attr("terms", expr.cubes().len() as u64);
+            plan_span.attr("summaries", u64::from(summaries.is_some()));
+        }
+        drop(plan_span);
+
         FusedPlan::record_access(expr, tracker);
         let mut stats = KernelStats::new();
+        let mut eval_span = if profile {
+            ebi_obs::active_child("eval")
+        } else {
+            ebi_obs::Span::none()
+        };
         let bitmap =
             crate::parallel::eval_plan_stored(&plan, self.query_options.eval_threads, &mut stats);
+        if eval_span.is_live() {
+            eval_span.attr("words_scanned", stats.words_scanned);
+            eval_span.attr("bytes_touched", stats.bytes_touched);
+            eval_span.attr("segments_pruned", stats.segments_pruned);
+            eval_span.attr("segments_short_circuited", stats.segments_short_circuited);
+            eval_span.attr("compressed_chunks_skipped", stats.compressed_chunks_skipped);
+        }
+        drop(eval_span);
+        if profile && ebi_obs::enabled() {
+            stats.publish_to(ebi_obs::metrics::global());
+        }
         tracker.absorb_kernel_stats(&stats);
         bitmap
     }
@@ -814,6 +871,40 @@ mod tests {
         assert_eq!(idx.cached_predicates(), 0, "stale cache cleared");
         let r = idx.in_list(&[0, 1]).unwrap();
         assert_eq!(r.bitmap.to_positions(), vec![0, 1], "correct after growth");
+    }
+
+    #[test]
+    fn profiled_query_records_reduce_plan_eval_spans() {
+        let cells: Vec<Cell> = (0..5000u64).map(|i| Cell::Value(i % 50)).collect();
+        let mut idx = EncodedBitmapIndex::build(cells).unwrap();
+        idx.set_query_options(QueryOptions {
+            profile: true,
+            ..Default::default()
+        });
+        ebi_obs::set_enabled(true);
+        let trace = ebi_obs::Trace::begin();
+        let baseline;
+        {
+            let _root = trace.root_span("query");
+            baseline = idx.in_list(&[1, 2, 3, 7]).unwrap();
+        }
+        ebi_obs::set_enabled(false);
+        let records = trace.finish();
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        for phase in ["query", "reduce", "plan", "eval"] {
+            assert!(names.contains(&phase), "missing {phase} span in {names:?}");
+        }
+        let reduce = records.iter().find(|r| r.name == "reduce").unwrap();
+        assert!(reduce.attrs.iter().any(|(k, v)| k == "minterms" && *v == 4));
+
+        // Profiling must not change results or the paper's cost metric.
+        idx.set_query_options(QueryOptions::default());
+        let plain = idx.in_list(&[1, 2, 3, 7]).unwrap();
+        assert_eq!(plain.bitmap, baseline.bitmap);
+        assert_eq!(
+            plain.stats.vectors_accessed,
+            baseline.stats.vectors_accessed
+        );
     }
 
     #[test]

@@ -76,11 +76,25 @@ where
         .next_multiple_of(SEGMENT_WORDS);
     let chunks: Vec<&mut [u64]> = dst.words_mut().chunks_mut(chunk_words).collect();
     let mut worker_stats: Vec<KernelStats> = vec![KernelStats::new(); chunks.len()];
+    // Workers run on their own threads, so the thread-local span stack
+    // does not reach them: capture the calling phase's handle explicitly
+    // and attach each worker's span to it (None when not profiling).
+    let parent = ebi_obs::current_handle();
     crossbeam::thread::scope(|scope| {
         for (i, (chunk, slot)) in chunks.into_iter().zip(&mut worker_stats).enumerate() {
             let eval_range = &eval_range;
+            let parent = &parent;
             scope.spawn(move |_| {
+                let mut span = match parent {
+                    Some(h) => h.child("eval.worker"),
+                    None => ebi_obs::Span::none(),
+                };
                 eval_range(chunk, i * chunk_words, slot);
+                if span.is_live() {
+                    span.attr("worker", i as u64);
+                    span.attr("word_offset", (i * chunk_words) as u64);
+                    span.attr("words_scanned", slot.words_scanned);
+                }
             });
         }
     })

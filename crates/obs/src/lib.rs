@@ -1,0 +1,111 @@
+//! Workspace-wide observability for encoded bitmap indexing.
+//!
+//! The paper's entire argument rests on a cost model — bitmap *vectors
+//! accessed* (footnote 4) plus page I/O — but counting alone does not
+//! make a perf trajectory credible: the compression literature the
+//! benches compare against reports per-query wall time *and*
+//! bytes-touched side by side. This crate is the substrate that ties
+//! the logical metric to real time, storage traffic and per-phase
+//! breakdowns, for every query, in every crate of the workspace:
+//!
+//! * [`metrics`] — a process-global, sharded, lock-cheap registry of
+//!   monotonic [`metrics::Counter`]s, [`metrics::Gauge`]s and
+//!   log2-bucketed [`metrics::Histogram`]s (p50/p95/p99 summaries),
+//!   keyed by name plus free-form labels (`query`, `slice`, `phase`);
+//! * [`span`] — an RAII span API ([`span::Trace`], [`span::Span`])
+//!   recording a structured event tree per query. Spans carry explicit
+//!   parent ids so worker threads can attach to the spawning phase, and
+//!   cost **one relaxed atomic load** when the global subscriber is
+//!   disabled ([`enabled`]);
+//! * [`report`] — [`report::QueryReport`], the unified query-lifecycle
+//!   record (phase tree + evaluation counters + reduction counters +
+//!   storage counters) that `ebi-warehouse`'s executor assembles from
+//!   today's `QueryStats` / `AccessTracker` / `KernelStats` plus pager
+//!   and buffer-pool deltas;
+//! * [`export`] — the shared renderers: JSON lines, Prometheus text
+//!   format, and the human-readable `EXPLAIN ANALYZE` tree.
+//!
+//! The crate depends on nothing but `parking_lot`, so every other
+//! workspace crate can link it without cycles.
+//!
+//! # Enabling the subscriber
+//!
+//! ```
+//! ebi_obs::set_enabled(true);
+//! let trace = ebi_obs::span::Trace::begin();
+//! {
+//!     let root = trace.root_span("query");
+//!     let mut child = root.child("reduce");
+//!     child.attr("cubes", 3);
+//! } // guards record on drop
+//! let records = trace.finish();
+//! assert_eq!(records.len(), 2);
+//! ebi_obs::set_enabled(false);
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use report::{CostCounters, PhaseNode, QueryReport, StorageCounters};
+pub use span::{Span, SpanHandle, SpanRecord, Trace};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Global subscriber switch. All spans and the hot-path metric hooks
+/// no-op while this is `false` (the default).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic query-id source for [`report::QueryReport`]s.
+static NEXT_QUERY_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Whether the global subscriber is on. One relaxed atomic load — this
+/// is the *entire* cost instrumented hot paths pay when observability
+/// is off.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the global subscriber on or off. Spans opened while disabled
+/// stay no-ops even if the subscriber is enabled before they drop.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Allocates a fresh process-unique query id.
+#[must_use]
+pub fn next_query_id() -> u64 {
+    NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Convenience: opens a child of the innermost span currently open on
+/// this thread (see [`span::active_child`]). No-op span when the
+/// subscriber is disabled or no trace is active here.
+#[must_use]
+pub fn active_child(name: &str) -> Span {
+    span::active_child(name)
+}
+
+/// Convenience: handle of the innermost span currently open on this
+/// thread, for handing to worker threads (see
+/// [`span::current_handle`]).
+#[must_use]
+pub fn current_handle() -> Option<SpanHandle> {
+    span::current_handle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_ids_are_unique_and_increasing() {
+        let a = next_query_id();
+        let b = next_query_id();
+        assert!(b > a);
+    }
+}

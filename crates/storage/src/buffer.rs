@@ -12,6 +12,15 @@ use crate::pager::{PageId, Pager};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
+/// Mirrors one buffer-pool event into the global metrics registry when
+/// the observability subscriber is on. Off path: one relaxed load.
+#[inline]
+fn publish(name: &'static str) {
+    if ebi_obs::enabled() {
+        ebi_obs::metrics::global().counter(name, &[]).inc();
+    }
+}
+
 /// Hit/miss counters for a buffer pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BufferStats {
@@ -100,10 +109,13 @@ impl<'a> BufferPool<'a> {
             *last = tick;
             let out = data.clone();
             inner.stats.hits += 1;
+            drop(inner);
+            publish("ebi_buffer_hits_total");
             return Ok(out);
         }
         drop(inner); // do not hold the lock across the pager read
         let data = self.pager.read_page(id)?;
+        publish("ebi_buffer_misses_total");
         let mut inner = self.inner.lock();
         inner.stats.misses += 1;
         if inner.cached.len() >= self.capacity {
@@ -111,6 +123,7 @@ impl<'a> BufferPool<'a> {
             if let Some((&victim, _)) = inner.cached.iter().min_by_key(|(_, (_, last))| *last) {
                 inner.cached.remove(&victim);
                 inner.stats.evictions += 1;
+                publish("ebi_buffer_evictions_total");
             }
         }
         let tick = inner.tick;
@@ -242,5 +255,30 @@ mod tests {
         let pool = BufferPool::new(&pager, 1);
         assert!(pool.read_page(PageId(9)).is_err());
         assert_eq!(pool.stats().hits, 0);
+    }
+
+    #[test]
+    fn global_metrics_mirror_traffic_when_enabled() {
+        let reg = ebi_obs::metrics::global();
+        let hits0 = reg.counter("ebi_buffer_hits_total", &[]).get();
+        let miss0 = reg.counter("ebi_buffer_misses_total", &[]).get();
+        let reads0 = reg.counter("ebi_pager_page_reads_total", &[]).get();
+
+        let pager = pager_with_pages(2);
+        let pool = BufferPool::new(&pager, 2);
+        // Disabled: the registry must not move for these reads.
+        ebi_obs::set_enabled(false);
+        pool.read_page(PageId(0)).unwrap();
+        assert_eq!(reg.counter("ebi_buffer_misses_total", &[]).get(), miss0);
+
+        ebi_obs::set_enabled(true);
+        pool.read_page(PageId(0)).unwrap(); // hit
+        pool.read_page(PageId(1)).unwrap(); // miss → pager read
+        ebi_obs::set_enabled(false);
+
+        // Deltas are >= because parallel tests may also publish.
+        assert!(reg.counter("ebi_buffer_hits_total", &[]).get() > hits0);
+        assert!(reg.counter("ebi_buffer_misses_total", &[]).get() > miss0);
+        assert!(reg.counter("ebi_pager_page_reads_total", &[]).get() > reads0);
     }
 }

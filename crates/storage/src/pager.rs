@@ -3,6 +3,15 @@
 use crate::error::StorageError;
 use parking_lot::Mutex;
 
+/// Mirrors one pager event into the global metrics registry when the
+/// observability subscriber is on. Off path: one relaxed atomic load.
+#[inline]
+fn publish(name: &'static str, n: u64) {
+    if ebi_obs::enabled() {
+        ebi_obs::metrics::global().counter(name, &[]).add(n);
+    }
+}
+
 /// Default page size: 4 KiB, the `p = 4K` of the paper's §2.1 cost
 /// analysis.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
@@ -84,6 +93,7 @@ impl Pager {
             pages.push(vec![0u8; self.page_size].into_boxed_slice());
         }
         self.stats.lock().pages_allocated += n;
+        publish("ebi_pager_pages_allocated_total", n);
         PageId(first)
     }
 
@@ -111,6 +121,7 @@ impl Pager {
             })?;
         page[..data.len()].copy_from_slice(data);
         self.stats.lock().page_writes += 1;
+        publish("ebi_pager_page_writes_total", 1);
         Ok(())
     }
 
@@ -128,6 +139,7 @@ impl Pager {
                 allocated: pages.len() as u64,
             })?;
         self.stats.lock().page_reads += 1;
+        publish("ebi_pager_page_reads_total", 1);
         Ok(page.to_vec())
     }
 

@@ -11,7 +11,11 @@ use crate::workload::{Predicate, Query};
 use ebi_baselines::SelectionIndex;
 use ebi_bitvec::BitVec;
 use ebi_core::index::QueryResult;
+use ebi_core::QueryStats;
+use ebi_obs::{CostCounters, PhaseNode, QueryReport, StorageCounters};
+use ebi_storage::{BufferPool, BufferStats, IoStats, PageId, Pager};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// A conjunction of single-attribute clauses (`AND` of [`Query`]s).
 #[derive(Debug, Clone)]
@@ -25,6 +29,23 @@ pub struct ConjunctiveQuery {
 pub struct DnfQuery {
     /// The disjuncts; any may hold.
     pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+/// Maps matching row ids onto fact-table pages for the profiled fetch
+/// phase: row `r` lives on page `base_page + r / rows_per_page`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchModel {
+    /// First page of the fact table's row storage.
+    pub base_page: PageId,
+    /// Rows stored per page; values below 1 are treated as 1.
+    pub rows_per_page: usize,
+}
+
+/// Storage layer a profiled executor charges its fetch phase against.
+struct StorageAttachment<'a> {
+    pager: &'a Pager,
+    pool: Option<&'a BufferPool<'a>>,
+    fetch: Option<FetchModel>,
 }
 
 /// Cost summary of one executed query.
@@ -58,6 +79,7 @@ pub struct ExecutionReport {
 pub struct Executor<'a> {
     indexes: BTreeMap<String, &'a dyn SelectionIndex>,
     rows: usize,
+    storage: Option<StorageAttachment<'a>>,
 }
 
 impl<'a> Executor<'a> {
@@ -67,7 +89,20 @@ impl<'a> Executor<'a> {
         Self {
             indexes: BTreeMap::new(),
             rows,
+            storage: None,
         }
+    }
+
+    /// Attaches the storage layer so profiled runs report pager /
+    /// buffer-pool deltas, and — when `fetch` is given — read the
+    /// matching rows' pages through the pool as a traced `fetch` phase.
+    pub fn attach_storage(
+        &mut self,
+        pager: &'a Pager,
+        pool: Option<&'a BufferPool<'a>>,
+        fetch: Option<FetchModel>,
+    ) {
+        self.storage = Some(StorageAttachment { pager, pool, fetch });
     }
 
     /// Registers `index` for `column`.
@@ -159,6 +194,194 @@ impl<'a> Executor<'a> {
         (bitmap, report)
     }
 
+    /// Evaluates a conjunction under the query-lifecycle profiler and
+    /// returns the bitmap plus a full [`QueryReport`].
+    ///
+    /// Cost parity is structural: the loop mirrors [`Executor::run`],
+    /// so `report.cost.vectors_accessed` is the *same number* the
+    /// untraced [`ExecutionReport`] carries — profiling never perturbs
+    /// the paper's cost metric. Phase spans only appear when the
+    /// global subscriber is on ([`ebi_obs::set_enabled`]); sub-phases
+    /// (`reduce` / `plan` / `eval`) additionally require the registered
+    /// index to run with `QueryOptions { profile: true, .. }`.
+    #[must_use]
+    pub fn run_profiled(&self, query: &ConjunctiveQuery, label: &str) -> (BitVec, QueryReport) {
+        self.profiled(label, |cost, exprs| {
+            self.run_conjunction_traced(query, cost, exprs)
+        })
+    }
+
+    /// Evaluates a disjunction of conjunctions under the profiler;
+    /// see [`Executor::run_profiled`] for the tracing contract.
+    #[must_use]
+    pub fn run_dnf_profiled(&self, query: &DnfQuery, label: &str) -> (BitVec, QueryReport) {
+        self.profiled(label, |cost, exprs| self.run_dnf_traced(query, cost, exprs))
+    }
+
+    /// Runs `query` profiled and renders the `EXPLAIN ANALYZE` tree.
+    #[must_use]
+    pub fn explain_analyze(&self, query: &DnfQuery, label: &str) -> String {
+        self.run_dnf_profiled(query, label).1.explain_analyze()
+    }
+
+    /// The shared profiled wrapper: snapshots storage stats, opens the
+    /// root `query` span, runs `body`, charges the fetch phase, and
+    /// assembles the [`QueryReport`].
+    fn profiled<F>(&self, label: &str, body: F) -> (BitVec, QueryReport)
+    where
+        F: FnOnce(&mut CostCounters, &mut Vec<String>) -> BitVec,
+    {
+        let query_id = ebi_obs::next_query_id();
+        let pager_before = self.storage.as_ref().map(|s| s.pager.stats());
+        let pool_before = self
+            .storage
+            .as_ref()
+            .and_then(|s| s.pool)
+            .map(BufferPool::stats);
+        let start = Instant::now();
+        let trace = ebi_obs::Trace::begin();
+        let mut cost = CostCounters::default();
+        let mut expressions = Vec::new();
+        let bitmap = {
+            let mut root = trace.root_span("query");
+            root.attr("query_id", query_id);
+            let bitmap = body(&mut cost, &mut expressions);
+            self.fetch_matches(&bitmap);
+            bitmap
+        };
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let records = trace.finish();
+        let report = QueryReport {
+            query_id,
+            label: label.to_string(),
+            rows: self.rows as u64,
+            matches: bitmap.count_ones() as u64,
+            wall_ns,
+            expressions,
+            phases: PhaseNode::forest(&records),
+            cost,
+            storage: self.storage_delta(pager_before, pool_before),
+        };
+        if ebi_obs::enabled() {
+            report.publish(ebi_obs::metrics::global());
+        }
+        (bitmap, report)
+    }
+
+    /// [`Executor::run`] with per-clause spans and cost accumulation
+    /// into [`CostCounters`]. Identical control flow, identical costs.
+    fn run_conjunction_traced(
+        &self,
+        query: &ConjunctiveQuery,
+        cost: &mut CostCounters,
+        expressions: &mut Vec<String>,
+    ) -> BitVec {
+        let mut result: Option<BitVec> = None;
+        for (i, clause) in query.clauses.iter().enumerate() {
+            let mut span = ebi_obs::active_child("clause");
+            span.attr("clause", i as u64);
+            let r = self.run_clause(clause);
+            span.attr("vectors_accessed", r.stats.vectors_accessed as u64);
+            span.attr("matches", r.bitmap.count_ones() as u64);
+            drop(span);
+            add_stats(cost, &r.stats);
+            expressions.push(r.stats.expression);
+            match &mut result {
+                None => result = Some(r.bitmap),
+                Some(acc) => {
+                    cost.literal_ops += 1;
+                    acc.and_assign(&r.bitmap);
+                }
+            }
+        }
+        result.unwrap_or_else(|| BitVec::ones(self.rows))
+    }
+
+    /// [`Executor::run_dnf`] with per-disjunct spans; clause spans nest
+    /// under their disjunct through the thread-local open-span stack.
+    fn run_dnf_traced(
+        &self,
+        query: &DnfQuery,
+        cost: &mut CostCounters,
+        expressions: &mut Vec<String>,
+    ) -> BitVec {
+        let mut result: Option<BitVec> = None;
+        for (i, disjunct) in query.disjuncts.iter().enumerate() {
+            let mut span = ebi_obs::active_child("disjunct");
+            span.attr("disjunct", i as u64);
+            let bitmap = self.run_conjunction_traced(disjunct, cost, expressions);
+            span.attr("matches", bitmap.count_ones() as u64);
+            drop(span);
+            match &mut result {
+                None => result = Some(bitmap),
+                Some(acc) => {
+                    cost.literal_ops += 1;
+                    acc.or_assign(&bitmap);
+                }
+            }
+        }
+        result.unwrap_or_else(|| BitVec::zeros(self.rows))
+    }
+
+    /// Reads every page holding a matching row, through the buffer
+    /// pool when one is attached. Rows iterate in ascending order, so
+    /// deduplicating against the previous page id reads each page once.
+    fn fetch_matches(&self, bitmap: &BitVec) {
+        let Some(att) = self.storage.as_ref() else {
+            return;
+        };
+        let Some(fetch) = att.fetch else {
+            return;
+        };
+        let rows_per_page = fetch.rows_per_page.max(1) as u64;
+        let mut span = ebi_obs::active_child("fetch");
+        let mut pages = 0u64;
+        let mut errors = 0u64;
+        let mut last: Option<u64> = None;
+        for row in bitmap.iter_ones() {
+            let page = fetch.base_page.0 + row as u64 / rows_per_page;
+            if last == Some(page) {
+                continue;
+            }
+            last = Some(page);
+            pages += 1;
+            let read = match att.pool {
+                Some(pool) => pool.read_page(PageId(page)),
+                None => att.pager.read_page(PageId(page)),
+            };
+            if read.is_err() {
+                errors += 1;
+            }
+        }
+        span.attr("pages", pages);
+        if errors > 0 {
+            span.attr("errors", errors);
+        }
+    }
+
+    /// Storage traffic since the pre-query snapshots.
+    fn storage_delta(
+        &self,
+        pager_before: Option<IoStats>,
+        pool_before: Option<BufferStats>,
+    ) -> StorageCounters {
+        let mut out = StorageCounters::default();
+        if let (Some(att), Some(before)) = (self.storage.as_ref(), pager_before) {
+            let now = att.pager.stats();
+            out.pager_reads = now.page_reads.saturating_sub(before.page_reads);
+            out.pager_writes = now.page_writes.saturating_sub(before.page_writes);
+        }
+        if let (Some(pool), Some(before)) =
+            (self.storage.as_ref().and_then(|s| s.pool), pool_before)
+        {
+            let now = pool.stats();
+            out.buffer_hits = now.hits.saturating_sub(before.hits);
+            out.buffer_misses = now.misses.saturating_sub(before.misses);
+            out.buffer_evictions = now.evictions.saturating_sub(before.evictions);
+        }
+        out
+    }
+
     /// COUNT(*) of a conjunction.
     #[must_use]
     pub fn count(&self, query: &ConjunctiveQuery) -> usize {
@@ -174,6 +397,18 @@ impl<'a> Executor<'a> {
             .filter_map(|row| measure.get(row).copied().flatten())
             .sum()
     }
+}
+
+/// Folds one clause's [`QueryStats`] into the report's cost counters.
+fn add_stats(cost: &mut CostCounters, s: &QueryStats) {
+    cost.vectors_accessed += s.vectors_accessed as u64;
+    cost.literal_ops += s.literal_ops as u64;
+    cost.cube_evals += s.cube_evals as u64;
+    cost.words_scanned += s.words_scanned;
+    cost.bytes_touched += s.bytes_touched;
+    cost.compressed_chunks_skipped += s.compressed_chunks_skipped;
+    cost.segments_pruned += s.segments_pruned;
+    cost.segments_short_circuited += s.segments_short_circuited;
 }
 
 #[cfg(test)]
@@ -323,6 +558,129 @@ mod tests {
             &measure,
         );
         assert_eq!(total, 60, "rows 1 and 3 match; NULL measure skipped");
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_costs_and_bitmap() {
+        // The profiled path must report the exact same paper cost
+        // metric and result as the untraced path, whatever the global
+        // subscriber happens to be doing in parallel tests.
+        let a_cells: Vec<Cell> = (0..200u64).map(|i| Cell::Value(i % 7)).collect();
+        let b_cells: Vec<Cell> = (0..200u64).map(|i| Cell::Value(i % 5)).collect();
+        let a_idx = EncodedBitmapIndex::build(a_cells).unwrap();
+        let b_idx = EncodedBitmapIndex::build(b_cells).unwrap();
+        let mut exec = Executor::new(200);
+        exec.register("a", &a_idx);
+        exec.register("b", &b_idx);
+        let q = DnfQuery {
+            disjuncts: vec![
+                ConjunctiveQuery {
+                    clauses: vec![
+                        query("a", Predicate::InList(vec![1, 3])),
+                        query("b", Predicate::Eq(2)),
+                    ],
+                },
+                ConjunctiveQuery {
+                    clauses: vec![query("a", Predicate::Range(5, 6))],
+                },
+            ],
+        };
+        let (plain_bitmap, plain) = exec.run_dnf(&q);
+        let (bitmap, report) = exec.run_dnf_profiled(&q, "parity check");
+        assert_eq!(bitmap, plain_bitmap, "profiling changed the result");
+        assert_eq!(
+            report.cost.vectors_accessed, plain.vectors_accessed as u64,
+            "profiling changed the paper's cost metric"
+        );
+        assert_eq!(report.cost.literal_ops, plain.literal_ops as u64);
+        assert_eq!(report.matches, plain.matches as u64);
+        assert_eq!(report.expressions, plain.expressions);
+        assert_eq!(report.rows, 200);
+        assert_eq!(report.label, "parity check");
+        assert!(report.query_id > 0);
+        // No storage attached: the storage section stays zeroed.
+        assert_eq!(report.storage, ebi_obs::StorageCounters::default());
+    }
+
+    #[test]
+    fn profiled_run_records_phases_and_storage_traffic() {
+        let rows = 160usize;
+        let cells: Vec<Cell> = (0..rows as u64).map(|i| Cell::Value(i % 8)).collect();
+        let mut idx = EncodedBitmapIndex::build(cells).unwrap();
+        idx.set_query_options(ebi_core::index::QueryOptions {
+            profile: true,
+            ..Default::default()
+        });
+
+        // Fact table: 16 rows per page, pages pre-allocated.
+        let pager = Pager::with_page_size(256);
+        let base = pager.allocate((rows / 16) as u64);
+        let pool = BufferPool::new(&pager, 4);
+        let mut exec = Executor::new(rows);
+        exec.register("c", &idx);
+        exec.attach_storage(
+            &pager,
+            Some(&pool),
+            Some(FetchModel {
+                base_page: base,
+                rows_per_page: 16,
+            }),
+        );
+
+        ebi_obs::set_enabled(true);
+        let q = DnfQuery {
+            disjuncts: vec![ConjunctiveQuery {
+                clauses: vec![query("c", Predicate::InList(vec![1, 4]))],
+            }],
+        };
+        let (bitmap, report) = exec.run_dnf_profiled(&q, "c IN {1,4}");
+        ebi_obs::set_enabled(false);
+
+        assert_eq!(bitmap.count_ones(), rows / 4);
+        assert_eq!(report.matches, (rows / 4) as u64);
+        // Phase tree: query → disjunct → clause, plus the fetch phase.
+        assert_eq!(report.phases.len(), 1, "one root span");
+        assert_eq!(report.phases[0].name, "query");
+        assert!(report.phase_wall_ns("disjunct").is_some());
+        assert!(report.phase_wall_ns("clause").is_some());
+        assert!(report.phase_wall_ns("fetch").is_some());
+        // profile:true on the index nests its reduce/plan/eval spans
+        // under the clause span.
+        assert!(report.phase_wall_ns("reduce").is_some());
+        assert!(report.phase_wall_ns("eval").is_some());
+        // Every row matches somewhere in each 16-row page, so the
+        // fetch phase touches all 10 pages through the 4-frame pool.
+        let touched = report.storage.buffer_hits + report.storage.buffer_misses;
+        assert_eq!(touched, 10, "one pool read per matching page");
+        assert!(report.storage.buffer_misses >= 4, "pool smaller than scan");
+        assert_eq!(
+            report.storage.pager_reads, report.storage.buffer_misses,
+            "only pool misses reach the pager"
+        );
+        // Render paths stay coherent end to end.
+        let explain = report.explain_analyze();
+        assert!(explain.contains("└─ query"));
+        assert!(explain.contains("fetch"));
+        assert!(report
+            .to_json_line()
+            .starts_with("{\"schema\":\"ebi.query_report.v1\""));
+    }
+
+    #[test]
+    fn explain_analyze_works_with_subscriber_disabled() {
+        let cells: Vec<Cell> = (0..20u64).map(|i| Cell::Value(i % 2)).collect();
+        let idx = EncodedBitmapIndex::build(cells).unwrap();
+        let mut exec = Executor::new(20);
+        exec.register("p", &idx);
+        let q = DnfQuery {
+            disjuncts: vec![ConjunctiveQuery {
+                clauses: vec![query("p", Predicate::Eq(1))],
+            }],
+        };
+        let text = exec.explain_analyze(&q, "p = 1");
+        assert!(text.contains("EXPLAIN ANALYZE"));
+        assert!(text.contains("matches=10"));
+        assert!(text.contains("vectors_accessed="));
     }
 
     #[test]

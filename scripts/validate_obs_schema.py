@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate bench_results/obs_queries.jsonl against ebi.query_report.v1.
+
+The schema is documented in DESIGN.md §8. Exits non-zero on the first
+malformed line so CI fails loudly.
+
+Usage: validate_obs_schema.py [path/to/obs_queries.jsonl]
+"""
+
+import json
+import sys
+
+SCHEMA = "ebi.query_report.v1"
+
+TOP_LEVEL = {
+    "schema": str,
+    "query_id": int,
+    "label": str,
+    "rows": int,
+    "matches": int,
+    "wall_ns": int,
+    "expressions": list,
+    "cost": dict,
+    "storage": dict,
+    "phases": list,
+}
+
+COST = [
+    "vectors_accessed",
+    "literal_ops",
+    "cube_evals",
+    "words_scanned",
+    "bytes_touched",
+    "compressed_chunks_skipped",
+    "segments_pruned",
+    "segments_short_circuited",
+]
+
+STORAGE = [
+    "pager_reads",
+    "pager_writes",
+    "buffer_hits",
+    "buffer_misses",
+    "buffer_evictions",
+    "buffer_hit_ratio",
+]
+
+PHASE = {
+    "name": str,
+    "start_ns": int,
+    "wall_ns": int,
+    "attrs": dict,
+    "children": list,
+}
+
+
+def fail(lineno, msg):
+    print(f"obs_queries.jsonl:{lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_phase(lineno, node, path):
+    for key, typ in PHASE.items():
+        if key not in node:
+            fail(lineno, f"{path}: missing phase key {key!r}")
+        if not isinstance(node[key], typ):
+            fail(lineno, f"{path}.{key}: expected {typ.__name__}")
+    for k, v in node["attrs"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(lineno, f"{path}.attrs[{k!r}]: expected non-negative int")
+    for i, child in enumerate(node["children"]):
+        check_phase(lineno, child, f"{path}.children[{i}]")
+
+
+def check_line(lineno, line):
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as e:
+        fail(lineno, f"invalid JSON: {e}")
+    for key, typ in TOP_LEVEL.items():
+        if key not in doc:
+            fail(lineno, f"missing key {key!r}")
+        if not isinstance(doc[key], typ):
+            fail(lineno, f"{key}: expected {typ.__name__}, got {type(doc[key]).__name__}")
+    if doc["schema"] != SCHEMA:
+        fail(lineno, f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
+    for key in COST:
+        v = doc["cost"].get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(lineno, f"cost.{key}: expected non-negative int, got {v!r}")
+    for key in STORAGE:
+        if key not in doc["storage"]:
+            fail(lineno, f"storage: missing key {key!r}")
+    ratio = doc["storage"]["buffer_hit_ratio"]
+    if not isinstance(ratio, (int, float)) or not 0.0 <= ratio <= 1.0:
+        fail(lineno, f"storage.buffer_hit_ratio: expected number in [0,1], got {ratio!r}")
+    if not all(isinstance(e, str) for e in doc["expressions"]):
+        fail(lineno, "expressions: expected list of strings")
+    for i, phase in enumerate(doc["phases"]):
+        check_phase(lineno, phase, f"phases[{i}]")
+    if doc["phases"]:
+        roots = [p["name"] for p in doc["phases"]]
+        if "query" not in roots:
+            fail(lineno, f"phase roots {roots} lack the 'query' span")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_results/obs_queries.jsonl"
+    with open(path, encoding="utf-8") as f:
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    if not lines:
+        print(f"{path}: no report lines", file=sys.stderr)
+        sys.exit(1)
+    for lineno, line in enumerate(lines, 1):
+        check_line(lineno, line)
+    print(f"{path}: {len(lines)} report(s) valid against {SCHEMA}")
+
+
+if __name__ == "__main__":
+    main()

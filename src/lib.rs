@@ -35,6 +35,7 @@ pub use ebi_bitvec as bitvec;
 pub use ebi_boolean as boolean;
 pub use ebi_btree as btree;
 pub use ebi_core as core;
+pub use ebi_obs as obs;
 pub use ebi_storage as storage;
 pub use ebi_warehouse as warehouse;
 

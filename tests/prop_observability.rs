@@ -1,0 +1,96 @@
+//! Property tests for the observability layer: profiling is a pure
+//! observer. Across random DNF selections, random column data and
+//! every slice storage policy, the profiled executor must return the
+//! exact bitmap and the exact legacy cost numbers (`QueryStats` /
+//! `ExecutionReport`) of the untraced path — `vectors_accessed` is the
+//! paper's metric and instrumentation may never move it.
+
+use ebi::core::index::QueryOptions;
+use ebi::prelude::*;
+use ebi::warehouse::DnfQuery;
+use ebi_bitvec::StoragePolicy;
+use proptest::prelude::*;
+
+fn cell_strategy(m: u64) -> impl Strategy<Value = Cell> {
+    prop_oneof![
+        9 => (0..m).prop_map(Cell::Value),
+        1 => Just(Cell::Null),
+    ]
+}
+
+fn predicate_strategy(m: u64) -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        3 => (0..m).prop_map(Predicate::Eq),
+        2 => prop::collection::btree_set(0..m, 1..4)
+            .prop_map(|s| Predicate::InList(s.into_iter().collect())),
+        2 => (0..m, 0..m).prop_map(|(a, b)| Predicate::Range(a.min(b), a.max(b))),
+    ]
+}
+
+fn dnf_strategy(m: u64) -> impl Strategy<Value = DnfQuery> {
+    let clause = predicate_strategy(m).prop_map(|predicate| Query {
+        column: "c".into(),
+        predicate,
+    });
+    let conjunction =
+        prop::collection::vec(clause, 1..3).prop_map(|clauses| ConjunctiveQuery { clauses });
+    prop::collection::vec(conjunction, 1..3).prop_map(|disjuncts| DnfQuery { disjuncts })
+}
+
+fn policy_strategy() -> impl Strategy<Value = StoragePolicy> {
+    prop::sample::select(vec![
+        StoragePolicy::Dense,
+        StoragePolicy::Roaring,
+        StoragePolicy::Wah,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn profiled_execution_preserves_the_paper_cost_metric(
+        cells in prop::collection::vec(cell_strategy(16), 1..500),
+        query in dnf_strategy(16),
+        policy in policy_strategy(),
+    ) {
+        let rows = cells.len();
+        // Legacy side: untraced engine, no observability calls at all.
+        let mut plain = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        plain.set_query_options(QueryOptions {
+            storage_policy: policy,
+            ..Default::default()
+        });
+        // Profiled side: same data, same policy, full instrumentation.
+        let mut instrumented = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        instrumented.set_query_options(QueryOptions {
+            storage_policy: policy,
+            profile: true,
+            ..Default::default()
+        });
+
+        let mut exec_plain = Executor::new(rows);
+        exec_plain.register("c", &plain);
+        let mut exec_prof = Executor::new(rows);
+        exec_prof.register("c", &instrumented);
+
+        let (bitmap, legacy) = exec_plain.run_dnf(&query);
+        let (profiled_bitmap, report) = exec_prof.run_dnf_profiled(&query, "prop");
+
+        prop_assert_eq!(profiled_bitmap, bitmap, "profiling changed the result bitmap");
+        prop_assert_eq!(
+            report.cost.vectors_accessed,
+            legacy.vectors_accessed as u64,
+            "profiling changed the paper's c_e metric (policy {:?})",
+            policy
+        );
+        prop_assert_eq!(report.cost.literal_ops, legacy.literal_ops as u64);
+        prop_assert_eq!(report.matches, legacy.matches as u64);
+        prop_assert_eq!(report.expressions, legacy.expressions);
+        prop_assert_eq!(report.rows, rows as u64);
+        // The JSON rendering stays schema-tagged whatever the inputs.
+        prop_assert!(report
+            .to_json_line()
+            .starts_with("{\"schema\":\"ebi.query_report.v1\""));
+    }
+}
