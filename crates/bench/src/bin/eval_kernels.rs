@@ -24,21 +24,46 @@
 //! `vectors_accessed` is checked invariant under fusing, threading, and
 //! container choice before any timing is recorded.
 //!
+//! **Scaling curves** (`BENCH_scaling.json`, with `--scaling`):
+//! best-of-N latency of the stored-container engine at each thread count
+//! (1, 2, 4, … up to the host's cores) for every container family ×
+//! range width, over a 90%-hot clustered column — the shape that
+//! historically regressed the parallel splitter. A SIMD section times
+//! the same dense plans with the kernel dispatcher pinned to the
+//! scalar tier versus the best tier the host supports.
+//!
 //! Pass `--smoke` for a small-row CI run exercising every code path
-//! and still emitting both JSON artefacts.
+//! and still emitting every JSON artefact; `--check` (implies
+//! `--scaling`) makes the run self-validating: it exits non-zero if
+//! the parallel path falls below 0.9× serial at any measured point or
+//! the SIMD tier falls below 0.8× the scalar tier. `--out-dir DIR`
+//! redirects the JSON artefacts (used to regenerate the committed
+//! baselines).
 
 use ebi_bench::uniform_cells;
+use ebi_bitvec::simd::{self, KernelPath};
 use ebi_bitvec::summary::summarize_slices;
 use ebi_bitvec::{BitVec, KernelStats, SliceStorage, StoragePolicy};
 use ebi_boolean::{
     eval_expr_naive, eval_expr_stored, eval_expr_summarized, eval_expr_tracked, qm, AccessTracker,
-    FusedPlan,
+    FusedPlan, StoredPlan,
 };
-use ebi_core::parallel::eval_plan_forced;
+use ebi_core::parallel::{eval_plan_forced, eval_plan_stored_forced};
 use ebi_core::EncodedBitmapIndex;
 use ebi_storage::Cell;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Floor for `--check`: parallel latency may not exceed serial by more
+/// than this ratio at any measured `(container, delta, threads)` point.
+const PARALLEL_FLOOR_VS_SERIAL: f64 = 0.9;
+/// Floor for `--check`: the dispatched SIMD tier must stay within
+/// noise of the scalar tier (the scalar loops autovectorize, so parity
+/// is expected on bandwidth-bound hosts; a real dispatch bug tanks it).
+const SIMD_FLOOR_VS_SCALAR: f64 = 0.8;
+/// Headline target: below this the JSON documents the hardware limit.
+const SIMD_TARGET: f64 = 1.5;
 
 const M: u64 = 1000;
 const DELTAS: [u64; 3] = [8, 64, 512];
@@ -54,6 +79,20 @@ fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
         .collect();
     samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// Best-of-`iters` wall-clock nanoseconds of `f`. Used where a ratio
+/// of two timings feeds the CI regression gate: minima are far more
+/// stable than medians under external scheduler interference.
+fn min_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
+    (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .min()
+        .expect("at least one iteration")
 }
 
 struct Row {
@@ -261,16 +300,219 @@ fn measure_compressed(rows: usize, iters: usize, out: &mut Vec<CRow>) {
     }
 }
 
-fn write_json(name: &str, json: &str) {
-    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join(name);
+/// Thread counts to sweep: 1, the powers of two below the core count,
+/// and the core count itself. `[1]` on a single-core host.
+fn thread_counts(cores: usize) -> Vec<usize> {
+    let mut counts = vec![1];
+    let mut n = 2;
+    while n < cores {
+        counts.push(n);
+        n *= 2;
+    }
+    if cores > 1 {
+        counts.push(cores);
+    }
+    counts
+}
+
+struct SRow {
+    container: &'static str,
+    delta: u64,
+    threads: usize,
+    best_ns: u128,
+    speedup_vs_serial: f64,
+}
+
+/// Per-thread-count latency curves for every stored container family ×
+/// range width, over the 90%-hot clustered column. Every multi-thread
+/// result is correctness-gated bit-identical to the serial result
+/// before timing.
+fn measure_scaling(rows: usize, iters: usize, counts: &[usize], out: &mut Vec<SRow>) {
+    eprintln!("building {rows}-row skew90 index for the scaling curves…");
+    let cells = clustered_cells(rows, M, 90);
+    let index = EncodedBitmapIndex::build(cells).expect("build index");
+    let dense: Vec<BitVec> = index.slices().iter().map(SliceStorage::to_dense).collect();
+    // Summaries describe bit content, so the dense-derived summaries
+    // stay valid for every repacked family.
+    let summaries = summarize_slices(&dense);
+    let k = index.width();
+    let families: Vec<(&'static str, Vec<SliceStorage>)> = [
+        ("dense", StoragePolicy::Dense),
+        ("roaring", StoragePolicy::Roaring),
+        ("wah", StoragePolicy::Wah),
+    ]
+    .into_iter()
+    .map(|(name, policy)| {
+        (
+            name,
+            index
+                .slices()
+                .iter()
+                .map(|s| s.repack(policy))
+                .collect::<Vec<_>>(),
+        )
+    })
+    .collect();
+
+    for (name, family) in &families {
+        for delta in DELTAS {
+            let codes: Vec<u64> = (0..delta)
+                .map(|v| index.mapping().code_of(v).expect("value mapped"))
+                .collect();
+            let expr = qm::minimize(&codes, &[], k);
+            let plan = StoredPlan::with_summaries(&expr, family, &summaries, rows);
+
+            let mut serial_stats = KernelStats::new();
+            let serial = eval_plan_stored_forced(&plan, 1, &mut serial_stats);
+            let serial_ns = min_ns(iters, || {
+                let mut s = KernelStats::new();
+                std::hint::black_box(eval_plan_stored_forced(&plan, 1, &mut s));
+            });
+            out.push(SRow {
+                container: name,
+                delta,
+                threads: 1,
+                best_ns: serial_ns,
+                speedup_vs_serial: 1.0,
+            });
+
+            for &t in counts.iter().filter(|&&t| t > 1) {
+                let mut s = KernelStats::new();
+                assert_eq!(
+                    eval_plan_stored_forced(&plan, t, &mut s),
+                    serial,
+                    "{name} δ={delta}: {t}-thread result != serial"
+                );
+                let ns = min_ns(iters, || {
+                    let mut s = KernelStats::new();
+                    std::hint::black_box(eval_plan_stored_forced(&plan, t, &mut s));
+                });
+                let speedup = serial_ns as f64 / ns as f64;
+                eprintln!(
+                    "{name:<8} δ={delta:<4} threads={t:<3} {ns:>12}ns (×{speedup:.2} vs serial)"
+                );
+                out.push(SRow {
+                    container: name,
+                    delta,
+                    threads: t,
+                    best_ns: ns,
+                    speedup_vs_serial: speedup,
+                });
+            }
+            eprintln!("{name:<8} δ={delta:<4} threads=1   {serial_ns:>12}ns (serial baseline)");
+        }
+    }
+}
+
+struct SimdRow {
+    rows: usize,
+    delta: u64,
+    scalar_ns: u128,
+    simd_ns: u128,
+    kernel_path: &'static str,
+    speedup: f64,
+}
+
+/// Scalar-tier versus best-tier latency for the dense fused plans. The
+/// two runs are correctness-gated bit-identical before timing, and the
+/// dispatched tier is read back from [`KernelStats::kernel_path`].
+fn measure_simd(rows: usize, iters: usize, out: &mut Vec<SimdRow>) {
+    eprintln!("building {rows}-row dense index for the SIMD comparison…");
+    let cells = uniform_cells(M, rows, 0x51D ^ rows as u64);
+    let index = EncodedBitmapIndex::build(cells).expect("build index");
+    let dense: Vec<BitVec> = index.slices().iter().map(SliceStorage::to_dense).collect();
+    let summaries = summarize_slices(&dense);
+    let k = index.width();
+
+    for delta in DELTAS {
+        let codes: Vec<u64> = (0..delta)
+            .map(|v| index.mapping().code_of(v).expect("value mapped"))
+            .collect();
+        let expr = qm::minimize(&codes, &[], k);
+        let plan = FusedPlan::with_summaries(&expr, &dense, &summaries, rows);
+
+        simd::force_path_global(Some(KernelPath::Scalar));
+        let mut ks_scalar = KernelStats::new();
+        let scalar_result = plan.eval(&mut ks_scalar);
+        assert_eq!(ks_scalar.kernel_path(), "scalar", "scalar pin ignored");
+        simd::force_path_global(None);
+        let mut ks_best = KernelStats::new();
+        let best_result = plan.eval(&mut ks_best);
+        assert_eq!(
+            best_result,
+            scalar_result,
+            "{} tier != scalar tier at δ={delta}",
+            ks_best.kernel_path()
+        );
+
+        // Interleave the two tiers so scheduler interference hits both
+        // sides of the ratio alike. The reported speedup is the median
+        // of the per-pair ratios: adjacent runs see the same
+        // environment, so the ratio is stable even when the host is
+        // noisy, and the median discards outlier pairs on both tails.
+        let time_once = |plan: &FusedPlan<'_>| {
+            let t0 = Instant::now();
+            let mut s = KernelStats::new();
+            std::hint::black_box(plan.eval(&mut s));
+            t0.elapsed().as_nanos()
+        };
+        let mut scalar_ns = u128::MAX;
+        let mut simd_ns = u128::MAX;
+        let mut ratios: Vec<f64> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            simd::force_path_global(Some(KernelPath::Scalar));
+            let s = time_once(&plan);
+            simd::force_path_global(None);
+            let v = time_once(&plan);
+            scalar_ns = scalar_ns.min(s);
+            simd_ns = simd_ns.min(v);
+            ratios.push(s as f64 / v as f64);
+        }
+        ratios.sort_by(f64::total_cmp);
+        let speedup = ratios[ratios.len() / 2];
+
+        let row = SimdRow {
+            rows,
+            delta,
+            scalar_ns,
+            simd_ns,
+            kernel_path: ks_best.kernel_path(),
+            speedup,
+        };
+        eprintln!(
+            "simd     δ={delta:<4} scalar={scalar_ns:>12}ns {}={simd_ns:>12}ns (×{:.2})",
+            row.kernel_path, row.speedup,
+        );
+        out.push(row);
+    }
+    simd::force_path_global(None);
+}
+
+fn write_json(out_dir: Option<&Path>, name: &str, json: &str) {
+    let root;
+    let dir = match out_dir {
+        Some(d) => d,
+        None => {
+            root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+            &root
+        }
+    };
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let path = dir.join(name);
     std::fs::write(&path, json).expect("write benchmark json");
     eprintln!("wrote {}", path.display());
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let scaling = check || args.iter().any(|a| a == "--scaling");
+    let out_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .map(|i| PathBuf::from(args.get(i + 1).expect("--out-dir needs a path")));
+    let out_dir = out_dir.as_deref();
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     // Force at least two workers so the segment-parallel splitter (not
     // its serial fallback) is what gets measured, even on one core.
@@ -278,13 +520,16 @@ fn main() {
     let mut rows_out = Vec::new();
     if smoke {
         eprintln!("--smoke: small-row CI run");
-        measure(300_000, 3, threads, &mut rows_out);
+        // Enough iterations that the medians are stable: the regression
+        // gate compares these speedups at 15% tolerance.
+        measure(300_000, 15, threads, &mut rows_out);
     } else {
         measure(1_000_000, 9, threads, &mut rows_out);
         measure(10_000_000, 5, threads, &mut rows_out);
     }
 
     let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"ebi.bench_eval.v1\",");
     let _ = writeln!(
         json,
         "  \"workload\": \"fig9-style range selections, m = {M}, QM-reduced\","
@@ -329,7 +574,7 @@ fn main() {
         json.push_str(if i + 1 < rows_out.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    write_json("BENCH_eval.json", &json);
+    write_json(out_dir, "BENCH_eval.json", &json);
     println!("{json}");
 
     // Storage comparison: dense vs Roaring vs WAH, compressed-domain.
@@ -339,6 +584,7 @@ fn main() {
     measure_compressed(crows_count, citers, &mut c_out);
 
     let mut cjson = String::from("{\n");
+    let _ = writeln!(cjson, "  \"schema\": \"ebi.bench_compressed.v1\",");
     let _ = writeln!(
         cjson,
         "  \"workload\": \"fig9-style range selections, m = {M}, QM-reduced, per-slice container comparison\","
@@ -370,8 +616,134 @@ fn main() {
         cjson.push_str(if i + 1 < c_out.len() { ",\n" } else { "\n" });
     }
     cjson.push_str("  ]\n}\n");
-    write_json("BENCH_compressed.json", &cjson);
+    write_json(out_dir, "BENCH_compressed.json", &cjson);
     println!("{cjson}");
+
+    if scaling {
+        let srows = if smoke { 400_000 } else { 4_000_000 };
+        let simd_rows = if smoke { 300_000 } else { 10_000_000 };
+        let siters = if smoke { 9 } else { 7 };
+        let counts = thread_counts(cores);
+        let mut s_out = Vec::new();
+        let mut simd_out = Vec::new();
+        measure_scaling(srows, siters, &counts, &mut s_out);
+        measure_simd(simd_rows, siters, &mut simd_out);
+
+        let best_simd = simd_out.iter().map(|r| r.speedup).fold(0.0_f64, f64::max);
+        let mut notes: Vec<String> = Vec::new();
+        if cores < 2 {
+            notes.push(
+                "host exposes a single core: the thread sweep degenerates to threads=1; \
+                 the multi-worker splitter is still exercised (forced) by the engine \
+                 comparison above and by the work-stealing unit tests"
+                    .into(),
+            );
+        }
+        if best_simd < SIMD_TARGET {
+            notes.push(format!(
+                "best SIMD speedup ×{best_simd:.2} is below the ×{SIMD_TARGET:.1} target: the \
+                 scalar tier autovectorizes and the fused kernels are memory-bandwidth-bound on \
+                 this host, so explicit SIMD shows parity rather than a win; dispatch is \
+                 verified functionally (kernel_path) and bit-exactly (differential tests)"
+            ));
+        }
+
+        let mut sjson = String::from("{\n");
+        let _ = writeln!(sjson, "  \"schema\": \"ebi.bench_scaling.v1\",");
+        let _ = writeln!(
+            sjson,
+            "  \"workload\": \"skew90 clustered range selections, m = {M}, QM-reduced, stored containers\","
+        );
+        let _ = writeln!(sjson, "  \"rows\": {srows},");
+        let _ = writeln!(sjson, "  \"simd_rows\": {simd_rows},");
+        let _ = writeln!(sjson, "  \"unit\": \"best-of-N wall-clock ns\",");
+        let _ = writeln!(sjson, "  \"smoke\": {smoke},");
+        let _ = writeln!(sjson, "  \"host_threads\": {cores},");
+        let _ = write!(sjson, "  \"thread_counts\": [");
+        for (i, t) in counts.iter().enumerate() {
+            let _ = write!(sjson, "{}{t}", if i > 0 { ", " } else { "" });
+        }
+        sjson.push_str("],\n");
+        let _ = writeln!(
+            sjson,
+            "  \"kernel_path\": \"{}\",",
+            simd::detected_path().name()
+        );
+        let _ = writeln!(
+            sjson,
+            "  \"check\": {{ \"parallel_floor_vs_serial\": {PARALLEL_FLOOR_VS_SERIAL}, \
+             \"simd_floor_vs_scalar\": {SIMD_FLOOR_VS_SCALAR} }},"
+        );
+        let _ = writeln!(
+            sjson,
+            "  \"invariants\": {{ \"bit_identical_across_threads\": true, \
+             \"bit_identical_across_kernel_paths\": true }},"
+        );
+        sjson.push_str("  \"results\": [\n");
+        for (i, r) in s_out.iter().enumerate() {
+            let _ = write!(
+                sjson,
+                "    {{ \"container\": \"{}\", \"delta\": {}, \"threads\": {}, \
+                 \"best_ns\": {}, \"speedup_vs_serial\": {:.3} }}",
+                r.container, r.delta, r.threads, r.best_ns, r.speedup_vs_serial,
+            );
+            sjson.push_str(if i + 1 < s_out.len() { ",\n" } else { "\n" });
+        }
+        sjson.push_str("  ],\n  \"simd\": [\n");
+        for (i, r) in simd_out.iter().enumerate() {
+            let _ = write!(
+                sjson,
+                "    {{ \"rows\": {}, \"delta\": {}, \"scalar_ns\": {}, \"simd_ns\": {}, \
+                 \"kernel_path\": \"{}\", \"speedup_simd_vs_scalar\": {:.3} }}",
+                r.rows, r.delta, r.scalar_ns, r.simd_ns, r.kernel_path, r.speedup,
+            );
+            sjson.push_str(if i + 1 < simd_out.len() { ",\n" } else { "\n" });
+        }
+        sjson.push_str("  ],\n  \"notes\": [\n");
+        for (i, n) in notes.iter().enumerate() {
+            let _ = write!(sjson, "    \"{n}\"");
+            sjson.push_str(if i + 1 < notes.len() { ",\n" } else { "\n" });
+        }
+        sjson.push_str("  ]\n}\n");
+        write_json(out_dir, "BENCH_scaling.json", &sjson);
+        println!("{sjson}");
+
+        if check {
+            let mut failures: Vec<String> = Vec::new();
+            for r in &s_out {
+                if r.speedup_vs_serial < PARALLEL_FLOOR_VS_SERIAL {
+                    failures.push(format!(
+                        "{} δ={} threads={}: parallel is ×{:.3} of serial (floor {:.2})",
+                        r.container,
+                        r.delta,
+                        r.threads,
+                        r.speedup_vs_serial,
+                        PARALLEL_FLOOR_VS_SERIAL,
+                    ));
+                }
+            }
+            for r in &simd_out {
+                if r.speedup < SIMD_FLOOR_VS_SCALAR {
+                    failures.push(format!(
+                        "simd δ={}: {} tier is ×{:.3} of scalar (floor {:.2})",
+                        r.delta, r.kernel_path, r.speedup, SIMD_FLOOR_VS_SCALAR,
+                    ));
+                }
+            }
+            if failures.is_empty() {
+                eprintln!(
+                    "--check passed: parallel ≥ {PARALLEL_FLOOR_VS_SERIAL}× serial at every \
+                     point; {} tier ≥ {SIMD_FLOOR_VS_SCALAR}× scalar",
+                    simd::detected_path().name()
+                );
+            } else {
+                for f in &failures {
+                    eprintln!("--check FAILED: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
 
     let worst_10m = rows_out
         .iter()

@@ -35,6 +35,7 @@
 
 use crate::core::{BitVec, WORD_BITS};
 use crate::roaring::WindowKind;
+use crate::simd::{self, KernelPath};
 use crate::store::SliceStorage;
 use crate::summary::SegmentSummary;
 use crate::wah::WahCursor;
@@ -126,6 +127,12 @@ pub struct KernelStats {
     /// (term, segment) pairs abandoned mid-term on an all-zero
     /// accumulator.
     pub segments_short_circuited: u64,
+    /// Kernel entries that ran the scalar word-pass tier.
+    pub dispatch_scalar: u64,
+    /// Kernel entries that ran the portable vector tier.
+    pub dispatch_portable: u64,
+    /// Kernel entries that ran the AVX2 intrinsic tier.
+    pub dispatch_avx2: u64,
 }
 
 impl KernelStats {
@@ -142,6 +149,40 @@ impl KernelStats {
         self.compressed_chunks_skipped += other.compressed_chunks_skipped;
         self.segments_pruned += other.segments_pruned;
         self.segments_short_circuited += other.segments_short_circuited;
+        self.dispatch_scalar += other.dispatch_scalar;
+        self.dispatch_portable += other.dispatch_portable;
+        self.dispatch_avx2 += other.dispatch_avx2;
+    }
+
+    /// Records that one kernel entry resolved to `path`.
+    pub fn record_dispatch(&mut self, path: KernelPath) {
+        match path {
+            KernelPath::Scalar => self.dispatch_scalar += 1,
+            KernelPath::Portable => self.dispatch_portable += 1,
+            KernelPath::Avx2 => self.dispatch_avx2 += 1,
+        }
+    }
+
+    /// Name of the dominant kernel tier these counters saw, or `"none"`
+    /// if no kernel entry was recorded. With mixed dispatch (e.g. a
+    /// benchmark forcing paths mid-run) the most-used tier wins; ties
+    /// break towards the more capable tier.
+    #[must_use]
+    pub fn kernel_path(&self) -> &'static str {
+        let (s, p, a) = (
+            self.dispatch_scalar,
+            self.dispatch_portable,
+            self.dispatch_avx2,
+        );
+        if s == 0 && p == 0 && a == 0 {
+            "none"
+        } else if a >= p && a >= s {
+            KernelPath::Avx2.name()
+        } else if p >= s {
+            KernelPath::Portable.name()
+        } else {
+            KernelPath::Scalar.name()
+        }
     }
 
     /// Adds these counters to the process-wide kernel metrics
@@ -162,6 +203,9 @@ impl KernelStats {
                 "ebi_kernel_segments_short_circuited_total",
                 self.segments_short_circuited,
             ),
+            ("ebi_kernel_dispatch_scalar_total", self.dispatch_scalar),
+            ("ebi_kernel_dispatch_portable_total", self.dispatch_portable),
+            ("ebi_kernel_dispatch_avx2_total", self.dispatch_avx2),
         ];
         for (name, v) in counters {
             if v != 0 {
@@ -217,15 +261,15 @@ pub fn or_accumulate_term(
         return;
     }
 
+    let path = simd::selected_path();
+    stats.record_dispatch(path);
     let mut acc = [0u64; SEGMENT_WORDS];
     for (chunk_idx, seg_dst) in dst.chunks_mut(SEGMENT_WORDS).enumerate() {
         let seg = word_offset / SEGMENT_WORDS + chunk_idx;
         let w0 = word_offset + chunk_idx * SEGMENT_WORDS;
         let nw = seg_dst.len();
-        if eval_term_segment(&mut acc, literals, seg, w0, nw, stats) {
-            for (d, &a) in seg_dst.iter_mut().zip(&acc[..nw]) {
-                *d |= a;
-            }
+        if eval_term_segment(path, &mut acc, literals, seg, w0, nw, stats) {
+            simd::or_into(path, seg_dst, &acc[..nw]);
         }
     }
     // Negated literals set garbage bits beyond `len_bits` in the final
@@ -241,8 +285,10 @@ pub fn or_accumulate_term(
 /// (summary-pruned, short-circuited, or evaluated to all-zero); `acc`
 /// contents are unspecified in that case. The all-zero check folds into
 /// the AND pass itself (an OR-reduction carried per word), so the
-/// short-circuit costs no extra sweep over the accumulator.
+/// short-circuit costs no extra sweep over the accumulator. All word
+/// work goes through the [`simd`] passes selected by `path`.
 fn eval_term_segment(
+    path: KernelPath,
     acc: &mut [u64; SEGMENT_WORDS],
     literals: &[Literal<'_>],
     seg: usize,
@@ -260,57 +306,23 @@ fn eval_term_segment(
     // so the all-zero probe costs no separate sweep of the accumulator.
     let (first, rest) = literals.split_first().expect("non-empty literals");
     let src1 = &first.words[w0..w0 + nw];
-    let mut any = 0u64;
+    let mut any;
     let mut remaining: &[Literal<'_>] = rest;
     if let Some((second, rest)) = remaining.split_first() {
         let src2 = &second.words[w0..w0 + nw];
-        let dst = acc[..nw].iter_mut().zip(src1).zip(src2);
-        match (first.negated, second.negated) {
-            (false, false) => {
-                for ((a, &s1), &s2) in dst {
-                    let v = s1 & s2;
-                    *a = v;
-                    any |= v;
-                }
-            }
-            (false, true) => {
-                for ((a, &s1), &s2) in dst {
-                    let v = s1 & !s2;
-                    *a = v;
-                    any |= v;
-                }
-            }
-            (true, false) => {
-                for ((a, &s1), &s2) in dst {
-                    let v = !s1 & s2;
-                    *a = v;
-                    any |= v;
-                }
-            }
-            (true, true) => {
-                for ((a, &s1), &s2) in dst {
-                    let v = !(s1 | s2);
-                    *a = v;
-                    any |= v;
-                }
-            }
-        }
+        any = simd::fused_pass2(
+            path,
+            &mut acc[..nw],
+            src1,
+            src2,
+            first.negated,
+            second.negated,
+        );
         stats.words_scanned += 2 * nw as u64;
         stats.bytes_touched += 16 * nw as u64;
         remaining = rest;
     } else {
-        if first.negated {
-            for (a, &s) in acc[..nw].iter_mut().zip(src1) {
-                let v = !s;
-                *a = v;
-                any |= v;
-            }
-        } else {
-            for (a, &s) in acc[..nw].iter_mut().zip(src1) {
-                *a = s;
-                any |= s;
-            }
-        }
+        any = simd::init_pass(path, &mut acc[..nw], src1, first.negated);
         stats.words_scanned += nw as u64;
         stats.bytes_touched += 8 * nw as u64;
     }
@@ -318,29 +330,18 @@ fn eval_term_segment(
     while let Some((lit, rest)) = remaining.split_first() {
         // A zero accumulator cannot be revived by further ANDs: skip
         // the remaining literals for this segment.
-        if any == 0 {
+        if !any {
             stats.segments_short_circuited += 1;
             return false;
         }
         let src = &lit.words[w0..w0 + nw];
-        any = 0;
-        if lit.negated {
-            for (a, &s) in acc[..nw].iter_mut().zip(src) {
-                *a &= !s;
-                any |= *a;
-            }
-        } else {
-            for (a, &s) in acc[..nw].iter_mut().zip(src) {
-                *a &= s;
-                any |= *a;
-            }
-        }
+        any = simd::and_pass(path, &mut acc[..nw], src, lit.negated);
         stats.words_scanned += nw as u64;
         stats.bytes_touched += 8 * nw as u64;
         remaining = rest;
     }
     // An all-zero result ORs nothing; telling the caller saves the pass.
-    any != 0
+    any
 }
 
 /// Evaluates a full DNF (OR of product terms) into `dst`, a zeroed
@@ -381,6 +382,8 @@ pub fn eval_dnf_range(
         );
     }
 
+    let path = simd::selected_path();
+    stats.record_dispatch(path);
     let mut acc = [0u64; SEGMENT_WORDS];
     for (chunk_idx, seg_dst) in dst.chunks_mut(SEGMENT_WORDS).enumerate() {
         let seg = word_offset / SEGMENT_WORDS + chunk_idx;
@@ -392,17 +395,12 @@ pub fn eval_dnf_range(
                 seg_dst.fill(u64::MAX);
                 break;
             }
-            if eval_term_segment(&mut acc, term, seg, w0, nw, stats) {
-                let mut all = u64::MAX;
-                for (d, &a) in seg_dst.iter_mut().zip(&acc[..nw]) {
-                    *d |= a;
-                    all &= *d;
-                }
-                if all == u64::MAX {
-                    // Every destination word is saturated: no later
-                    // term can add a bit to this segment.
-                    break;
-                }
+            if eval_term_segment(path, &mut acc, term, seg, w0, nw, stats)
+                && simd::or_into(path, seg_dst, &acc[..nw])
+            {
+                // Every destination word is saturated: no later term
+                // can add a bit to this segment.
+                break;
             }
         }
     }
@@ -554,6 +552,8 @@ pub fn eval_dnf_stored_range(
         })
         .collect();
 
+    let path = simd::selected_path();
+    stats.record_dispatch(path);
     let mut acc = [0u64; SEGMENT_WORDS];
     let mut scratch = [0u64; SEGMENT_WORDS];
     for (chunk_idx, seg_dst) in dst.chunks_mut(SEGMENT_WORDS).enumerate() {
@@ -567,6 +567,7 @@ pub fn eval_dnf_stored_range(
                 break;
             }
             let contrib = eval_stored_term_segment(
+                path,
                 &mut acc,
                 &mut scratch,
                 term,
@@ -583,12 +584,7 @@ pub fn eval_dnf_stored_range(
                     break;
                 }
                 TermSegment::Mixed => {
-                    let mut all = u64::MAX;
-                    for (d, &a) in seg_dst.iter_mut().zip(&acc[..nw]) {
-                        *d |= a;
-                        all &= *d;
-                    }
-                    if all == u64::MAX {
+                    if simd::or_into(path, seg_dst, &acc[..nw]) {
                         break;
                     }
                 }
@@ -619,6 +615,7 @@ pub fn eval_dnf_stored(
 /// `acc[..nw]`.
 #[allow(clippy::too_many_arguments)]
 fn eval_stored_term_segment(
+    path: KernelPath,
     acc: &mut [u64; SEGMENT_WORDS],
     scratch: &mut [u64; SEGMENT_WORDS],
     term: &[StoredLiteral<'_>],
@@ -663,35 +660,13 @@ fn eval_stored_term_segment(
                 }
             }
         };
-        let mut any = 0u64;
-        if started {
-            if lit.negated {
-                for (a, &s) in acc[..nw].iter_mut().zip(src) {
-                    *a &= !s;
-                    any |= *a;
-                }
-            } else {
-                for (a, &s) in acc[..nw].iter_mut().zip(src) {
-                    *a &= s;
-                    any |= *a;
-                }
-            }
+        let any = if started {
+            simd::and_pass(path, &mut acc[..nw], src, lit.negated)
         } else {
-            if lit.negated {
-                for (a, &s) in acc[..nw].iter_mut().zip(src) {
-                    let v = !s;
-                    *a = v;
-                    any |= v;
-                }
-            } else {
-                for (a, &s) in acc[..nw].iter_mut().zip(src) {
-                    *a = s;
-                    any |= s;
-                }
-            }
             started = true;
-        }
-        if any == 0 {
+            simd::init_pass(path, &mut acc[..nw], src, lit.negated)
+        };
+        if !any {
             if li + 1 < term.len() {
                 stats.segments_short_circuited += 1;
             }
@@ -731,6 +706,62 @@ fn resolve_window(kind: WindowKind, negated: bool, stats: &mut KernelStats) -> W
         }
         (WindowKind::Mixed, _) => WindowAction::Fold,
     }
+}
+
+/// Estimates the word traffic [`eval_dnf_range`] will generate for
+/// `terms` over a `len_bits`-bit vector, accounting for summary pruning:
+/// a (term, segment) pair any literal's summary prunes contributes
+/// nothing; a live pair contributes one segment's words per literal.
+///
+/// Short-circuits and saturation are not predictable from summaries, so
+/// this is an upper bound on post-pruning work — which is exactly what a
+/// parallel splitter needs to decide whether fanning out pays.
+#[must_use]
+pub fn estimate_dnf_work_words(terms: &[Vec<Literal<'_>>], len_bits: usize) -> u64 {
+    let segments = len_bits.div_ceil(SEGMENT_BITS);
+    let mut words = 0u64;
+    for term in terms {
+        if term.is_empty() {
+            continue;
+        }
+        let per_segment = (term.len() * SEGMENT_WORDS) as u64;
+        if term.iter().all(|l| l.summary.is_none()) {
+            words += segments as u64 * per_segment;
+            continue;
+        }
+        for seg in 0..segments {
+            if !term.iter().any(|l| l.prunes_segment(seg)) {
+                words += per_segment;
+            }
+        }
+    }
+    words
+}
+
+/// [`estimate_dnf_work_words`] for stored-slice terms. Uniform
+/// compressed windows still count (classification cost is small but the
+/// estimate is an upper bound either way); only summary pruning is
+/// subtracted.
+#[must_use]
+pub fn estimate_stored_dnf_work_words(terms: &[Vec<StoredLiteral<'_>>], len_bits: usize) -> u64 {
+    let segments = len_bits.div_ceil(SEGMENT_BITS);
+    let mut words = 0u64;
+    for term in terms {
+        if term.is_empty() {
+            continue;
+        }
+        let per_segment = (term.len() * SEGMENT_WORDS) as u64;
+        if term.iter().all(|l| l.summary.is_none()) {
+            words += segments as u64 * per_segment;
+            continue;
+        }
+        for seg in 0..segments {
+            if !term.iter().any(|l| l.prunes_segment(seg)) {
+                words += per_segment;
+            }
+        }
+    }
+    words
 }
 
 /// Zeroes bits at positions `>= len_bits` if the window `dst` (starting
@@ -938,6 +969,9 @@ mod tests {
             compressed_chunks_skipped: 5,
             segments_pruned: 2,
             segments_short_circuited: 3,
+            dispatch_scalar: 1,
+            dispatch_portable: 2,
+            dispatch_avx2: 3,
         };
         a.merge(&KernelStats {
             words_scanned: 10,
@@ -945,12 +979,75 @@ mod tests {
             compressed_chunks_skipped: 50,
             segments_pruned: 20,
             segments_short_circuited: 30,
+            dispatch_scalar: 10,
+            dispatch_portable: 20,
+            dispatch_avx2: 30,
         });
         assert_eq!(a.words_scanned, 11);
         assert_eq!(a.bytes_touched, 44);
         assert_eq!(a.compressed_chunks_skipped, 55);
         assert_eq!(a.segments_pruned, 22);
         assert_eq!(a.segments_short_circuited, 33);
+        assert_eq!(a.dispatch_scalar, 11);
+        assert_eq!(a.dispatch_portable, 22);
+        assert_eq!(a.dispatch_avx2, 33);
+    }
+
+    #[test]
+    fn kernel_path_reports_dominant_tier() {
+        let mut s = KernelStats::new();
+        assert_eq!(s.kernel_path(), "none");
+        s.record_dispatch(crate::simd::KernelPath::Scalar);
+        assert_eq!(s.kernel_path(), "scalar");
+        s.record_dispatch(crate::simd::KernelPath::Portable);
+        s.record_dispatch(crate::simd::KernelPath::Portable);
+        assert_eq!(s.kernel_path(), "portable");
+        for _ in 0..3 {
+            s.record_dispatch(crate::simd::KernelPath::Avx2);
+        }
+        assert_eq!(s.kernel_path(), "avx2");
+    }
+
+    #[test]
+    fn evaluation_records_the_selected_dispatch() {
+        let len = SEGMENT_BITS;
+        let a = stripes(len, 2, 0);
+        let terms = vec![vec![Literal::new(&a, false)]];
+        let mut stats = KernelStats::new();
+        crate::simd::with_forced_path(crate::simd::KernelPath::Scalar, || {
+            let _ = eval_dnf(&terms, len, &mut stats);
+        });
+        assert_eq!(stats.dispatch_scalar, 1);
+        assert_eq!(stats.kernel_path(), "scalar");
+    }
+
+    #[test]
+    fn work_estimate_accounts_for_summary_pruning() {
+        let len = SEGMENT_BITS * 4;
+        let mut a = BitVec::zeros(len);
+        a.set(SEGMENT_BITS + 1, true);
+        let sa = SegmentSummary::build(&a);
+        let b = BitVec::ones(len);
+
+        // No summaries: full work, 2 literals × 4 segments × 64 words.
+        let plain = vec![vec![Literal::new(&a, false), Literal::new(&b, false)]];
+        assert_eq!(
+            estimate_dnf_work_words(&plain, len),
+            2 * 4 * SEGMENT_WORDS as u64
+        );
+
+        // Summary on `a`: only segment 1 is live.
+        let pruned = vec![vec![
+            Literal::with_summary(&a, false, &sa),
+            Literal::new(&b, false),
+        ]];
+        assert_eq!(
+            estimate_dnf_work_words(&pruned, len),
+            2 * SEGMENT_WORDS as u64
+        );
+
+        // Tautology terms cost nothing.
+        assert_eq!(estimate_dnf_work_words(&[vec![]], len), 0);
     }
 
     #[test]
@@ -1122,9 +1219,9 @@ mod tests {
         let stats = KernelStats {
             words_scanned: 10,
             bytes_touched: 80,
-            compressed_chunks_skipped: 0,
             segments_pruned: 3,
             segments_short_circuited: 1,
+            ..KernelStats::default()
         };
         let reg = ebi_obs::MetricsRegistry::new();
         stats.publish_to(&reg);

@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "nightly-simd", feature(portable_simd))]
 //! Bit-vector substrate for encoded bitmap indexing.
 //!
 //! This crate provides the low-level bitmap machinery that every index in
@@ -56,6 +57,7 @@ pub mod rank;
 pub mod roaring;
 mod serde_impl;
 pub mod serial;
+pub mod simd;
 pub mod store;
 pub mod summary;
 pub mod wah;
@@ -64,5 +66,6 @@ pub use crate::core::{BitVec, WORD_BITS};
 pub use crate::error::BitVecError;
 pub use crate::iter::{BitIter, OnesIter};
 pub use crate::kernels::{KernelStats, Literal, StoredLiteral, SEGMENT_BITS, SEGMENT_WORDS};
+pub use crate::simd::KernelPath;
 pub use crate::store::{SliceStorage, StorageKind, StoragePolicy};
 pub use crate::summary::SegmentSummary;

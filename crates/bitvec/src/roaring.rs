@@ -25,6 +25,7 @@
 
 use crate::core::BitVec;
 use crate::error::BitVecError;
+use crate::simd;
 
 /// Rows covered by one chunk.
 pub const CHUNK_BITS: usize = 1 << 16;
@@ -105,9 +106,7 @@ impl Container {
                 }
             }
             Self::Bitmap(w) => {
-                for (o, &x) in words.iter_mut().zip(w.iter()) {
-                    *o |= x;
-                }
+                simd::or_assign(simd::selected_path(), &mut words[..], &w[..]);
             }
             Self::Run(r) => {
                 for &(s, e) in r {
@@ -805,16 +804,12 @@ fn and_containers(a: &Container, b: &Container) -> Option<Container> {
             for &(s, e) in rs {
                 set_word_range(&mut scratch, s as usize, e as usize);
             }
-            for (o, &x) in scratch.iter_mut().zip(w.iter()) {
-                *o &= x;
-            }
+            simd::and_assign(simd::selected_path(), &mut scratch, &w[..]);
             return classify(&scratch);
         }
         (Bitmap(wa), Bitmap(wb)) => {
             let mut scratch = [0u64; CHUNK_WORDS];
-            for ((o, &x), &y) in scratch.iter_mut().zip(wa.iter()).zip(wb.iter()) {
-                *o = x & y;
-            }
+            simd::and_words(simd::selected_path(), &mut scratch, &wa[..], &wb[..]);
             return classify(&scratch);
         }
     };
@@ -987,9 +982,7 @@ fn andnot_containers(a: &Container, b: &Container) -> Option<Container> {
         }
         (Bitmap(wa), Bitmap(wb)) => {
             let mut scratch = [0u64; CHUNK_WORDS];
-            for ((o, &x), &y) in scratch.iter_mut().zip(wa.iter()).zip(wb.iter()) {
-                *o = x & !y;
-            }
+            simd::andnot_words(simd::selected_path(), &mut scratch, &wa[..], &wb[..]);
             return classify(&scratch);
         }
         (Run(_), _) => {
@@ -1002,9 +995,7 @@ fn andnot_containers(a: &Container, b: &Container) -> Option<Container> {
                     }
                 }
                 Bitmap(wb) => {
-                    for (o, &y) in scratch.iter_mut().zip(wb.iter()) {
-                        *o &= !y;
-                    }
+                    simd::andnot_assign(simd::selected_path(), &mut scratch, &wb[..]);
                 }
                 Run(_) => unreachable!("run×run handled above"),
             }

@@ -1,0 +1,837 @@
+//! Vectorised word passes behind the fused evaluation kernels.
+//!
+//! Every hot loop in [`crate::kernels`] and the Roaring bitmap-container
+//! ops reduces to one of a handful of *word passes* over at most
+//! [`crate::kernels::SEGMENT_WORDS`] 64-bit words: initialise an
+//! accumulator from an (optionally complemented) operand, AND a further
+//! operand in, fuse the first two operands into one load-AND-store, OR a
+//! finished accumulator into the destination. This module provides those
+//! passes at three implementation tiers and picks one at runtime:
+//!
+//! * **scalar** — the original word-at-a-time loops. Always compiled,
+//!   always correct; the other tiers are verified against it by the
+//!   `prop_simd` differential suite.
+//! * **portable** — 4-lane unrolled passes (`u64x4` blocks) written so
+//!   the auto-vectoriser emits full-width vector code for whatever the
+//!   target baseline offers (SSE2 on vanilla `x86_64`, NEON on
+//!   aarch64). With the `nightly-simd` feature the same tier is built on
+//!   `std::simd` portable vectors instead of the manual unroll.
+//! * **avx2** — explicit 256-bit `core::arch::x86_64` intrinsics,
+//!   reached only when the `simd` feature is on, the binary runs on
+//!   `x86_64`, and `is_x86_feature_detected!("avx2")` says the host has
+//!   the instructions. This is the only `unsafe` code in the crate; the
+//!   unsafety is confined to [`avx2`] and vetted by Miri in CI.
+//!
+//! Negation is folded into every pass as an XOR mask (`x ^ 0 = x`,
+//! `x ^ !0 = !x`), so a single implementation covers all operand
+//! polarities, including the `!(a | b) = !a & !b` fused case.
+//!
+//! # Dispatch
+//!
+//! [`selected_path`] resolves, in order: a thread-local override
+//! ([`with_forced_path`], used by the differential tests), a process
+//! override ([`force_path_global`], used by benchmarks), the `EBI_KERNEL`
+//! environment variable (`scalar` / `portable` / `avx2` / `auto`), and
+//! finally runtime CPU detection. Forcing a path the build or host
+//! cannot execute clamps down to the best available path, never up, so
+//! the selected path is always executable. The kernels resolve the path
+//! once per evaluation and record it in
+//! [`KernelStats`](crate::kernels::KernelStats), which surfaces through
+//! `QueryStats` and the `eval` span attributes up to `EXPLAIN ANALYZE`.
+
+// The workspace denies `unsafe_code`; this module is the one sanctioned
+// exception — the AVX2 tier and its dispatch calls. Every unsafe block
+// carries a SAFETY comment and the whole tier is vetted by Miri in CI.
+#![allow(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which word-pass implementation tier ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum KernelPath {
+    /// Word-at-a-time loops — the always-correct fallback.
+    Scalar = 0,
+    /// 4-lane portable vector passes (auto-vectorised, or `std::simd`
+    /// under the `nightly-simd` feature).
+    Portable = 1,
+    /// Explicit AVX2 intrinsics (runtime-detected, x86_64 only).
+    Avx2 = 2,
+}
+
+impl KernelPath {
+    /// Stable lowercase name for stats, JSON, and span attributes.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Portable => "portable",
+            Self::Avx2 => "avx2",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Self::Scalar),
+            1 => Some(Self::Portable),
+            2 => Some(Self::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel for "no override".
+const AUTO: u8 = u8::MAX;
+
+static GLOBAL_FORCE: AtomicU8 = AtomicU8::new(AUTO);
+
+thread_local! {
+    static TLS_FORCE: Cell<u8> = const { Cell::new(AUTO) };
+}
+
+/// The best path this build + host can execute, detected once.
+///
+/// Without the `simd` feature this is always [`KernelPath::Scalar`];
+/// with it, [`KernelPath::Portable`] everywhere and [`KernelPath::Avx2`]
+/// when the x86_64 host reports the feature. Under Miri, runtime CPU
+/// detection is unavailable, so detection falls back to compile-time
+/// target features.
+#[must_use]
+pub fn detected_path() -> KernelPath {
+    #[cfg(feature = "simd")]
+    {
+        static DETECTED: AtomicU8 = AtomicU8::new(AUTO);
+        if let Some(p) = KernelPath::from_u8(DETECTED.load(Ordering::Relaxed)) {
+            return p;
+        }
+        let p = detect();
+        DETECTED.store(p as u8, Ordering::Relaxed);
+        p
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        KernelPath::Scalar
+    }
+}
+
+#[cfg(feature = "simd")]
+fn detect() -> KernelPath {
+    let hw = hardware_best();
+    match std::env::var("EBI_KERNEL").as_deref() {
+        Ok("scalar") => KernelPath::Scalar,
+        Ok("portable") => KernelPath::Portable.min(hw),
+        Ok("avx2") => KernelPath::Avx2.min(hw),
+        _ => hw,
+    }
+}
+
+/// Best path the hardware supports, ignoring overrides.
+#[cfg(feature = "simd")]
+fn hardware_best() -> KernelPath {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return KernelPath::Avx2;
+        }
+    }
+    #[cfg(all(target_arch = "x86_64", miri))]
+    {
+        // Miri cannot run CPUID; trust the compile-time target set so
+        // `RUSTFLAGS=-Ctarget-feature=+avx2 cargo miri test` vets the
+        // intrinsic path.
+        if cfg!(target_feature = "avx2") {
+            return KernelPath::Avx2;
+        }
+    }
+    KernelPath::Portable
+}
+
+/// Every path executable on this build + host, worst first. The
+/// differential tests iterate this to prove all tiers agree bit-for-bit.
+#[must_use]
+pub fn available_paths() -> Vec<KernelPath> {
+    let best = detected_path();
+    [KernelPath::Scalar, KernelPath::Portable, KernelPath::Avx2]
+        .into_iter()
+        .filter(|p| *p <= best)
+        .collect()
+}
+
+/// Resolves the path the next kernel invocation will run:
+/// thread-local override, then process override, then detection.
+/// Overrides are clamped to [`detected_path`] so the result is always
+/// executable.
+#[must_use]
+pub fn selected_path() -> KernelPath {
+    let best = detected_path();
+    let tls = TLS_FORCE.with(Cell::get);
+    if let Some(p) = KernelPath::from_u8(tls) {
+        return p.min(best);
+    }
+    if let Some(p) = KernelPath::from_u8(GLOBAL_FORCE.load(Ordering::Relaxed)) {
+        return p.min(best);
+    }
+    best
+}
+
+/// Forces every thread onto `path` (clamped to what the host can run),
+/// or restores auto-detection with `None`. Benchmarks use this to
+/// measure the scalar baseline on SIMD-capable hosts.
+pub fn force_path_global(path: Option<KernelPath>) {
+    GLOBAL_FORCE.store(path.map_or(AUTO, |p| p as u8), Ordering::Relaxed);
+}
+
+/// Runs `f` with the *calling thread* forced onto `path` (clamped to
+/// what the host can run), restoring the previous override afterwards —
+/// even on panic. Worker threads spawned inside `f` are not affected;
+/// use [`force_path_global`] to steer those.
+pub fn with_forced_path<R>(path: KernelPath, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TLS_FORCE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(TLS_FORCE.with(|c| c.replace(path as u8)));
+    f()
+}
+
+/// XOR mask implementing optional complement: `x ^ polarity(neg)` is
+/// `x` or `!x`.
+#[inline]
+fn polarity(negated: bool) -> u64 {
+    if negated {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public passes: dispatch on `path`, which callers resolve once per
+// evaluation via `selected_path()`.
+// ---------------------------------------------------------------------------
+
+/// `acc[i] = (s1[i] ^ ¬?) & (s2[i] ^ ¬?)` — the fused first-two-literal
+/// pass. Returns `true` if any output word is non-zero.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn fused_pass2(
+    path: KernelPath,
+    acc: &mut [u64],
+    s1: &[u64],
+    s2: &[u64],
+    neg1: bool,
+    neg2: bool,
+) -> bool {
+    assert_eq!(acc.len(), s1.len());
+    assert_eq!(acc.len(), s2.len());
+    let (m1, m2) = (polarity(neg1), polarity(neg2));
+    match path {
+        KernelPath::Scalar => scalar::fused_pass2(acc, s1, s2, m1, m2),
+        #[cfg(feature = "simd")]
+        KernelPath::Portable => portable::fused_pass2(acc, s1, s2, m1, m2),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: `path` is clamped to `detected_path()`, which only
+        // reports Avx2 after runtime (or, under Miri, compile-time)
+        // feature detection.
+        KernelPath::Avx2 => unsafe { avx2::fused_pass2(acc, s1, s2, m1, m2) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::fused_pass2(acc, s1, s2, m1, m2),
+    }
+}
+
+/// `acc[i] = src[i] ^ ¬?` — first-literal initialisation. Returns `true`
+/// if any output word is non-zero.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn init_pass(path: KernelPath, acc: &mut [u64], src: &[u64], negated: bool) -> bool {
+    assert_eq!(acc.len(), src.len());
+    let m = polarity(negated);
+    match path {
+        KernelPath::Scalar => scalar::init_pass(acc, src, m),
+        #[cfg(feature = "simd")]
+        KernelPath::Portable => portable::init_pass(acc, src, m),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: as in `fused_pass2`.
+        KernelPath::Avx2 => unsafe { avx2::init_pass(acc, src, m) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::init_pass(acc, src, m),
+    }
+}
+
+/// `acc[i] &= src[i] ^ ¬?` — fold one more literal into the
+/// accumulator. Returns `true` if the accumulator is still non-zero.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn and_pass(path: KernelPath, acc: &mut [u64], src: &[u64], negated: bool) -> bool {
+    assert_eq!(acc.len(), src.len());
+    let m = polarity(negated);
+    match path {
+        KernelPath::Scalar => scalar::and_pass(acc, src, m),
+        #[cfg(feature = "simd")]
+        KernelPath::Portable => portable::and_pass(acc, src, m),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: as in `fused_pass2`.
+        KernelPath::Avx2 => unsafe { avx2::and_pass(acc, src, m) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::and_pass(acc, src, m),
+    }
+}
+
+/// `dst[i] |= src[i]` — OR a finished term into the destination.
+/// Returns `true` if every destination word is now all-ones (the
+/// segment-saturation break).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn or_into(path: KernelPath, dst: &mut [u64], src: &[u64]) -> bool {
+    assert_eq!(dst.len(), src.len());
+    match path {
+        KernelPath::Scalar => scalar::or_into(dst, src),
+        #[cfg(feature = "simd")]
+        KernelPath::Portable => portable::or_into(dst, src),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: as in `fused_pass2`.
+        KernelPath::Avx2 => unsafe { avx2::or_into(dst, src) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::or_into(dst, src),
+    }
+}
+
+/// `out[i] = a[i] & b[i]` — Roaring bitmap-container intersection.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn and_words(path: KernelPath, out: &mut [u64], a: &[u64], b: &[u64]) {
+    let _ = fused_pass2(path, out, a, b, false, false);
+}
+
+/// `out[i] = a[i] & !b[i]` — Roaring bitmap-container subtraction.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn andnot_words(path: KernelPath, out: &mut [u64], a: &[u64], b: &[u64]) {
+    let _ = fused_pass2(path, out, a, b, false, true);
+}
+
+/// `dst[i] &= src[i]` — in-place container intersection.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn and_assign(path: KernelPath, dst: &mut [u64], src: &[u64]) {
+    let _ = and_pass(path, dst, src, false);
+}
+
+/// `dst[i] &= !src[i]` — in-place container subtraction.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn andnot_assign(path: KernelPath, dst: &mut [u64], src: &[u64]) {
+    let _ = and_pass(path, dst, src, true);
+}
+
+/// `dst[i] |= src[i]` — in-place container union.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn or_assign(path: KernelPath, dst: &mut [u64], src: &[u64]) {
+    let _ = or_into(path, dst, src);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier: the reference implementation.
+// ---------------------------------------------------------------------------
+
+mod scalar {
+    pub fn fused_pass2(acc: &mut [u64], s1: &[u64], s2: &[u64], m1: u64, m2: u64) -> bool {
+        let mut any = 0u64;
+        for ((a, &x), &y) in acc.iter_mut().zip(s1).zip(s2) {
+            let v = (x ^ m1) & (y ^ m2);
+            *a = v;
+            any |= v;
+        }
+        any != 0
+    }
+
+    pub fn init_pass(acc: &mut [u64], src: &[u64], m: u64) -> bool {
+        let mut any = 0u64;
+        for (a, &x) in acc.iter_mut().zip(src) {
+            let v = x ^ m;
+            *a = v;
+            any |= v;
+        }
+        any != 0
+    }
+
+    pub fn and_pass(acc: &mut [u64], src: &[u64], m: u64) -> bool {
+        let mut any = 0u64;
+        for (a, &x) in acc.iter_mut().zip(src) {
+            *a &= x ^ m;
+            any |= *a;
+        }
+        any != 0
+    }
+
+    pub fn or_into(dst: &mut [u64], src: &[u64]) -> bool {
+        let mut all = u64::MAX;
+        for (d, &x) in dst.iter_mut().zip(src) {
+            *d |= x;
+            all &= *d;
+        }
+        all == u64::MAX
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable tier: 4-lane blocks the auto-vectoriser widens to whatever
+// the target baseline offers. With `nightly-simd`, `std::simd` vectors.
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", not(feature = "nightly-simd")))]
+mod portable {
+    const LANES: usize = 4;
+
+    pub fn fused_pass2(acc: &mut [u64], s1: &[u64], s2: &[u64], m1: u64, m2: u64) -> bool {
+        let mut anyv = [0u64; LANES];
+        let n = acc.len();
+        let blocks = n / LANES * LANES;
+        for i in (0..blocks).step_by(LANES) {
+            for l in 0..LANES {
+                let v = (s1[i + l] ^ m1) & (s2[i + l] ^ m2);
+                acc[i + l] = v;
+                anyv[l] |= v;
+            }
+        }
+        let mut any = anyv.iter().fold(0, |a, &v| a | v);
+        for i in blocks..n {
+            let v = (s1[i] ^ m1) & (s2[i] ^ m2);
+            acc[i] = v;
+            any |= v;
+        }
+        any != 0
+    }
+
+    pub fn init_pass(acc: &mut [u64], src: &[u64], m: u64) -> bool {
+        let mut anyv = [0u64; LANES];
+        let n = acc.len();
+        let blocks = n / LANES * LANES;
+        for i in (0..blocks).step_by(LANES) {
+            for l in 0..LANES {
+                let v = src[i + l] ^ m;
+                acc[i + l] = v;
+                anyv[l] |= v;
+            }
+        }
+        let mut any = anyv.iter().fold(0, |a, &v| a | v);
+        for i in blocks..n {
+            let v = src[i] ^ m;
+            acc[i] = v;
+            any |= v;
+        }
+        any != 0
+    }
+
+    pub fn and_pass(acc: &mut [u64], src: &[u64], m: u64) -> bool {
+        let mut anyv = [0u64; LANES];
+        let n = acc.len();
+        let blocks = n / LANES * LANES;
+        for i in (0..blocks).step_by(LANES) {
+            for l in 0..LANES {
+                let v = acc[i + l] & (src[i + l] ^ m);
+                acc[i + l] = v;
+                anyv[l] |= v;
+            }
+        }
+        let mut any = anyv.iter().fold(0, |a, &v| a | v);
+        for i in blocks..n {
+            acc[i] &= src[i] ^ m;
+            any |= acc[i];
+        }
+        any != 0
+    }
+
+    pub fn or_into(dst: &mut [u64], src: &[u64]) -> bool {
+        let mut allv = [u64::MAX; LANES];
+        let n = dst.len();
+        let blocks = n / LANES * LANES;
+        for i in (0..blocks).step_by(LANES) {
+            for l in 0..LANES {
+                let v = dst[i + l] | src[i + l];
+                dst[i + l] = v;
+                allv[l] &= v;
+            }
+        }
+        let mut all = allv.iter().fold(u64::MAX, |a, &v| a & v);
+        for i in blocks..n {
+            dst[i] |= src[i];
+            all &= dst[i];
+        }
+        all == u64::MAX
+    }
+}
+
+#[cfg(all(feature = "simd", feature = "nightly-simd"))]
+mod portable {
+    //! `std::simd` build of the portable tier (nightly only).
+    use std::simd::{cmp::SimdPartialEq, u64x4, Simd};
+
+    pub fn fused_pass2(acc: &mut [u64], s1: &[u64], s2: &[u64], m1: u64, m2: u64) -> bool {
+        let (vm1, vm2) = (u64x4::splat(m1), u64x4::splat(m2));
+        let mut anyv = u64x4::splat(0);
+        let n = acc.len();
+        let blocks = n / 4 * 4;
+        for i in (0..blocks).step_by(4) {
+            let x = Simd::from_slice(&s1[i..i + 4]) ^ vm1;
+            let y = Simd::from_slice(&s2[i..i + 4]) ^ vm2;
+            let v = x & y;
+            v.copy_to_slice(&mut acc[i..i + 4]);
+            anyv |= v;
+        }
+        let mut any = !anyv.simd_eq(u64x4::splat(0)).all() as u64;
+        for i in blocks..n {
+            let v = (s1[i] ^ m1) & (s2[i] ^ m2);
+            acc[i] = v;
+            any |= v;
+        }
+        any != 0
+    }
+
+    pub fn init_pass(acc: &mut [u64], src: &[u64], m: u64) -> bool {
+        let vm = u64x4::splat(m);
+        let mut anyv = u64x4::splat(0);
+        let n = acc.len();
+        let blocks = n / 4 * 4;
+        for i in (0..blocks).step_by(4) {
+            let v = Simd::from_slice(&src[i..i + 4]) ^ vm;
+            v.copy_to_slice(&mut acc[i..i + 4]);
+            anyv |= v;
+        }
+        let mut any = !anyv.simd_eq(u64x4::splat(0)).all() as u64;
+        for i in blocks..n {
+            let v = src[i] ^ m;
+            acc[i] = v;
+            any |= v;
+        }
+        any != 0
+    }
+
+    pub fn and_pass(acc: &mut [u64], src: &[u64], m: u64) -> bool {
+        let vm = u64x4::splat(m);
+        let mut anyv = u64x4::splat(0);
+        let n = acc.len();
+        let blocks = n / 4 * 4;
+        for i in (0..blocks).step_by(4) {
+            let v = Simd::from_slice(&acc[i..i + 4]) & (Simd::from_slice(&src[i..i + 4]) ^ vm);
+            v.copy_to_slice(&mut acc[i..i + 4]);
+            anyv |= v;
+        }
+        let mut any = !anyv.simd_eq(u64x4::splat(0)).all() as u64;
+        for i in blocks..n {
+            acc[i] &= src[i] ^ m;
+            any |= acc[i];
+        }
+        any != 0
+    }
+
+    pub fn or_into(dst: &mut [u64], src: &[u64]) -> bool {
+        let mut allv = u64x4::splat(u64::MAX);
+        let n = dst.len();
+        let blocks = n / 4 * 4;
+        for i in (0..blocks).step_by(4) {
+            let v = Simd::from_slice(&dst[i..i + 4]) | Simd::from_slice(&src[i..i + 4]);
+            v.copy_to_slice(&mut dst[i..i + 4]);
+            allv &= v;
+        }
+        let mut all = if allv.simd_eq(u64x4::splat(u64::MAX)).all() {
+            u64::MAX
+        } else {
+            0
+        };
+        for i in blocks..n {
+            dst[i] |= src[i];
+            all &= dst[i];
+        }
+        all == u64::MAX
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: explicit 256-bit intrinsics. The only unsafe code in the
+// crate — every function is `#[target_feature(enable = "avx2")]` and
+// reachable only after runtime detection.
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    use core::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_loadu_si256, _mm256_or_si256, _mm256_set1_epi64x,
+        _mm256_storeu_si256, _mm256_testc_si256, _mm256_testz_si256, _mm256_xor_si256,
+    };
+
+    /// 4 × u64 per vector register.
+    const LANES: usize = 4;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load(p: *const u64) -> __m256i {
+        // SAFETY: caller guarantees `p .. p+4` is in-bounds; loadu has
+        // no alignment requirement.
+        unsafe { _mm256_loadu_si256(p.cast()) }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store(p: *mut u64, v: __m256i) {
+        // SAFETY: caller guarantees `p .. p+4` is in-bounds and writable.
+        unsafe { _mm256_storeu_si256(p.cast(), v) }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support; slices must be equal
+    /// length (checked by the dispatching wrapper).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fused_pass2(acc: &mut [u64], s1: &[u64], s2: &[u64], m1: u64, m2: u64) -> bool {
+        let n = acc.len();
+        let blocks = n / LANES * LANES;
+        // SAFETY: all pointer arithmetic stays below `blocks <= n`, the
+        // common length of the three slices.
+        unsafe {
+            let vm1 = _mm256_set1_epi64x(m1 as i64);
+            let vm2 = _mm256_set1_epi64x(m2 as i64);
+            let mut anyv = _mm256_set1_epi64x(0);
+            let (pa, p1, p2) = (acc.as_mut_ptr(), s1.as_ptr(), s2.as_ptr());
+            let mut i = 0;
+            while i < blocks {
+                let x = _mm256_xor_si256(load(p1.add(i)), vm1);
+                let y = _mm256_xor_si256(load(p2.add(i)), vm2);
+                let v = _mm256_and_si256(x, y);
+                store(pa.add(i), v);
+                anyv = _mm256_or_si256(anyv, v);
+                i += LANES;
+            }
+            let mut any = (_mm256_testz_si256(anyv, anyv) == 0) as u64;
+            for i in blocks..n {
+                let v = (s1[i] ^ m1) & (s2[i] ^ m2);
+                acc[i] = v;
+                any |= v;
+            }
+            any != 0
+        }
+    }
+
+    /// # Safety
+    /// As [`fused_pass2`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn init_pass(acc: &mut [u64], src: &[u64], m: u64) -> bool {
+        let n = acc.len();
+        let blocks = n / LANES * LANES;
+        // SAFETY: bounds as in `fused_pass2`.
+        unsafe {
+            let vm = _mm256_set1_epi64x(m as i64);
+            let mut anyv = _mm256_set1_epi64x(0);
+            let (pa, ps) = (acc.as_mut_ptr(), src.as_ptr());
+            let mut i = 0;
+            while i < blocks {
+                let v = _mm256_xor_si256(load(ps.add(i)), vm);
+                store(pa.add(i), v);
+                anyv = _mm256_or_si256(anyv, v);
+                i += LANES;
+            }
+            let mut any = (_mm256_testz_si256(anyv, anyv) == 0) as u64;
+            for i in blocks..n {
+                let v = src[i] ^ m;
+                acc[i] = v;
+                any |= v;
+            }
+            any != 0
+        }
+    }
+
+    /// # Safety
+    /// As [`fused_pass2`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and_pass(acc: &mut [u64], src: &[u64], m: u64) -> bool {
+        let n = acc.len();
+        let blocks = n / LANES * LANES;
+        // SAFETY: bounds as in `fused_pass2`.
+        unsafe {
+            let vm = _mm256_set1_epi64x(m as i64);
+            let mut anyv = _mm256_set1_epi64x(0);
+            let (pa, ps) = (acc.as_mut_ptr(), src.as_ptr());
+            let mut i = 0;
+            while i < blocks {
+                let v = _mm256_and_si256(load(pa.add(i)), _mm256_xor_si256(load(ps.add(i)), vm));
+                store(pa.add(i), v);
+                anyv = _mm256_or_si256(anyv, v);
+                i += LANES;
+            }
+            let mut any = (_mm256_testz_si256(anyv, anyv) == 0) as u64;
+            for i in blocks..n {
+                acc[i] &= src[i] ^ m;
+                any |= acc[i];
+            }
+            any != 0
+        }
+    }
+
+    /// # Safety
+    /// As [`fused_pass2`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn or_into(dst: &mut [u64], src: &[u64]) -> bool {
+        let n = dst.len();
+        let blocks = n / LANES * LANES;
+        // SAFETY: bounds as in `fused_pass2`.
+        unsafe {
+            let ones = _mm256_set1_epi64x(-1);
+            let mut allv = ones;
+            let (pd, ps) = (dst.as_mut_ptr(), src.as_ptr());
+            let mut i = 0;
+            while i < blocks {
+                let v = _mm256_or_si256(load(pd.add(i)), load(ps.add(i)));
+                store(pd.add(i), v);
+                allv = _mm256_and_si256(allv, v);
+                i += LANES;
+            }
+            // testc(a, ones) == 1  ⟺  !a & ones == 0  ⟺  a == ones.
+            let mut all = if _mm256_testc_si256(allv, ones) == 1 {
+                u64::MAX
+            } else {
+                0
+            };
+            for i in blocks..n {
+                dst[i] |= src[i];
+                all &= dst[i];
+            }
+            all == u64::MAX
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(n: usize, seed: u64) -> Vec<u64> {
+        // Deterministic mix of dense / sparse / uniform words.
+        (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+                match i % 5 {
+                    0 => 0,
+                    1 => u64::MAX,
+                    _ => x,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_path_matches_scalar_on_every_pass() {
+        for n in [0usize, 1, 3, 4, 5, 17, 63, 64] {
+            let s1 = words(n, 0xA5A5);
+            let s2 = words(n, 0x5A5A);
+            for path in available_paths() {
+                for (n1, n2) in [(false, false), (false, true), (true, false), (true, true)] {
+                    let mut want = vec![0u64; n];
+                    let wa = fused_pass2(KernelPath::Scalar, &mut want, &s1, &s2, n1, n2);
+                    let mut got = vec![0u64; n];
+                    let ga = fused_pass2(path, &mut got, &s1, &s2, n1, n2);
+                    assert_eq!(got, want, "fused_pass2 {path:?} n={n} neg=({n1},{n2})");
+                    assert_eq!(ga, wa, "fused_pass2 any {path:?} n={n}");
+
+                    let mut want2 = want.clone();
+                    let wb = and_pass(KernelPath::Scalar, &mut want2, &s2, n2);
+                    let mut got2 = got.clone();
+                    let gb = and_pass(path, &mut got2, &s2, n2);
+                    assert_eq!(got2, want2, "and_pass {path:?} n={n}");
+                    assert_eq!(gb, wb, "and_pass any {path:?} n={n}");
+
+                    let mut wdst = s1.clone();
+                    let ws = or_into(KernelPath::Scalar, &mut wdst, &want2);
+                    let mut gdst = s1.clone();
+                    let gs = or_into(path, &mut gdst, &got2);
+                    assert_eq!(gdst, wdst, "or_into {path:?} n={n}");
+                    assert_eq!(gs, ws, "or_into saturated {path:?} n={n}");
+                }
+                for neg in [false, true] {
+                    let mut want = vec![0u64; n];
+                    let wa = init_pass(KernelPath::Scalar, &mut want, &s1, neg);
+                    let mut got = vec![0u64; n];
+                    let ga = init_pass(path, &mut got, &s1, neg);
+                    assert_eq!(got, want, "init_pass {path:?} n={n} neg={neg}");
+                    assert_eq!(ga, wa, "init_pass any {path:?} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_and_zero_edges() {
+        for path in available_paths() {
+            let mut dst = vec![u64::MAX; 8];
+            assert!(or_into(path, &mut dst, &vec![0u64; 8]), "{path:?}");
+            let mut dst = vec![u64::MAX - 1; 7];
+            assert!(!or_into(path, &mut dst, &vec![0u64; 7]), "{path:?}");
+            let mut acc = vec![0u64; 9];
+            assert!(!init_pass(path, &mut acc, &vec![0u64; 9], false));
+            assert!(init_pass(path, &mut acc, &vec![0u64; 9], true));
+            assert!(!and_pass(path, &mut acc, &vec![0u64; 9], false));
+        }
+    }
+
+    #[test]
+    fn forcing_is_clamped_and_scoped() {
+        let best = detected_path();
+        with_forced_path(KernelPath::Avx2, || {
+            assert!(selected_path() <= best);
+        });
+        with_forced_path(KernelPath::Scalar, || {
+            assert_eq!(selected_path(), KernelPath::Scalar);
+            with_forced_path(KernelPath::Portable, || {
+                assert_eq!(selected_path(), KernelPath::Portable.min(best));
+            });
+            assert_eq!(selected_path(), KernelPath::Scalar);
+        });
+        assert_eq!(selected_path(), best);
+    }
+
+    #[test]
+    fn path_names_are_stable() {
+        assert_eq!(KernelPath::Scalar.name(), "scalar");
+        assert_eq!(KernelPath::Portable.name(), "portable");
+        assert_eq!(KernelPath::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn available_paths_starts_at_scalar() {
+        let paths = available_paths();
+        assert_eq!(paths[0], KernelPath::Scalar);
+        assert!(paths.windows(2).all(|w| w[0] < w[1]));
+        if cfg!(not(feature = "simd")) {
+            assert_eq!(paths.len(), 1);
+        }
+    }
+}

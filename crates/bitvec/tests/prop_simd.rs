@@ -1,0 +1,307 @@
+//! Differential property tests proving the SIMD kernel tiers are
+//! drop-in replacements for the scalar reference.
+//!
+//! Every tier the host can run ([`simd::available_paths`]) must
+//! produce **bit-identical** output and **identical work counters**
+//! for every kernel, over random operand mixes (1–6 literals per
+//! term, arbitrary negation patterns), odd tail lengths that leave
+//! the 4-word vector blocks ragged, and all-zero / all-one operands
+//! that drive the saturation short-circuits. The dense and stored
+//! (Dense / Roaring / WAH container) DNF evaluators are checked
+//! end-to-end under a forced dispatch override; only the dispatch
+//! counters themselves may differ between tiers.
+
+use ebi_bitvec::kernels::{eval_dnf, eval_dnf_stored, Literal, StoredLiteral};
+use ebi_bitvec::simd::{self, KernelPath};
+use ebi_bitvec::summary::summarize_slices;
+use ebi_bitvec::{BitVec, KernelStats, SliceStorage, StoragePolicy};
+use proptest::prelude::*;
+
+/// Deterministic xorshift so operand contents derive from one seed.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Random words with a sprinkling of all-zero and all-one words so the
+/// vectorised any/all accumulators see saturated lanes.
+fn random_words(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| match next(&mut state) % 8 {
+            0 => 0,
+            1 => u64::MAX,
+            _ => next(&mut state),
+        })
+        .collect()
+}
+
+/// Random bits at `density_ppt` parts-per-thousand ones; 0 and 1000
+/// produce genuinely constant vectors.
+fn random_bits(len: usize, density_ppt: u64, seed: u64) -> BitVec {
+    let mut state = seed;
+    BitVec::from_bools((0..len).map(|_| next(&mut state) % 1000 < density_ppt))
+}
+
+/// Densities including both constant extremes.
+fn density_ppt() -> impl Strategy<Value = u64> {
+    prop::sample::select(vec![0u64, 1, 200, 500, 999, 1000])
+}
+
+/// Work counters that must be invariant across kernel tiers (the
+/// dispatch counters themselves legitimately differ).
+fn work_counters(s: &KernelStats) -> (u64, u64, u64, u64, u64) {
+    (
+        s.words_scanned,
+        s.bytes_touched,
+        s.compressed_chunks_skipped,
+        s.segments_pruned,
+        s.segments_short_circuited,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every public word-level pass: each tier bit-identical to the
+    /// scalar tier, including the any/saturation boolean returns, at
+    /// lengths that leave ragged vector tails.
+    #[test]
+    fn word_passes_match_scalar_on_every_tier(
+        seed in any::<u64>(),
+        n in 0usize..300,
+        neg1 in any::<bool>(),
+        neg2 in any::<bool>(),
+    ) {
+        let s1 = random_words(n, seed ^ 0x9E37_79B9);
+        let s2 = random_words(n, seed ^ 0x6C62_272E);
+        let base = random_words(n, seed ^ 0x2545_F491);
+
+        for path in simd::available_paths() {
+            // fused_pass2: acc = (±s1) & (±s2)
+            let mut want = base.clone();
+            let want_any = simd::fused_pass2(KernelPath::Scalar, &mut want, &s1, &s2, neg1, neg2);
+            let mut got = base.clone();
+            let got_any = simd::fused_pass2(path, &mut got, &s1, &s2, neg1, neg2);
+            prop_assert_eq!(&got, &want, "fused_pass2 words on {}", path.name());
+            prop_assert_eq!(got_any, want_any, "fused_pass2 any on {}", path.name());
+
+            // init_pass: acc = ±s1
+            let mut want = base.clone();
+            let want_any = simd::init_pass(KernelPath::Scalar, &mut want, &s1, neg1);
+            let mut got = base.clone();
+            let got_any = simd::init_pass(path, &mut got, &s1, neg1);
+            prop_assert_eq!(&got, &want, "init_pass words on {}", path.name());
+            prop_assert_eq!(got_any, want_any, "init_pass any on {}", path.name());
+
+            // and_pass: acc &= ±s1
+            let mut want = base.clone();
+            let want_any = simd::and_pass(KernelPath::Scalar, &mut want, &s1, neg1);
+            let mut got = base.clone();
+            let got_any = simd::and_pass(path, &mut got, &s1, neg1);
+            prop_assert_eq!(&got, &want, "and_pass words on {}", path.name());
+            prop_assert_eq!(got_any, want_any, "and_pass any on {}", path.name());
+
+            // or_into: dst |= src, returns saturation
+            let mut want = base.clone();
+            let want_sat = simd::or_into(KernelPath::Scalar, &mut want, &s1);
+            let mut got = base.clone();
+            let got_sat = simd::or_into(path, &mut got, &s1);
+            prop_assert_eq!(&got, &want, "or_into words on {}", path.name());
+            prop_assert_eq!(got_sat, want_sat, "or_into saturation on {}", path.name());
+
+            // The roaring-container wrappers.
+            let mut want = vec![0u64; n];
+            simd::and_words(KernelPath::Scalar, &mut want, &s1, &s2);
+            let mut got = vec![0u64; n];
+            simd::and_words(path, &mut got, &s1, &s2);
+            prop_assert_eq!(&got, &want, "and_words on {}", path.name());
+
+            let mut want = vec![0u64; n];
+            simd::andnot_words(KernelPath::Scalar, &mut want, &s1, &s2);
+            let mut got = vec![0u64; n];
+            simd::andnot_words(path, &mut got, &s1, &s2);
+            prop_assert_eq!(&got, &want, "andnot_words on {}", path.name());
+
+            for (name, op) in [
+                ("and_assign", simd::and_assign as fn(KernelPath, &mut [u64], &[u64])),
+                ("andnot_assign", simd::andnot_assign),
+                ("or_assign", simd::or_assign),
+            ] {
+                let mut want = base.clone();
+                op(KernelPath::Scalar, &mut want, &s1);
+                let mut got = base.clone();
+                op(path, &mut got, &s1);
+                prop_assert_eq!(&got, &want, "{} on {}", name, path.name());
+            }
+        }
+    }
+
+    /// Constant all-zero / all-one operands in every combination: the
+    /// vector tiers must report the exact same any/saturation verdicts
+    /// the scalar loops do.
+    #[test]
+    fn saturated_operands_agree_on_every_tier(
+        n in 1usize..200,
+        a_kind in 0u8..3,
+        b_kind in 0u8..3,
+        neg1 in any::<bool>(),
+        neg2 in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let make = |kind: u8, salt: u64| -> Vec<u64> {
+            match kind {
+                0 => vec![0u64; n],
+                1 => vec![u64::MAX; n],
+                _ => random_words(n, seed ^ salt),
+            }
+        };
+        let s1 = make(a_kind, 0xA5A5);
+        let s2 = make(b_kind, 0x5A5A);
+
+        for path in simd::available_paths() {
+            let mut want = vec![0u64; n];
+            let want_any = simd::fused_pass2(KernelPath::Scalar, &mut want, &s1, &s2, neg1, neg2);
+            let mut got = vec![0u64; n];
+            let got_any = simd::fused_pass2(path, &mut got, &s1, &s2, neg1, neg2);
+            prop_assert_eq!(&got, &want, "fused_pass2 on {}", path.name());
+            prop_assert_eq!(got_any, want_any, "fused_pass2 any on {}", path.name());
+
+            let mut want = s1.clone();
+            let want_sat = simd::or_into(KernelPath::Scalar, &mut want, &s2);
+            let mut got = s1.clone();
+            let got_sat = simd::or_into(path, &mut got, &s2);
+            prop_assert_eq!(got_sat, want_sat, "or_into saturation on {}", path.name());
+        }
+    }
+
+    /// End-to-end dense DNF evaluation under a forced dispatch
+    /// override: bit-identical results, invariant work counters, and
+    /// the dispatch report names the forced tier.
+    #[test]
+    fn dense_dnf_eval_is_tier_invariant(
+        seed in any::<u64>(),
+        rows in 1usize..40_000,
+        densities in prop::collection::vec(density_ppt(), 2..5),
+        shape in prop::collection::vec(
+            prop::collection::vec((any::<prop::sample::Index>(), any::<bool>()), 1..6),
+            1..4,
+        ),
+        with_summaries in any::<bool>(),
+    ) {
+        let slices: Vec<BitVec> = densities
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| random_bits(rows, d, seed ^ (i as u64).wrapping_mul(0x9E37_79B9)))
+            .collect();
+        let summaries = summarize_slices(&slices);
+        let terms: Vec<Vec<Literal<'_>>> = shape
+            .iter()
+            .map(|term| {
+                term.iter()
+                    .map(|(idx, neg)| {
+                        let i = idx.index(slices.len());
+                        if with_summaries {
+                            Literal::with_summary(&slices[i], *neg, &summaries[i])
+                        } else {
+                            Literal::new(&slices[i], *neg)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut ref_stats = KernelStats::new();
+        let reference = simd::with_forced_path(KernelPath::Scalar, || {
+            eval_dnf(&terms, rows, &mut ref_stats)
+        });
+        prop_assert_eq!(ref_stats.kernel_path(), "scalar");
+
+        for path in simd::available_paths() {
+            let mut stats = KernelStats::new();
+            let got = simd::with_forced_path(path, || eval_dnf(&terms, rows, &mut stats));
+            prop_assert_eq!(&got, &reference, "dense DNF result on {}", path.name());
+            prop_assert_eq!(
+                work_counters(&stats),
+                work_counters(&ref_stats),
+                "work counters on {}",
+                path.name()
+            );
+            prop_assert_eq!(stats.kernel_path(), path.name(), "dispatch report");
+        }
+    }
+
+    /// End-to-end stored DNF evaluation: every tier × every container
+    /// family (Dense, Roaring, WAH) matches the scalar/dense result,
+    /// with tier-invariant work counters per family.
+    #[test]
+    fn stored_dnf_eval_is_tier_invariant_across_containers(
+        seed in any::<u64>(),
+        rows in 1usize..40_000,
+        densities in prop::collection::vec(density_ppt(), 2..4),
+        shape in prop::collection::vec(
+            prop::collection::vec((any::<prop::sample::Index>(), any::<bool>()), 1..6),
+            1..3,
+        ),
+    ) {
+        let dense: Vec<BitVec> = densities
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| random_bits(rows, d, seed ^ (i as u64).wrapping_mul(0x6C62_272E)))
+            .collect();
+        let summaries = summarize_slices(&dense);
+
+        let mut reference: Option<BitVec> = None;
+        for policy in [StoragePolicy::Dense, StoragePolicy::Roaring, StoragePolicy::Wah] {
+            let family: Vec<SliceStorage> = dense
+                .iter()
+                .map(|b| SliceStorage::from_dense(b.clone(), policy))
+                .collect();
+            let terms: Vec<Vec<StoredLiteral<'_>>> = shape
+                .iter()
+                .map(|term| {
+                    term.iter()
+                        .map(|(idx, neg)| {
+                            let i = idx.index(family.len());
+                            StoredLiteral::with_summary(&family[i], *neg, &summaries[i])
+                        })
+                        .collect()
+                })
+                .collect();
+
+            let mut ref_stats = KernelStats::new();
+            let scalar = simd::with_forced_path(KernelPath::Scalar, || {
+                eval_dnf_stored(&terms, rows, &mut ref_stats)
+            });
+            match &reference {
+                None => reference = Some(scalar.clone()),
+                Some(bits) => prop_assert_eq!(&scalar, bits, "{:?} != dense", policy),
+            }
+
+            for path in simd::available_paths() {
+                let mut stats = KernelStats::new();
+                let got = simd::with_forced_path(path, || {
+                    eval_dnf_stored(&terms, rows, &mut stats)
+                });
+                prop_assert_eq!(
+                    &got,
+                    &scalar,
+                    "stored DNF result for {:?} on {}",
+                    policy,
+                    path.name()
+                );
+                prop_assert_eq!(
+                    work_counters(&stats),
+                    work_counters(&ref_stats),
+                    "work counters for {:?} on {}",
+                    policy,
+                    path.name()
+                );
+            }
+        }
+    }
+}

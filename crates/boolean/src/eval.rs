@@ -76,6 +76,12 @@ pub struct AccessTracker {
     /// (term, segment) pairs abandoned mid-term when the accumulator
     /// went all-zero.
     pub segments_short_circuited: u64,
+    /// Kernel entries that ran the scalar word-pass tier.
+    pub dispatch_scalar: u64,
+    /// Kernel entries that ran the portable vector tier.
+    pub dispatch_portable: u64,
+    /// Kernel entries that ran the AVX2 intrinsic tier.
+    pub dispatch_avx2: u64,
 }
 
 impl AccessTracker {
@@ -109,6 +115,9 @@ impl AccessTracker {
         self.compressed_chunks_skipped += other.compressed_chunks_skipped;
         self.segments_pruned += other.segments_pruned;
         self.segments_short_circuited += other.segments_short_circuited;
+        self.dispatch_scalar += other.dispatch_scalar;
+        self.dispatch_portable += other.dispatch_portable;
+        self.dispatch_avx2 += other.dispatch_avx2;
     }
 
     /// Folds fused-kernel work counters into the tracker.
@@ -118,6 +127,24 @@ impl AccessTracker {
         self.compressed_chunks_skipped += stats.compressed_chunks_skipped;
         self.segments_pruned += stats.segments_pruned;
         self.segments_short_circuited += stats.segments_short_circuited;
+        self.dispatch_scalar += stats.dispatch_scalar;
+        self.dispatch_portable += stats.dispatch_portable;
+        self.dispatch_avx2 += stats.dispatch_avx2;
+    }
+
+    /// Name of the dominant kernel tier the absorbed evaluations ran
+    /// (`"scalar"` / `"portable"` / `"avx2"`), or `"none"` when no
+    /// fused-kernel entry was recorded (e.g. the naive evaluator).
+    /// Mirrors [`KernelStats::kernel_path`].
+    #[must_use]
+    pub fn kernel_path(&self) -> &'static str {
+        let proxy = KernelStats {
+            dispatch_scalar: self.dispatch_scalar,
+            dispatch_portable: self.dispatch_portable,
+            dispatch_avx2: self.dispatch_avx2,
+            ..KernelStats::default()
+        };
+        proxy.kernel_path()
     }
 
     /// Records a touch of slice `i` (used by index implementations for
@@ -242,6 +269,15 @@ impl<'a> FusedPlan<'a> {
     #[must_use]
     pub fn row_count(&self) -> usize {
         self.row_count
+    }
+
+    /// Upper bound on the kernel word traffic evaluating this plan will
+    /// generate, net of summary pruning — what a parallel splitter
+    /// should weigh instead of raw row count, since a heavily pruned
+    /// plan does far less work than its rows suggest.
+    #[must_use]
+    pub fn estimated_work_words(&self) -> u64 {
+        kernels::estimate_dnf_work_words(&self.terms, self.row_count)
     }
 
     /// Records the paper's access metrics for evaluating this plan's
@@ -425,6 +461,19 @@ impl<'a> StoredPlan<'a> {
     #[must_use]
     pub fn is_dense(&self) -> bool {
         matches!(self.inner, StoredPlanInner::Dense(_))
+    }
+
+    /// Upper bound on the kernel word traffic evaluating this plan will
+    /// generate, net of summary pruning; see
+    /// [`FusedPlan::estimated_work_words`].
+    #[must_use]
+    pub fn estimated_work_words(&self) -> u64 {
+        match &self.inner {
+            StoredPlanInner::Dense(p) => p.estimated_work_words(),
+            StoredPlanInner::Mixed { terms, row_count } => {
+                kernels::estimate_stored_dnf_work_words(terms, *row_count)
+            }
+        }
     }
 
     /// Evaluates the whole plan into a fresh selection bitmap.

@@ -79,6 +79,35 @@ proptest! {
     }
 
     #[test]
+    fn vectors_accessed_is_invariant_under_forced_kernel_paths(
+        seed in any::<u64>(),
+        k in 1u32..=6,
+        rows in 0usize..9000,
+        specs in prop::collection::vec((any::<u64>(), any::<u64>(), 0u32..8), 0..6),
+    ) {
+        use ebi_bitvec::simd;
+
+        let slices = random_slices(k, rows, seed);
+        let expr = build_expr(&specs, k);
+        let naive = eval_expr_naive(&expr, &slices, rows);
+        // The paper's c_e is a property of the reduced expression, so
+        // it may not move when the kernel dispatcher changes tier.
+        for path in simd::available_paths() {
+            let mut tracker = AccessTracker::new();
+            let fused = simd::with_forced_path(path, || {
+                eval_expr_tracked(&expr, &slices, rows, &mut tracker)
+            });
+            prop_assert_eq!(&fused, &naive, "fused != naive on {}", path.name());
+            prop_assert_eq!(
+                tracker.vectors_accessed(),
+                expr.vectors_accessed(),
+                "vectors_accessed moved on {}",
+                path.name()
+            );
+        }
+    }
+
+    #[test]
     fn summarized_matches_naive_on_random_dnf(
         seed in any::<u64>(),
         k in 1u32..=5,

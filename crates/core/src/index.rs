@@ -550,6 +550,18 @@ impl EncodedBitmapIndex {
             eval_span.attr("segments_pruned", stats.segments_pruned);
             eval_span.attr("segments_short_circuited", stats.segments_short_circuited);
             eval_span.attr("compressed_chunks_skipped", stats.compressed_chunks_skipped);
+            // Span attributes are u64-only: encode the selected kernel
+            // tier as per-tier entry counts, so EXPLAIN ANALYZE renders
+            // e.g. `kernel_avx2=1` for the path that ran.
+            for (name, count) in [
+                ("kernel_scalar", stats.dispatch_scalar),
+                ("kernel_portable", stats.dispatch_portable),
+                ("kernel_avx2", stats.dispatch_avx2),
+            ] {
+                if count != 0 {
+                    eval_span.attr(name, count);
+                }
+            }
         }
         drop(eval_span);
         if profile && ebi_obs::enabled() {
@@ -896,6 +908,17 @@ mod tests {
         }
         let reduce = records.iter().find(|r| r.name == "reduce").unwrap();
         assert!(reduce.attrs.iter().any(|(k, v)| k == "minterms" && *v == 4));
+        // The eval span names the kernel tier that ran, so EXPLAIN
+        // ANALYZE shows the selected kernel.
+        let eval = records.iter().find(|r| r.name == "eval").unwrap();
+        assert!(
+            eval.attrs.iter().any(|(k, _)| k.starts_with("kernel_")),
+            "eval span should carry a kernel_* dispatch attr: {:?}",
+            eval.attrs
+        );
+        // And the query stats report the same tier by name.
+        assert_ne!(baseline.stats.kernel_path, "none");
+        assert!(["scalar", "portable", "avx2"].contains(&baseline.stats.kernel_path));
 
         // Profiling must not change results or the paper's cost metric.
         idx.set_query_options(QueryOptions::default());

@@ -13,12 +13,22 @@
 //! [`FusedPlan`] / [`StoredPlan`] reads its slices immutably and writes
 //! each destination word exactly once, so the selection bitmap can be
 //! split into segment-aligned word ranges and filled concurrently —
-//! same chunking discipline as construction, same bit-identical
-//! guarantee. Both entry points auto-fall back to the serial path when
-//! the input is too small to amortise thread spawns or the host exposes
-//! a single core (measured: parallel evaluation was 0.86× serial at 1M
-//! rows); [`eval_plan_forced`] / [`eval_plan_stored_forced`] bypass the
-//! heuristic for tests and benchmarks.
+//! same bit-identical guarantee as construction. Ranges are **work
+//! stolen**, not fixed: the destination is pre-split into many small
+//! segment-aligned units, each worker is dealt a contiguous run of
+//! them, and a worker that drains its run (because summary pruning or
+//! short-circuiting made its units trivial) steals the back half of the
+//! largest remaining run instead of idling. This is what fixes the
+//! clustered-delta cliff where a fixed splitter left one thread with
+//! all the live segments.
+//!
+//! Both entry points auto-fall back to the serial path when the input
+//! is too small to amortise thread spawns, when the host exposes a
+//! single core, or — new — when the plan's *post-pruning work estimate*
+//! ([`FusedPlan::estimated_work_words`]) says the surviving kernel
+//! traffic is too small to split profitably, however many rows the
+//! bitmap spans. [`eval_plan_forced`] / [`eval_plan_stored_forced`]
+//! bypass the heuristic for tests and benchmarks.
 
 use crate::error::CoreError;
 use crate::index::{BuildOptions, EncodedBitmapIndex};
@@ -43,25 +53,98 @@ const MIN_EVAL_WORDS: usize = 4 * SEGMENT_WORDS;
 /// benchmark shows the parallel engine at 0.86× serial for 1M rows.
 const AUTO_PARALLEL_MIN_ROWS: usize = 2_000_000;
 
+/// Minimum *post-pruning* kernel traffic (in words) worth splitting at
+/// all: the word-count equivalent of [`AUTO_PARALLEL_MIN_ROWS`] for a
+/// single-literal plan. A heavily pruned plan over many rows can fall
+/// below this even though its row count clears the row threshold — the
+/// clustered delta=512 workload is exactly that shape, and splitting it
+/// used to cost 2× (1.44× vs 2.75× speedup in BENCH_eval.json).
+const MIN_PARALLEL_WORK_WORDS: u64 = (AUTO_PARALLEL_MIN_ROWS / WORD_BITS) as u64;
+
+/// Minimum estimated work per worker; requested threads beyond
+/// `estimate / this` are dropped so every spawned worker has enough
+/// kernel traffic to amortise its own spawn.
+const MIN_WORK_WORDS_PER_THREAD: u64 = MIN_PARALLEL_WORK_WORDS / 2;
+
+/// Work-stealing granularity: units dealt per worker. More units mean
+/// finer rebalancing when pruning makes work uneven, at the cost of
+/// slightly more claim traffic (one mutex lock per unit).
+const UNITS_PER_THREAD: usize = 8;
+
+/// A claimable evaluation unit: a destination sub-slice plus its word
+/// offset. Claiming takes the payload out of the slot, so each unit is
+/// executed exactly once.
+type EvalUnit<'a> = std::sync::Mutex<Option<(&'a mut [u64], usize)>>;
+
 /// Caps requested evaluation threads by the auto-serial heuristic:
-/// inputs under [`AUTO_PARALLEL_MIN_ROWS`] rows, or a host exposing a
-/// single core, evaluate serially regardless of the request.
-fn effective_threads(requested: usize, rows: usize) -> usize {
-    if requested <= 1 || rows < AUTO_PARALLEL_MIN_ROWS {
+/// inputs under [`AUTO_PARALLEL_MIN_ROWS`] rows, a host exposing a
+/// single core, or a post-pruning work estimate too small to split
+/// evaluate serially regardless of the request.
+fn effective_threads(requested: usize, rows: usize, est_work_words: Option<u64>) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    effective_threads_for(requested, rows, est_work_words, cores)
+}
+
+/// [`effective_threads`] with the core count injected, so the decision
+/// table is testable on any host.
+fn effective_threads_for(
+    requested: usize,
+    rows: usize,
+    est_work_words: Option<u64>,
+    cores: usize,
+) -> usize {
+    if requested <= 1 || rows < AUTO_PARALLEL_MIN_ROWS || cores <= 1 {
         return 1;
     }
-    match std::thread::available_parallelism() {
-        Ok(n) if n.get() > 1 => requested,
-        _ => 1,
+    match est_work_words {
+        None => requested,
+        Some(w) if w < MIN_PARALLEL_WORK_WORDS => 1,
+        Some(w) => requested.min(usize::try_from(w / MIN_WORK_WORDS_PER_THREAD).unwrap_or(1)),
     }
 }
 
-/// Splits `rows` into segment-aligned chunks filled by `threads`
-/// workers calling `eval_range(chunk, word_offset, stats)`.
+/// Steals the back half of the largest remaining unit range, shrinking
+/// the victim's queue. Returns `None` when no queue has at least two
+/// units left (a single remaining unit is cheaper to let its owner run
+/// than to migrate).
+fn steal_half(queues: &[std::sync::Mutex<(usize, usize)>], thief: usize) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None; // (victim, remaining)
+    for (v, q) in queues.iter().enumerate() {
+        if v == thief {
+            continue;
+        }
+        let (lo, hi) = *q.lock().expect("queue lock");
+        let rem = hi.saturating_sub(lo);
+        if rem >= 2 && best.is_none_or(|(_, r)| rem > r) {
+            best = Some((v, rem));
+        }
+    }
+    let (victim, _) = best?;
+    let mut q = queues[victim].lock().expect("queue lock");
+    let (lo, hi) = *q;
+    let rem = hi.saturating_sub(lo);
+    // The victim may have drained (or been robbed) since the scan.
+    if rem < 2 {
+        return None;
+    }
+    let mid = lo + rem / 2;
+    q.1 = mid;
+    Some((mid, hi))
+}
+
+/// Splits `rows` into small segment-aligned units filled by `threads`
+/// work-stealing workers calling `eval_range(unit, word_offset, stats)`.
+///
+/// Each worker is dealt a contiguous run of units (preserving the cache
+/// friendliness of the old fixed splitter when work is uniform); a
+/// worker whose run drains steals the back half of the largest
+/// remaining run, so pruned or short-circuited regions cannot strand
+/// the live segments on one thread.
 fn eval_ranged<F>(rows: usize, threads: usize, stats: &mut KernelStats, eval_range: F) -> BitVec
 where
     F: Fn(&mut [u64], usize, &mut KernelStats) + Sync,
 {
+    use std::sync::Mutex;
     assert!(threads > 0, "at least one evaluation thread");
     let total_words = rows.div_ceil(WORD_BITS);
     let mut dst = BitVec::zeros(rows);
@@ -70,29 +153,69 @@ where
         return dst;
     }
 
-    let chunk_words = total_words
-        .div_ceil(threads)
+    let unit_words = total_words
+        .div_ceil(threads * UNITS_PER_THREAD)
         .max(MIN_EVAL_WORDS)
         .next_multiple_of(SEGMENT_WORDS);
-    let chunks: Vec<&mut [u64]> = dst.words_mut().chunks_mut(chunk_words).collect();
-    let mut worker_stats: Vec<KernelStats> = vec![KernelStats::new(); chunks.len()];
+    // Pre-split the destination into claimable units. Each unit is
+    // executed exactly once: claiming takes it out of its slot.
+    let units: Vec<EvalUnit<'_>> = dst
+        .words_mut()
+        .chunks_mut(unit_words)
+        .enumerate()
+        .map(|(i, chunk)| Mutex::new(Some((chunk, i * unit_words))))
+        .collect();
+    let workers = threads.min(units.len());
+    // Deal each worker a contiguous range of unit indices.
+    let queues: Vec<Mutex<(usize, usize)>> = (0..workers)
+        .map(|w| Mutex::new((w * units.len() / workers, (w + 1) * units.len() / workers)))
+        .collect();
+
+    let mut worker_stats: Vec<KernelStats> = vec![KernelStats::new(); workers];
     // Workers run on their own threads, so the thread-local span stack
     // does not reach them: capture the calling phase's handle explicitly
     // and attach each worker's span to it (None when not profiling).
     let parent = ebi_obs::current_handle();
     crossbeam::thread::scope(|scope| {
-        for (i, (chunk, slot)) in chunks.into_iter().zip(&mut worker_stats).enumerate() {
-            let eval_range = &eval_range;
-            let parent = &parent;
+        for (w, slot) in worker_stats.iter_mut().enumerate() {
+            let (units, queues, eval_range, parent) = (&units, &queues, &eval_range, &parent);
             scope.spawn(move |_| {
                 let mut span = match parent {
                     Some(h) => h.child("eval.worker"),
                     None => ebi_obs::Span::none(),
                 };
-                eval_range(chunk, i * chunk_words, slot);
+                let (mut executed, mut stolen) = (0u64, 0u64);
+                loop {
+                    let next = {
+                        let mut q = queues[w].lock().expect("queue lock");
+                        if q.0 < q.1 {
+                            let i = q.0;
+                            q.0 += 1;
+                            Some(i)
+                        } else {
+                            None
+                        }
+                    };
+                    let idx = match next {
+                        Some(i) => i,
+                        None => match steal_half(queues, w) {
+                            Some(range) => {
+                                stolen += (range.1 - range.0) as u64;
+                                *queues[w].lock().expect("queue lock") = range;
+                                continue;
+                            }
+                            None => break,
+                        },
+                    };
+                    if let Some((chunk, off)) = units[idx].lock().expect("unit lock").take() {
+                        eval_range(chunk, off, slot);
+                        executed += 1;
+                    }
+                }
                 if span.is_live() {
-                    span.attr("worker", i as u64);
-                    span.attr("word_offset", (i * chunk_words) as u64);
+                    span.attr("worker", w as u64);
+                    span.attr("units_executed", executed);
+                    span.attr("units_stolen", stolen);
                     span.attr("words_scanned", slot.words_scanned);
                 }
             });
@@ -120,7 +243,8 @@ where
 #[must_use]
 pub fn eval_plan(plan: &FusedPlan<'_>, threads: usize, stats: &mut KernelStats) -> BitVec {
     assert!(threads > 0, "at least one evaluation thread");
-    eval_plan_forced(plan, effective_threads(threads, plan.row_count()), stats)
+    let threads = effective_threads(threads, plan.row_count(), Some(plan.estimated_work_words()));
+    eval_plan_forced(plan, threads, stats)
 }
 
 /// As [`eval_plan`] but honours `threads` exactly (no auto-serial
@@ -147,7 +271,8 @@ pub fn eval_plan_forced(plan: &FusedPlan<'_>, threads: usize, stats: &mut Kernel
 #[must_use]
 pub fn eval_plan_stored(plan: &StoredPlan<'_>, threads: usize, stats: &mut KernelStats) -> BitVec {
     assert!(threads > 0, "at least one evaluation thread");
-    eval_plan_stored_forced(plan, effective_threads(threads, plan.row_count()), stats)
+    let threads = effective_threads(threads, plan.row_count(), Some(plan.estimated_work_words()));
+    eval_plan_stored_forced(plan, threads, stats)
 }
 
 /// As [`eval_plan_stored`] but honours `threads` exactly.
@@ -468,13 +593,87 @@ mod tests {
     #[test]
     fn effective_threads_applies_the_auto_serial_heuristic() {
         // Small inputs never split, whatever the host looks like.
-        assert_eq!(effective_threads(8, 100_000), 1);
-        assert_eq!(effective_threads(1, 10_000_000), 1);
+        assert_eq!(effective_threads(8, 100_000, None), 1);
+        assert_eq!(effective_threads(1, 10_000_000, None), 1);
         // Large inputs split only when the host has more than one core.
-        let big = effective_threads(8, 10_000_000);
+        let big = effective_threads(8, 10_000_000, None);
         match std::thread::available_parallelism() {
             Ok(n) if n.get() > 1 => assert_eq!(big, 8),
             _ => assert_eq!(big, 1),
+        }
+    }
+
+    #[test]
+    fn work_estimate_pins_the_auto_serial_decision() {
+        let rows = 4_000_000; // over the row threshold either way
+                              // No estimate: the row-count heuristic alone decides.
+        assert_eq!(effective_threads_for(8, rows, None, 8), 8);
+        // Full-traffic estimate (2 literals, no pruning): fan out.
+        assert_eq!(effective_threads_for(8, rows, Some(2 * 62_500), 8), 8);
+        // Post-pruning estimate below the parallel-work floor: serial.
+        // This pins the delta=512 cliff fix — many rows, little work.
+        assert!(10_000 < MIN_PARALLEL_WORK_WORDS);
+        assert_eq!(effective_threads_for(8, rows, Some(10_000), 8), 1);
+        // Middling estimate: split, but onto fewer workers so each
+        // still has MIN_WORK_WORDS_PER_THREAD of traffic.
+        assert_eq!(effective_threads_for(8, rows, Some(40_000), 8), 2);
+        // Single-core hosts stay serial whatever the estimate.
+        assert_eq!(effective_threads_for(8, rows, Some(u64::MAX), 1), 1);
+    }
+
+    #[test]
+    fn heavily_pruned_plan_auto_serializes_via_its_estimate() {
+        use ebi_boolean::DnfExpr;
+        // 2.5M rows of near-empty slices: the row count clears the
+        // parallel threshold but summaries prune almost every segment,
+        // so the estimate must force the serial path.
+        let rows = 2_500_000;
+        let mut a = BitVec::zeros(rows);
+        for i in 0..512 {
+            a.set(i, true);
+        }
+        let b = a.clone();
+        let slices = [a, b];
+        let summaries = summarize_slices(&slices);
+        let expr = DnfExpr::parse("B1B0", 2).unwrap();
+        let plan = FusedPlan::with_summaries(&expr, &slices, &summaries, rows);
+        let est = plan.estimated_work_words();
+        assert!(
+            est < MIN_PARALLEL_WORK_WORDS,
+            "pruned estimate {est} should fall below the parallel floor"
+        );
+        assert_eq!(effective_threads_for(8, rows, Some(est), 8), 1);
+        // Unpruned, the same shape would have split.
+        let unpruned = FusedPlan::new(&expr, &slices, rows);
+        assert!(unpruned.estimated_work_words() >= MIN_PARALLEL_WORK_WORDS);
+        // And the auto path still computes the right answer.
+        let mut stats = KernelStats::new();
+        let got = eval_plan(&plan, 8, &mut stats);
+        assert_eq!(got.count_ones(), 512);
+    }
+
+    #[test]
+    fn work_stealing_rebalances_pruned_prefixes() {
+        use ebi_boolean::DnfExpr;
+        // All the live work sits in the last quarter of the row range:
+        // a fixed splitter would leave workers 1..n idle while worker n
+        // does everything. The result must still be bit-identical and
+        // the total work invariant.
+        let rows = 1_200_000;
+        let a: BitVec = (0..rows).map(|i| i >= 3 * rows / 4 && i % 3 == 0).collect();
+        let b: BitVec = (0..rows).map(|i| i >= 3 * rows / 4 && i % 5 != 0).collect();
+        let slices = [a, b];
+        let summaries = summarize_slices(&slices);
+        let expr = DnfExpr::parse("B1B0", 2).unwrap();
+        let plan = FusedPlan::with_summaries(&expr, &slices, &summaries, rows);
+        let mut serial_stats = KernelStats::new();
+        let serial = eval_plan_forced(&plan, 1, &mut serial_stats);
+        for threads in [2, 4, 7] {
+            let mut stats = KernelStats::new();
+            let parallel = eval_plan_forced(&plan, threads, &mut stats);
+            assert_eq!(parallel, serial, "threads={threads}");
+            assert_eq!(stats.words_scanned, serial_stats.words_scanned);
+            assert_eq!(stats.segments_pruned, serial_stats.segments_pruned);
         }
     }
 

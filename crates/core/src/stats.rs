@@ -31,6 +31,10 @@ pub struct QueryStats {
     /// The reduced retrieval expression, in the paper's notation
     /// (diagnostic; empty for non-expression indexes).
     pub expression: String,
+    /// Which word-pass tier the fused kernels ran (`"avx2"`,
+    /// `"portable"`, `"scalar"`), or `"none"` when the query never
+    /// entered a fused kernel. The dominant tier when workers mixed.
+    pub kernel_path: &'static str,
 }
 
 impl QueryStats {
@@ -48,6 +52,7 @@ impl QueryStats {
             segments_pruned: tracker.segments_pruned,
             segments_short_circuited: tracker.segments_short_circuited,
             expression,
+            kernel_path: tracker.kernel_path(),
         }
     }
 

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark regressions against the committed baselines.
+
+Compares the freshly generated smoke artefacts against the checked-in
+baselines in bench_baselines/:
+
+  BENCH_eval.json     vs bench_baselines/BENCH_eval.smoke.json
+  BENCH_scaling.json  vs bench_baselines/BENCH_scaling.smoke.json
+
+Only dimensionless speedup ratios are compared — never raw
+nanoseconds — so the gate is meaningful across runner generations. A
+metric regresses when it falls below baseline * (1 - TOLERANCE).
+Improvements never fail. Every baseline point must still exist in the
+current run (a vanished point is a silent coverage loss); extra
+current points (e.g. more cores on the runner) are fine.
+
+Usage: check_bench_regression.py [--tolerance 0.15]
+       [--current-dir .] [--baseline-dir bench_baselines]
+"""
+
+import argparse
+import json
+import sys
+
+FAILURES = []
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: cannot load baseline/current artefact: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def compare(name, key, baseline, current, tolerance):
+    """baseline/current: {point-key: speedup}."""
+    for point, base in sorted(baseline.items()):
+        cur = current.get(point)
+        if cur is None:
+            FAILURES.append(f"{name} {point}: point present in baseline but missing from current run")
+            continue
+        floor = base * (1.0 - tolerance)
+        status = "ok" if cur >= floor else "REGRESSED"
+        print(f"{name:<28} {point:<36} {key}: baseline {base:.3f} current {cur:.3f} floor {floor:.3f} {status}")
+        if cur < floor:
+            FAILURES.append(
+                f"{name} {point}: {key} {cur:.3f} fell below {floor:.3f} (baseline {base:.3f}, tolerance {tolerance:.0%})"
+            )
+
+
+def eval_points(doc, key):
+    return {f"rows={r['rows']},delta={r['delta']}": r[key] for r in doc["results"]}
+
+
+def scaling_points(doc):
+    return {
+        f"container={r['container']},delta={r['delta']},threads={r['threads']}": r["speedup_vs_serial"]
+        for r in doc["results"]
+    }
+
+
+def simd_points(doc):
+    return {f"delta={r['delta']}": r["speedup_simd_vs_scalar"] for r in doc["simd"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument("--current-dir", default=".")
+    ap.add_argument("--baseline-dir", default="bench_baselines")
+    args = ap.parse_args()
+
+    cur_eval = load(f"{args.current_dir}/BENCH_eval.json")
+    base_eval = load(f"{args.baseline_dir}/BENCH_eval.smoke.json")
+    cur_scaling = load(f"{args.current_dir}/BENCH_scaling.json")
+    base_scaling = load(f"{args.baseline_dir}/BENCH_scaling.smoke.json")
+
+    for doc, label in (
+        (cur_eval, "current BENCH_eval"),
+        (base_eval, "baseline BENCH_eval"),
+        (cur_scaling, "current BENCH_scaling"),
+        (base_scaling, "baseline BENCH_scaling"),
+    ):
+        if not doc.get("smoke"):
+            print(f"{label} is not a --smoke artefact; refusing to compare", file=sys.stderr)
+            sys.exit(1)
+
+    for key in ("speedup_fused_vs_naive", "speedup_parallel_vs_naive"):
+        compare("BENCH_eval", key, eval_points(base_eval, key), eval_points(cur_eval, key), args.tolerance)
+    compare(
+        "BENCH_scaling/results", "speedup_vs_serial",
+        scaling_points(base_scaling), scaling_points(cur_scaling), args.tolerance,
+    )
+    compare(
+        "BENCH_scaling/simd", "speedup_simd_vs_scalar",
+        simd_points(base_scaling), simd_points(cur_scaling), args.tolerance,
+    )
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} benchmark regression(s):", file=sys.stderr)
+        for f in FAILURES:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nno benchmark regressions (tolerance {:.0%})".format(args.tolerance))
+
+
+if __name__ == "__main__":
+    main()

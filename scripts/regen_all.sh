@@ -25,5 +25,17 @@ for b in "${bins[@]}"; do
 done
 ./target/release/results_digest
 
+echo "==== eval_kernels (full + scaling) ===="
+./target/release/eval_kernels --scaling
+python3 scripts/validate_bench_schema.py \
+  BENCH_eval.json BENCH_compressed.json BENCH_scaling.json
+
+echo "==== bench baselines (smoke, committed for CI regression gate) ===="
+./target/release/eval_kernels --smoke --scaling --check --out-dir bench_baselines
+for f in BENCH_eval BENCH_compressed BENCH_scaling; do
+  mv "bench_baselines/$f.json" "bench_baselines/$f.smoke.json"
+done
+python3 scripts/validate_bench_schema.py bench_baselines/*.smoke.json
+
 cargo test --workspace 2>&1 | tee test_output.txt
 cargo bench --workspace 2>&1 | tee bench_output.txt

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_*.json artefacts against their schemas.
+
+Consolidated check used by scripts/regen_all.sh and the CI
+bench-regression job. Each file declares its schema in a top-level
+"schema" key; this script knows the expected shape for:
+
+  ebi.bench_eval.v1        (BENCH_eval.json)
+  ebi.bench_compressed.v1  (BENCH_compressed.json)
+  ebi.bench_scaling.v1     (BENCH_scaling.json)
+
+Exits non-zero on the first malformed file so CI fails loudly.
+
+Usage: validate_bench_schema.py FILE [FILE ...]
+"""
+
+import json
+import sys
+
+NUM = (int, float)
+
+# schema id -> (required top-level keys, rows key -> required row keys)
+SPECS = {
+    "ebi.bench_eval.v1": (
+        {
+            "workload": str,
+            "engines": list,
+            "unit": str,
+            "threads": int,
+            "cores_available": int,
+            "smoke": bool,
+            "invariants": dict,
+            "results": list,
+        },
+        {
+            "results": {
+                "rows": int,
+                "delta": int,
+                "cubes": int,
+                "vectors_accessed": int,
+                "naive_ns": int,
+                "fused_ns": int,
+                "fused_summarized_ns": int,
+                "fused_parallel_ns": int,
+                "speedup_fused_vs_naive": NUM,
+                "speedup_parallel_vs_naive": NUM,
+            },
+        },
+    ),
+    "ebi.bench_compressed.v1": (
+        {
+            "workload": str,
+            "rows": int,
+            "storages": list,
+            "unit": str,
+            "smoke": bool,
+            "invariants": dict,
+            "results": list,
+        },
+        {
+            "results": {
+                "skew": str,
+                "delta": int,
+                "storage": str,
+                "median_ns": int,
+                "bytes_stored": int,
+                "bytes_touched": int,
+                "compressed_chunks_skipped": int,
+                "vectors_accessed": int,
+            },
+        },
+    ),
+    "ebi.bench_scaling.v1": (
+        {
+            "workload": str,
+            "rows": int,
+            "simd_rows": int,
+            "unit": str,
+            "smoke": bool,
+            "host_threads": int,
+            "thread_counts": list,
+            "kernel_path": str,
+            "check": dict,
+            "invariants": dict,
+            "results": list,
+            "simd": list,
+            "notes": list,
+        },
+        {
+            "results": {
+                "container": str,
+                "delta": int,
+                "threads": int,
+                "best_ns": int,
+                "speedup_vs_serial": NUM,
+            },
+            "simd": {
+                "rows": int,
+                "delta": int,
+                "scalar_ns": int,
+                "simd_ns": int,
+                "kernel_path": str,
+                "speedup_simd_vs_scalar": NUM,
+            },
+        },
+    ),
+}
+
+KERNEL_PATHS = {"scalar", "portable", "avx2"}
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+    schema = doc.get("schema")
+    if schema not in SPECS:
+        fail(path, f"unknown schema {schema!r}; expected one of {sorted(SPECS)}")
+    top, row_specs = SPECS[schema]
+    for key, typ in top.items():
+        if key not in doc:
+            fail(path, f"missing key {key!r}")
+        if not isinstance(doc[key], typ):
+            fail(path, f"{key}: expected {typ}, got {type(doc[key]).__name__}")
+    for rows_key, row_spec in row_specs.items():
+        rows = doc[rows_key]
+        if not rows:
+            fail(path, f"{rows_key}: empty")
+        for i, row in enumerate(rows):
+            for key, typ in row_spec.items():
+                v = row.get(key)
+                if v is None:
+                    fail(path, f"{rows_key}[{i}]: missing key {key!r}")
+                if not isinstance(v, typ) or isinstance(v, bool):
+                    fail(path, f"{rows_key}[{i}].{key}: expected {typ}, got {v!r}")
+                if isinstance(v, NUM) and v < 0:
+                    fail(path, f"{rows_key}[{i}].{key}: negative value {v!r}")
+            if "kernel_path" in row and row["kernel_path"] not in KERNEL_PATHS:
+                fail(path, f"{rows_key}[{i}].kernel_path: {row['kernel_path']!r} not in {sorted(KERNEL_PATHS)}")
+    if schema == "ebi.bench_scaling.v1":
+        if doc["kernel_path"] not in KERNEL_PATHS:
+            fail(path, f"kernel_path: {doc['kernel_path']!r} not in {sorted(KERNEL_PATHS)}")
+        if doc["host_threads"] < 2 and not doc["notes"]:
+            fail(path, "single-core host must document the hardware limit in notes[]")
+    print(f"{path}: valid against {schema}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check_file(path)
+
+
+if __name__ == "__main__":
+    main()
