@@ -38,6 +38,7 @@ impl DynamicBitmapIndex {
             BuildOptions {
                 policy: NullPolicy::SeparateVectors,
                 mapping: Some(mapping),
+                ..Default::default()
             },
         )
         .expect("mapping covers the column");

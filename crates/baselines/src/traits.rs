@@ -39,6 +39,19 @@ pub trait SelectionIndex {
     fn query_pages(&self, stats: &QueryStats, page_size: usize) -> u64 {
         stats.page_reads(self.rows(), page_size)
     }
+
+    /// Aggregate run statistics over this index's bitmap vectors, when
+    /// the index family tracks them. Default: `None` (tree-family and
+    /// other non-bitmap indexes have no slice runs to report).
+    fn run_stats(&self) -> Option<ebi_bitvec::RunStats> {
+        None
+    }
+
+    /// Physical row order the index was built with. Non-reordering
+    /// index families always answer `"original"`.
+    fn row_order(&self) -> &'static str {
+        "original"
+    }
 }
 
 impl SelectionIndex for EncodedBitmapIndex {
@@ -68,6 +81,14 @@ impl SelectionIndex for EncodedBitmapIndex {
 
     fn storage_bytes(&self) -> usize {
         self.storage_bytes()
+    }
+
+    fn run_stats(&self) -> Option<ebi_bitvec::RunStats> {
+        Some(EncodedBitmapIndex::run_stats(self))
+    }
+
+    fn row_order(&self) -> &'static str {
+        EncodedBitmapIndex::row_order(self).as_str()
     }
 }
 

@@ -300,6 +300,127 @@ fn measure_compressed(rows: usize, iters: usize, out: &mut Vec<CRow>) {
     }
 }
 
+/// Deterministic Zipf-skewed column: head-heavy but *scattered* (no
+/// pre-existing clustering) — the regime where build-time reordering
+/// pays. `theta = 0` degenerates to uniform: reordering cannot help.
+fn zipf_cells(rows: usize, m: u64, theta: f64, seed: u64) -> Vec<Cell> {
+    // CDF over value ids 1..=m with weight 1/i^theta.
+    let mut cdf: Vec<f64> = (1..=m).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+    let total: f64 = cdf.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut cdf {
+        acc += *w / total;
+        *w = acc;
+    }
+    // splitmix64 stream: seeded, stable across platforms.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..rows)
+        .map(|_| {
+            let u = next() as f64 / u64::MAX as f64;
+            let v = cdf.partition_point(|&c| c < u) as u64;
+            Cell::Value(v.min(m - 1))
+        })
+        .collect()
+}
+
+struct RRow {
+    skew: &'static str,
+    storage: &'static str,
+    order: &'static str,
+    median_ns: u128,
+    bytes_stored: usize,
+    bytes_touched: u64,
+    compressed_chunks_skipped: u64,
+    vectors_accessed: usize,
+    slice_runs: u64,
+    fill_word_fraction: f64,
+}
+
+/// Sorted-vs-unsorted comparison: the same scattered-skew column built
+/// in original order and lexicographically reordered, per container
+/// family. The query is a mid-tail IN-list (moderate selectivity), so
+/// the O(matches) RID translation of the reordered index is priced in,
+/// not hidden.
+fn measure_reorder(rows: usize, iters: usize, out: &mut Vec<RRow>) {
+    use ebi_core::index::{BuildOptions, QueryOptions};
+    use ebi_core::RowOrder;
+    const REORDER_M: u64 = 64;
+    // Mid-tail band of a 64-value Zipf domain: rare enough that results
+    // stay small, common enough that evaluation reads real data.
+    let in_list: Vec<u64> = (9..17).collect();
+    for (skew, theta) in [("uniform", 0.0), ("zipf0.8", 0.8), ("zipf1.2", 1.2)] {
+        eprintln!("building {rows}-row {skew} indexes for the reorder comparison…");
+        let cells = zipf_cells(rows, REORDER_M, theta, 0xEB1_0007);
+        for order in [RowOrder::Original, RowOrder::Lexicographic] {
+            let mut index = EncodedBitmapIndex::build_with(
+                cells.iter().copied(),
+                BuildOptions {
+                    row_order: order,
+                    ..Default::default()
+                },
+            )
+            .expect("build index");
+            for (name, policy) in [
+                ("dense", StoragePolicy::Dense),
+                ("roaring", StoragePolicy::Roaring),
+                ("wah", StoragePolicy::Wah),
+            ] {
+                index.set_query_options(QueryOptions {
+                    storage_policy: policy,
+                    ..Default::default()
+                });
+                let result = index.in_list(&in_list).expect("query");
+                let median = median_ns(iters, || {
+                    std::hint::black_box(index.in_list(&in_list).expect("query"));
+                });
+                let rs = index.run_stats();
+                eprintln!(
+                    "{skew:<8} {name:<8} {:<14} {median:>12}ns stored={:>10} skipped={:>8} runs={}",
+                    order.as_str(),
+                    index.storage_bytes(),
+                    result.stats.compressed_chunks_skipped,
+                    rs.runs,
+                );
+                out.push(RRow {
+                    skew,
+                    storage: name,
+                    order: order.as_str(),
+                    median_ns: median,
+                    bytes_stored: index.storage_bytes(),
+                    bytes_touched: result.stats.bytes_touched,
+                    compressed_chunks_skipped: result.stats.compressed_chunks_skipped,
+                    vectors_accessed: result.stats.vectors_accessed,
+                    slice_runs: rs.runs,
+                    fill_word_fraction: rs.fill_word_fraction(),
+                });
+            }
+        }
+        // Correctness gate: sorted results must equal original-order
+        // results (both report original row ids).
+        let plain = EncodedBitmapIndex::build(cells.iter().copied()).expect("build");
+        let sorted = EncodedBitmapIndex::build_with(
+            cells.iter().copied(),
+            BuildOptions {
+                row_order: RowOrder::Lexicographic,
+                ..Default::default()
+            },
+        )
+        .expect("build");
+        assert_eq!(
+            plain.in_list(&in_list).expect("query").bitmap,
+            sorted.in_list(&in_list).expect("query").bitmap,
+            "reordered results diverged at {skew}"
+        );
+    }
+}
+
 /// Thread counts to sweep: 1, the powers of two below the core count,
 /// and the core count itself. `[1]` on a single-core host.
 fn thread_counts(cores: usize) -> Vec<usize> {
@@ -582,9 +703,11 @@ fn main() {
     let citers = if smoke { 3 } else { 5 };
     let mut c_out = Vec::new();
     measure_compressed(crows_count, citers, &mut c_out);
+    let mut r_out = Vec::new();
+    measure_reorder(crows_count, citers, &mut r_out);
 
     let mut cjson = String::from("{\n");
-    let _ = writeln!(cjson, "  \"schema\": \"ebi.bench_compressed.v1\",");
+    let _ = writeln!(cjson, "  \"schema\": \"ebi.bench_compressed.v2\",");
     let _ = writeln!(
         cjson,
         "  \"workload\": \"fig9-style range selections, m = {M}, QM-reduced, per-slice container comparison\","
@@ -614,6 +737,37 @@ fn main() {
             r.vectors_accessed,
         );
         cjson.push_str(if i + 1 < c_out.len() { ",\n" } else { "\n" });
+    }
+    cjson.push_str("  ],\n");
+    let _ = writeln!(
+        cjson,
+        "  \"reorder_workload\": \"mid-tail IN-list over a scattered m = 64 Zipf column, \
+         original vs lexicographic build order, full query path including RID translation\","
+    );
+    let _ = writeln!(
+        cjson,
+        "  \"row_orders\": [\"original\", \"lexicographic\"],"
+    );
+    cjson.push_str("  \"reorder_results\": [\n");
+    for (i, r) in r_out.iter().enumerate() {
+        let _ = write!(
+            cjson,
+            "    {{ \"skew\": \"{}\", \"storage\": \"{}\", \"order\": \"{}\", \
+             \"median_ns\": {}, \"bytes_stored\": {}, \"bytes_touched\": {}, \
+             \"compressed_chunks_skipped\": {}, \"vectors_accessed\": {}, \
+             \"slice_runs\": {}, \"fill_word_fraction\": {:.4} }}",
+            r.skew,
+            r.storage,
+            r.order,
+            r.median_ns,
+            r.bytes_stored,
+            r.bytes_touched,
+            r.compressed_chunks_skipped,
+            r.vectors_accessed,
+            r.slice_runs,
+            r.fill_word_fraction,
+        );
+        cjson.push_str(if i + 1 < r_out.len() { ",\n" } else { "\n" });
     }
     cjson.push_str("  ]\n}\n");
     write_json(out_dir, "BENCH_compressed.json", &cjson);

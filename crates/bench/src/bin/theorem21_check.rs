@@ -21,6 +21,7 @@ fn main() {
             BuildOptions {
                 policy,
                 mapping: None,
+                ..Default::default()
             },
         )
         .expect("build");

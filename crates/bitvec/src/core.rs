@@ -220,6 +220,14 @@ impl BitVec {
         self.count_zeros() as f64 / self.len as f64
     }
 
+    /// Run statistics of the word-packed layout (see [`RunStats`]).
+    ///
+    /// [`RunStats`]: crate::runs::RunStats
+    #[must_use]
+    pub fn run_stats(&self) -> crate::runs::RunStats {
+        crate::runs::RunStats::from_words(&self.words, self.len)
+    }
+
     /// `true` if any bit is set.
     #[must_use]
     pub fn any(&self) -> bool {

@@ -55,6 +55,7 @@ pub mod kernels;
 mod ops;
 pub mod rank;
 pub mod roaring;
+pub mod runs;
 mod serde_impl;
 pub mod serial;
 pub mod simd;
@@ -66,6 +67,7 @@ pub use crate::core::{BitVec, WORD_BITS};
 pub use crate::error::BitVecError;
 pub use crate::iter::{BitIter, OnesIter};
 pub use crate::kernels::{KernelStats, Literal, StoredLiteral, SEGMENT_BITS, SEGMENT_WORDS};
+pub use crate::runs::RunStats;
 pub use crate::simd::KernelPath;
 pub use crate::store::{SliceStorage, StorageKind, StoragePolicy};
 pub use crate::summary::SegmentSummary;

@@ -318,6 +318,45 @@ impl RoaringBitmap {
         self.chunks.iter().map(|(_, c)| 4 + c.storage_bytes()).sum()
     }
 
+    /// Run statistics, streamed through 64-word evaluation windows so
+    /// uniform windows (absent chunks, saturated containers) resolve
+    /// without materialising any words. Granules are 64-bit words,
+    /// directly comparable with [`BitVec::run_stats`].
+    #[must_use]
+    pub fn run_stats(&self) -> crate::runs::RunStats {
+        let mut st = crate::runs::RunStats::default();
+        let mut cur = 0u64;
+        let mut buf = [0u64; 64];
+        let total_words = self.len.div_ceil(64);
+        let mut word = 0usize;
+        while word < total_words {
+            let window_words = (total_words - word).min(64);
+            let valid_bits = (self.len - word * 64).min(window_words * 64);
+            let fill = self.fill_window(word, &mut buf[..window_words]);
+            match fill.kind {
+                WindowKind::Zeros => {
+                    st.total_words += window_words as u64;
+                    st.fill_words += window_words as u64;
+                    cur = 0;
+                }
+                WindowKind::Ones => {
+                    st.total_words += window_words as u64;
+                    st.fill_words += window_words as u64;
+                    if cur == 0 {
+                        st.runs += 1;
+                    }
+                    cur += valid_bits as u64;
+                    st.longest_run = st.longest_run.max(cur);
+                }
+                WindowKind::Mixed => {
+                    st.scan_words(&mut cur, &buf[..window_words], valid_bits);
+                }
+            }
+            word += window_words;
+        }
+        st
+    }
+
     /// Bitwise AND directly on the compressed forms.
     ///
     /// # Panics

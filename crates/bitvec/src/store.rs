@@ -181,6 +181,17 @@ impl SliceStorage {
         }
     }
 
+    /// Run statistics in the container's native domain (WAH counts
+    /// 63-bit groups; see [`crate::runs::RunStats`]).
+    #[must_use]
+    pub fn run_stats(&self) -> crate::runs::RunStats {
+        match self {
+            Self::Dense(b) => b.run_stats(),
+            Self::Roaring(r) => r.run_stats(),
+            Self::Wah(w) => w.run_stats(),
+        }
+    }
+
     /// The dense word-packed form (cloned for [`SliceStorage::Dense`]).
     #[must_use]
     pub fn to_dense(&self) -> BitVec {

@@ -164,6 +164,52 @@ impl WahBitmap {
         total
     }
 
+    /// Run statistics computed directly on the compressed form: fill
+    /// words contribute whole runs without decoding, literal payloads
+    /// are scanned bit-run-wise. Granules are WAH's native 63-bit
+    /// groups (a fill counting `n` groups contributes `n`), so compare
+    /// `fill_word_fraction()` — not raw word counts — with the dense
+    /// and Roaring containers.
+    #[must_use]
+    pub fn run_stats(&self) -> crate::runs::RunStats {
+        let mut st = crate::runs::RunStats::default();
+        let mut cur = 0u64;
+        let mut remaining = self.len;
+        for &w in &self.code {
+            if w & FILL_FLAG != 0 {
+                let groups = w & COUNT_MASK;
+                let bits = ((groups as usize) * GROUP_BITS).min(remaining);
+                st.total_words += groups;
+                st.fill_words += groups;
+                if w & FILL_VALUE != 0 {
+                    if cur == 0 {
+                        st.runs += 1;
+                    }
+                    cur += bits as u64;
+                    st.longest_run = st.longest_run.max(cur);
+                } else {
+                    cur = 0;
+                }
+                remaining -= bits;
+            } else {
+                let width = GROUP_BITS.min(remaining) as u32;
+                let mask = if width as usize == GROUP_BITS {
+                    PAYLOAD_MASK
+                } else {
+                    (1u64 << width) - 1
+                };
+                let p = w & mask;
+                st.total_words += 1;
+                if p == 0 || p == mask {
+                    st.fill_words += 1;
+                }
+                st.scan_word(&mut cur, p, width);
+                remaining -= width as usize;
+            }
+        }
+        st
+    }
+
     /// Bitwise AND directly on the compressed forms.
     ///
     /// # Panics

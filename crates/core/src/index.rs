@@ -1,12 +1,13 @@
 //! The encoded bitmap index (Definition 2.1).
 
 use crate::error::CoreError;
-use crate::mapping::Mapping;
+use crate::mapping::{Mapping, RowPermutation};
 use crate::nulls::{NullPolicy, VOID_CODE};
+use crate::reorder::RowOrder;
 use crate::stats::QueryStats;
 use ebi_bitvec::builder::SliceFamilyBuilder;
 use ebi_bitvec::summary::{summarize_slices, summarize_storage};
-use ebi_bitvec::{BitVec, KernelStats, SegmentSummary, SliceStorage, StoragePolicy};
+use ebi_bitvec::{BitVec, KernelStats, RunStats, SegmentSummary, SliceStorage, StoragePolicy};
 use ebi_boolean::{qm, AccessTracker, DnfExpr, FusedPlan, StoredPlan};
 use ebi_storage::Cell;
 
@@ -28,6 +29,17 @@ pub struct BuildOptions {
     /// Explicit mapping table; `None` assigns codes in first-seen value
     /// order.
     pub mapping: Option<Mapping>,
+    /// Physical row order of the build. Anything other than
+    /// [`RowOrder::Original`] sorts the rows before slice construction
+    /// (lengthening runs so compressed containers shrink) and keeps a
+    /// [`RowPermutation`] so every query result is still reported in
+    /// original row ids.
+    pub row_order: RowOrder,
+    /// Externally computed permutation (e.g. a table-wide sort across
+    /// several columns by the warehouse layer), applied instead of
+    /// sorting this column alone. `row_order` then only labels the
+    /// strategy that produced it. Must cover exactly the column's rows.
+    pub permutation: Option<RowPermutation>,
 }
 
 /// How retrieval expressions are evaluated at query time (see
@@ -98,6 +110,16 @@ pub struct EncodedBitmapIndex {
     /// construction. `None` after maintenance mutated the slices; call
     /// [`EncodedBitmapIndex::refresh_summaries`] to rebuild.
     pub(crate) summaries: Option<Vec<SegmentSummary>>,
+    /// Row permutation of a reordered build (`None` = original order).
+    /// Slices are in the internal (permuted) domain; every public
+    /// result bitmap is translated back to original row ids.
+    pub(crate) permutation: Option<RowPermutation>,
+    /// The row-order strategy the build used (reported in QueryStats).
+    pub(crate) row_order: RowOrder,
+    /// Aggregate run statistics across the slices, cached at build /
+    /// load / repack / summary refresh (a full scan per query would
+    /// dwarf evaluation cost).
+    pub(crate) run_stats: RunStats,
     /// Evaluation strategy for queries.
     pub(crate) query_options: QueryOptions,
 }
@@ -193,39 +215,106 @@ impl EncodedBitmapIndex {
             }
         };
 
-        let mut fam = SliceFamilyBuilder::new(mapping.width() as usize);
-        let mut b_null: Option<BitVec> = None;
-        for (row, cell) in cells.iter().enumerate() {
+        // Per-row codes and NULL flags, still in insertion order.
+        let rows = cells.len();
+        let mut codes: Vec<u64> = Vec::with_capacity(rows);
+        let mut nulls: Vec<bool> = Vec::new();
+        for cell in &cells {
             match cell {
                 Cell::Value(v) => {
-                    let code = mapping.code_of(*v).expect("mapping covers the column");
-                    fam.push_code(code);
+                    codes.push(mapping.code_of(*v).expect("mapping covers the column"));
                 }
                 Cell::Null => match options.policy {
                     NullPolicy::SeparateVectors => {
                         // Placeholder code; B_NULL masks these rows.
-                        fam.push_code(0);
-                        let bn = b_null.get_or_insert_with(|| BitVec::zeros(cells.len()));
-                        bn.set(row, true);
+                        codes.push(0);
+                        if nulls.is_empty() {
+                            nulls = vec![false; rows];
+                        }
+                        nulls[codes.len() - 1] = true;
                     }
                     NullPolicy::EncodedReserved => {
-                        fam.push_code(null_code.expect("null code reserved"));
+                        codes.push(null_code.expect("null code reserved"));
                     }
                 },
+            }
+        }
+
+        // Row ordering: an externally computed (table-wide) permutation
+        // wins; otherwise sort this column's codes, clustering NULL
+        // placeholder rows at the end so B_NULL compresses too. Builds
+        // that didn't opt into an order can still be forced into one via
+        // `EBI_ROW_ORDER` (CI sweeps the whole suite reordered that way).
+        let row_order = if options.permutation.is_none() && options.row_order == RowOrder::Original
+        {
+            RowOrder::from_env().unwrap_or(RowOrder::Original)
+        } else {
+            options.row_order
+        };
+        let permutation: Option<RowPermutation> = match (options.permutation, row_order) {
+            (Some(p), _) => {
+                if p.len() != rows {
+                    return Err(CoreError::Encoding {
+                        detail: format!(
+                            "permutation covers {} rows but the column has {rows}",
+                            p.len()
+                        ),
+                    });
+                }
+                if p.is_identity() {
+                    None
+                } else {
+                    Some(p)
+                }
+            }
+            (None, RowOrder::Original) => None,
+            (None, order) => {
+                let keys: Vec<u64> = codes
+                    .iter()
+                    .enumerate()
+                    .map(|(row, &c)| {
+                        if nulls.get(row).copied().unwrap_or(false) {
+                            u64::MAX
+                        } else {
+                            c
+                        }
+                    })
+                    .collect();
+                let p = crate::reorder::compute_permutation(&[&keys], order);
+                if p.is_identity() {
+                    None
+                } else {
+                    Some(p)
+                }
+            }
+        };
+
+        let mut fam = SliceFamilyBuilder::new(mapping.width() as usize);
+        let mut b_null: Option<BitVec> = None;
+        for internal in 0..rows {
+            let original = permutation
+                .as_ref()
+                .map_or(internal, |p| p.to_original(internal));
+            fam.push_code(codes[original]);
+            if nulls.get(original).copied().unwrap_or(false) {
+                b_null
+                    .get_or_insert_with(|| BitVec::zeros(rows))
+                    .set(internal, true);
             }
         }
 
         let dense = fam.finish();
         let summaries = Some(summarize_slices(&dense));
         let policy = QueryOptions::default().storage_policy;
-        let slices = dense
+        let slices: Vec<SliceStorage> = dense
             .into_iter()
             .map(|b| SliceStorage::from_dense(b, policy))
             .collect();
+        let run_stats = aggregate_run_stats(&slices);
         Ok(Self {
             mapping,
             slices,
-            rows: cells.len(),
+            rows,
             policy: options.policy,
             reserved,
             null_code,
@@ -233,6 +322,9 @@ impl EncodedBitmapIndex {
             b_null,
             expr_cache: std::collections::HashMap::new(),
             summaries,
+            permutation,
+            row_order,
+            run_stats,
             query_options: QueryOptions::default(),
         })
     }
@@ -279,8 +371,30 @@ impl EncodedBitmapIndex {
 
     /// Rebuilds the per-slice segment summaries after maintenance.
     /// One popcount pass over the slices: `O(k · rows / 64)`.
+    /// Also refreshes the cached aggregate run statistics.
     pub fn refresh_summaries(&mut self) {
         self.summaries = Some(summarize_storage(&self.slices));
+        self.run_stats = aggregate_run_stats(&self.slices);
+    }
+
+    /// The row-order strategy the build used.
+    #[must_use]
+    pub fn row_order(&self) -> RowOrder {
+        self.row_order
+    }
+
+    /// The row permutation of a reordered build (`None` when internal
+    /// and original row ids coincide).
+    #[must_use]
+    pub fn permutation(&self) -> Option<&RowPermutation> {
+        self.permutation.as_ref()
+    }
+
+    /// Aggregate run statistics across the encoded slices, cached at
+    /// build / load / repack / [`EncodedBitmapIndex::refresh_summaries`].
+    #[must_use]
+    pub fn run_stats(&self) -> RunStats {
+        self.run_stats
     }
 
     /// Current query evaluation options.
@@ -299,6 +413,7 @@ impl EncodedBitmapIndex {
             for s in &mut self.slices {
                 *s = s.repack(options.storage_policy);
             }
+            self.run_stats = aggregate_run_stats(&self.slices);
         }
         self.query_options = options;
     }
@@ -493,10 +608,12 @@ impl EncodedBitmapIndex {
                     tracker.literal_ops += 1;
                     bitmap.and_not_assign(ne);
                 }
-                QueryResult {
-                    bitmap,
-                    stats: QueryStats::from_tracker(&tracker, "B_NULL".into()),
+                if let Some(p) = &self.permutation {
+                    bitmap = p.bitmap_to_original(&bitmap);
                 }
+                let mut stats = QueryStats::from_tracker(&tracker, "B_NULL".into());
+                stats.row_order = self.row_order.as_str();
+                QueryResult { bitmap, stats }
             }
             NullPolicy::EncodedReserved => {
                 let expr = match self.null_code {
@@ -595,10 +712,16 @@ impl EncodedBitmapIndex {
         // Under EncodedReserved nothing is masked: Theorem 2.1 (void = 0
         // sits in the off-set of every value selection, and the NULL code
         // likewise).
-        QueryResult {
-            bitmap,
-            stats: QueryStats::from_tracker(&tracker, rendered),
+        //
+        // Evaluation ran entirely in the internal (permuted) domain; a
+        // reordered build translates the final bitmap back so callers
+        // only ever see original row ids — O(matches), after all masks.
+        if let Some(p) = &self.permutation {
+            bitmap = p.bitmap_to_original(&bitmap);
         }
+        let mut stats = QueryStats::from_tracker(&tracker, rendered);
+        stats.row_order = self.row_order.as_str();
+        QueryResult { bitmap, stats }
     }
 
     /// Decodes the value of a live row (for verification / projection).
@@ -608,6 +731,12 @@ impl EncodedBitmapIndex {
         if row >= self.rows {
             return None;
         }
+        // Callers address rows by original id; the slices and companion
+        // vectors live in the internal (permuted) domain.
+        let row = self
+            .permutation
+            .as_ref()
+            .map_or(row, |p| p.to_internal(row));
         if let Some(ne) = &self.b_not_exist {
             if ne.bit(row) {
                 return None;
@@ -627,13 +756,23 @@ impl EncodedBitmapIndex {
         self.mapping.value_of(code)
     }
 
-    /// Raw code stored at `row`.
+    /// Raw code stored at *internal* row `row` (callers translate
+    /// original ids through the permutation first).
     pub(crate) fn row_code(&self, row: usize) -> u64 {
         self.slices
             .iter()
             .enumerate()
             .fold(0u64, |acc, (i, s)| acc | (u64::from(s.bit(row)) << i))
     }
+}
+
+/// Aggregate run statistics across a slice family.
+pub(crate) fn aggregate_run_stats(slices: &[SliceStorage]) -> RunStats {
+    let mut st = RunStats::default();
+    for s in slices {
+        st.merge(&s.run_stats());
+    }
+    st
 }
 
 /// Sorted, deduplicated predicate key for the expression cache.
@@ -752,6 +891,7 @@ mod tests {
             BuildOptions {
                 policy: NullPolicy::EncodedReserved,
                 mapping: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -775,6 +915,7 @@ mod tests {
             BuildOptions {
                 policy: NullPolicy::EncodedReserved,
                 mapping: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -788,6 +929,7 @@ mod tests {
             BuildOptions {
                 policy: NullPolicy::EncodedReserved,
                 mapping: Some(bad),
+                ..Default::default()
             },
         )
         .unwrap_err();
@@ -802,6 +944,7 @@ mod tests {
             BuildOptions {
                 policy: NullPolicy::SeparateVectors,
                 mapping: Some(custom),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -815,6 +958,7 @@ mod tests {
             BuildOptions {
                 policy: NullPolicy::SeparateVectors,
                 mapping: Some(incomplete),
+                ..Default::default()
             },
         )
         .is_err());
@@ -938,6 +1082,7 @@ mod tests {
             BuildOptions {
                 policy: NullPolicy::EncodedReserved,
                 mapping: None,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -34,7 +34,11 @@
 //!   on bitmaps (§5's invited extension);
 //! * [`persist`] — page-store persistence with I/O accounting;
 //! * [`reencoding`] — the §5 dynamic re-encoding cost model and
-//!   rebuild.
+//!   rebuild;
+//! * [`reorder`] — build-time row reordering (lexicographic /
+//!   reflected-Gray with histogram-aware column priority) for run
+//!   maximization, with the [`RowPermutation`](mapping::RowPermutation)
+//!   translating every result back to original row ids.
 //!
 //! # Quick start
 //!
@@ -66,11 +70,13 @@ pub mod parallel;
 pub mod persist;
 pub mod range_encoding;
 pub mod reencoding;
+pub mod reorder;
 pub mod stats;
 pub mod total_order;
 pub mod well_defined;
 
 pub use error::CoreError;
 pub use index::{EncodedBitmapIndex, QueryResult};
-pub use mapping::Mapping;
+pub use mapping::{Mapping, RowPermutation};
+pub use reorder::RowOrder;
 pub use stats::QueryStats;

@@ -12,9 +12,10 @@
 
 use crate::error::CoreError;
 use crate::index::QueryResult;
-use crate::mapping::Mapping;
+use crate::mapping::{Mapping, RowPermutation};
 use crate::nulls::NullPolicy;
 use crate::persist::IndexHandle;
+use crate::reorder::RowOrder;
 use crate::stats::QueryStats;
 use ebi_bitvec::{BitVec, SliceStorage};
 use ebi_boolean::{eval_expr_stored, qm, AccessTracker};
@@ -31,6 +32,8 @@ pub struct PagedIndex<'a> {
     policy: NullPolicy,
     null_code: Option<u64>,
     reserved: Vec<u64>,
+    permutation: Option<RowPermutation>,
+    row_order: RowOrder,
     pool: BufferPool<'a>,
     page_size: usize,
 }
@@ -57,6 +60,8 @@ impl<'a> PagedIndex<'a> {
             policy: loaded.policy(),
             null_code: loaded.null_code,
             reserved: loaded.reserved.clone(),
+            permutation: loaded.permutation().cloned(),
+            row_order: loaded.row_order(),
             handle,
             pool: BufferPool::new(pager, pool_capacity),
             page_size: pager.page_size(),
@@ -164,10 +169,14 @@ impl<'a> PagedIndex<'a> {
                 rendered.push_str(" · B_NotExist'");
             }
         }
-        Ok(QueryResult {
-            bitmap,
-            stats: QueryStats::from_tracker(&tracker, rendered),
-        })
+        // Evaluation ran in the internal (possibly reordered) row
+        // domain; hand results back in original row ids.
+        if let Some(p) = &self.permutation {
+            bitmap = p.bitmap_to_original(&bitmap);
+        }
+        let mut stats = QueryStats::from_tracker(&tracker, rendered);
+        stats.row_order = self.row_order.as_str();
+        Ok(QueryResult { bitmap, stats })
     }
 
     /// Point selection `A = value`.
@@ -294,6 +303,31 @@ mod tests {
         let _ = paged.eq(7).unwrap();
         let s = paged.pool_stats();
         assert!(s.misses > 0, "thrashing pool must miss: {s:?}");
+    }
+
+    #[test]
+    fn reordered_index_answers_in_original_row_ids() {
+        use crate::index::BuildOptions;
+        let cells: Vec<Cell> = (0..4_000u64)
+            .map(|i| Cell::Value(i.wrapping_mul(2654435761) % 16))
+            .collect();
+        let plain = EncodedBitmapIndex::build(cells.iter().copied()).unwrap();
+        let sorted = EncodedBitmapIndex::build_with(
+            cells.iter().copied(),
+            BuildOptions {
+                row_order: crate::reorder::RowOrder::Lexicographic,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pager = Pager::with_page_size(256);
+        let paged = persist_and_open(&sorted, &pager, 128).unwrap();
+        for sel in [vec![0u64], vec![3, 7, 11], (0..8).collect::<Vec<_>>()] {
+            let a = plain.in_list(&sel).unwrap();
+            let b = paged.in_list(&sel).unwrap();
+            assert_eq!(a.bitmap, b.bitmap, "{sel:?}");
+            assert_eq!(b.stats.row_order, "lexicographic");
+        }
     }
 
     #[test]

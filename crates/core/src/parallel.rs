@@ -311,8 +311,16 @@ pub fn build_parallel(
     threads: usize,
 ) -> Result<EncodedBitmapIndex, CoreError> {
     assert!(threads > 0, "at least one thread");
-    // Small inputs: the serial path is faster than spawning.
-    if threads == 1 || cells.len() < MIN_CHUNK * 2 {
+    // Small inputs: the serial path is faster than spawning. Reordered
+    // builds also go serial — the permutation decides every row's
+    // destination, so chunk-local encoding would shuffle across chunk
+    // boundaries anyway.
+    if threads == 1
+        || cells.len() < MIN_CHUNK * 2
+        || options.row_order != crate::reorder::RowOrder::Original
+        || options.permutation.is_some()
+        || crate::reorder::RowOrder::from_env().is_some()
+    {
         return EncodedBitmapIndex::build_with(cells.iter().copied(), options);
     }
 
@@ -403,10 +411,11 @@ pub fn build_parallel(
 
     let summaries = Some(summarize_slices(&slices));
     let policy = crate::index::QueryOptions::default().storage_policy;
-    let slices = slices
+    let slices: Vec<ebi_bitvec::SliceStorage> = slices
         .into_iter()
         .map(|b| ebi_bitvec::SliceStorage::from_dense(b, policy))
         .collect();
+    let run_stats = crate::index::aggregate_run_stats(&slices);
     Ok(EncodedBitmapIndex {
         mapping,
         slices,
@@ -419,6 +428,9 @@ pub fn build_parallel(
         expr_cache: std::collections::HashMap::new(),
         summaries,
         query_options: crate::index::QueryOptions::default(),
+        permutation: None,
+        row_order: crate::reorder::RowOrder::Original,
+        run_stats,
     })
 }
 
@@ -441,6 +453,7 @@ fn resolve_layout(
         BuildOptions {
             policy: options.policy,
             mapping: options.mapping.clone(),
+            ..Default::default()
         },
     )?;
     Ok((
@@ -488,6 +501,7 @@ mod tests {
         let options = BuildOptions {
             policy: NullPolicy::EncodedReserved,
             mapping: None,
+            ..Default::default()
         };
         let serial =
             EncodedBitmapIndex::build_with(cells.iter().copied(), options.clone()).unwrap();
@@ -514,6 +528,7 @@ mod tests {
         let options = BuildOptions {
             policy: NullPolicy::SeparateVectors,
             mapping: Some(custom),
+            ..Default::default()
         };
         let parallel = build_parallel(&cells, options, 4).unwrap();
         assert_eq!(parallel.mapping().code_of(0), Some(7));

@@ -8,8 +8,9 @@
 
 use crate::error::CoreError;
 use crate::index::EncodedBitmapIndex;
-use crate::mapping::Mapping;
+use crate::mapping::{Mapping, RowPermutation};
 use crate::nulls::NullPolicy;
+use crate::reorder::RowOrder;
 use ebi_bitvec::{BitVec, SliceStorage};
 use ebi_storage::pager::Pager;
 use ebi_storage::segment::{read_segment, write_segment, SegmentHandle};
@@ -28,6 +29,8 @@ pub struct IndexHandle {
     pub b_not_exist: Option<SegmentHandle>,
     /// Companion `B_NULL`, if the index had one.
     pub b_null: Option<SegmentHandle>,
+    /// Row permutation, if the index was built reordered.
+    pub permutation: Option<SegmentHandle>,
 }
 
 impl IndexHandle {
@@ -40,15 +43,18 @@ impl IndexHandle {
             .chain(std::iter::once(&self.meta))
             .chain(self.b_not_exist.iter())
             .chain(self.b_null.iter())
+            .chain(self.permutation.iter())
             .map(SegmentHandle::page_span)
             .sum()
     }
 }
 
 /// Metadata layout: `rows u64 | policy u8 | has_null_code u8 |
-/// null_code u64 | reserved_len u64 | reserved codes…`.
+/// null_code u64 | reserved_len u64 | reserved codes… | row_order u8`.
+/// The trailing row-order tag is optional on read (older images end at
+/// the reserved codes and load as [`RowOrder::Original`]).
 fn encode_meta(index: &EncodedBitmapIndex) -> Vec<u8> {
-    let mut out = Vec::with_capacity(26 + index.reserved.len() * 8);
+    let mut out = Vec::with_capacity(27 + index.reserved.len() * 8);
     out.extend_from_slice(&(index.rows() as u64).to_le_bytes());
     out.push(match index.policy() {
         NullPolicy::SeparateVectors => 0,
@@ -60,6 +66,7 @@ fn encode_meta(index: &EncodedBitmapIndex) -> Vec<u8> {
     for &c in &index.reserved {
         out.extend_from_slice(&c.to_le_bytes());
     }
+    out.push(index.row_order().tag());
     out
 }
 
@@ -68,6 +75,7 @@ struct Meta {
     policy: NullPolicy,
     null_code: Option<u64>,
     reserved: Vec<u64>,
+    row_order: RowOrder,
 }
 
 fn decode_meta(raw: &[u8]) -> Result<Meta, CoreError> {
@@ -86,7 +94,8 @@ fn decode_meta(raw: &[u8]) -> Result<Meta, CoreError> {
     let has_null = raw[9] == 1;
     let null_code = u64::from_le_bytes(raw[10..18].try_into().expect("8 bytes"));
     let n_reserved = u64::from_le_bytes(raw[18..26].try_into().expect("8 bytes")) as usize;
-    if raw.len() != 26 + n_reserved * 8 {
+    let base = 26 + n_reserved * 8;
+    if raw.len() != base && raw.len() != base + 1 {
         return Err(corrupt("reserved-code list truncated"));
     }
     let reserved = (0..n_reserved)
@@ -95,11 +104,18 @@ fn decode_meta(raw: &[u8]) -> Result<Meta, CoreError> {
             u64::from_le_bytes(raw[off..off + 8].try_into().expect("8 bytes"))
         })
         .collect();
+    let row_order = if raw.len() == base + 1 {
+        RowOrder::from_tag(raw[base])
+            .ok_or_else(|| corrupt(&format!("unknown row-order tag {}", raw[base])))?
+    } else {
+        RowOrder::Original
+    };
     Ok(Meta {
         rows,
         policy,
         null_code: has_null.then_some(null_code),
         reserved,
+        row_order,
     })
 }
 
@@ -126,12 +142,17 @@ pub fn save_index(index: &EncodedBitmapIndex, pager: &Pager) -> Result<IndexHand
         .as_ref()
         .map(|b| write_segment(pager, &b.to_bytes()))
         .transpose()?;
+    let permutation = index
+        .permutation()
+        .map(|p| write_segment(pager, &p.to_bytes()))
+        .transpose()?;
     Ok(IndexHandle {
         slices,
         mapping,
         meta,
         b_not_exist,
         b_null,
+        permutation,
     })
 }
 
@@ -168,6 +189,18 @@ pub fn load_index(pager: &Pager, handle: &IndexHandle) -> Result<EncodedBitmapIn
     };
     let b_not_exist = read_companion(&handle.b_not_exist)?;
     let b_null = read_companion(&handle.b_null)?;
+    let permutation = handle
+        .permutation
+        .as_ref()
+        .map(|h| RowPermutation::from_bytes(&read_segment(pager, h).map_err(wrap)?))
+        .transpose()?;
+    if let Some(p) = &permutation {
+        if p.len() != meta.rows {
+            return Err(CoreError::InvalidCode {
+                detail: format!("permutation of {} rows vs {} rows", p.len(), meta.rows),
+            });
+        }
+    }
 
     // Cross-checks: widths and lengths must be mutually consistent.
     if slices.len() != mapping.width() as usize {
@@ -191,9 +224,10 @@ pub fn load_index(pager: &Pager, handle: &IndexHandle) -> Result<EncodedBitmapIn
             });
         }
     }
-    // Summaries are derived data: cheaper to rebuild on load than to
-    // persist and cross-validate.
+    // Summaries and run statistics are derived data: cheaper to rebuild
+    // on load than to persist and cross-validate.
     let summaries = Some(ebi_bitvec::summary::summarize_storage(&slices));
+    let run_stats = crate::index::aggregate_run_stats(&slices);
     Ok(EncodedBitmapIndex {
         mapping,
         slices,
@@ -206,6 +240,9 @@ pub fn load_index(pager: &Pager, handle: &IndexHandle) -> Result<EncodedBitmapIn
         expr_cache: std::collections::HashMap::new(),
         summaries,
         query_options: crate::index::QueryOptions::default(),
+        permutation,
+        row_order: meta.row_order,
+        run_stats,
     })
 }
 
@@ -265,6 +302,7 @@ mod tests {
             BuildOptions {
                 policy: NullPolicy::EncodedReserved,
                 mapping: None,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -117,6 +117,7 @@ impl RangeBasedIndex {
             BuildOptions {
                 policy: NullPolicy::SeparateVectors,
                 mapping: interval_mapping,
+                ..Default::default()
             },
         )?;
         Ok(Self {

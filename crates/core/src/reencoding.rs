@@ -111,6 +111,7 @@ pub fn reencode(
         BuildOptions {
             policy: index.policy(),
             mapping: Some(new_mapping),
+            ..Default::default()
         },
     )?;
     for row in deleted_rows {

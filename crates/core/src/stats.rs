@@ -3,7 +3,7 @@
 use ebi_boolean::AccessTracker;
 
 /// Cost of one index query, in the units of the paper's analysis.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryStats {
     /// Distinct bitmap vectors read — the paper's `c_e` (or `c_s` for the
     /// simple index). Includes any existence/NULL mask vectors.
@@ -35,14 +35,39 @@ pub struct QueryStats {
     /// `"portable"`, `"scalar"`), or `"none"` when the query never
     /// entered a fused kernel. The dominant tier when workers mixed.
     pub kernel_path: &'static str,
+    /// The physical row order the index was built with
+    /// (`"original"`, `"lexicographic"`, `"gray"`). Results are always
+    /// in original row ids regardless; this reports which build-time
+    /// reordering produced the runs the kernels exploited.
+    pub row_order: &'static str,
+}
+
+impl Default for QueryStats {
+    fn default() -> Self {
+        Self {
+            vectors_accessed: 0,
+            literal_ops: 0,
+            cube_evals: 0,
+            words_scanned: 0,
+            bytes_touched: 0,
+            compressed_chunks_skipped: 0,
+            segments_pruned: 0,
+            segments_short_circuited: 0,
+            expression: String::new(),
+            kernel_path: "none",
+            row_order: "original",
+        }
+    }
 }
 
 impl QueryStats {
     /// Builds stats from an evaluation tracker plus the rendered
-    /// expression.
+    /// expression. `row_order` starts `"original"`; a reordered index
+    /// overwrites it when assembling the result.
     #[must_use]
     pub fn from_tracker(tracker: &AccessTracker, expression: String) -> Self {
         Self {
+            row_order: "original",
             vectors_accessed: tracker.vectors_accessed(),
             literal_ops: tracker.literal_ops,
             cube_evals: tracker.cube_evals,

@@ -159,6 +159,19 @@ pub struct StorageCounters {
     pub buffer_misses: u64,
     /// Buffer-pool frames evicted.
     pub buffer_evictions: u64,
+    /// Runs of set bits across the touched indexes' slices (0 when the
+    /// executor did not report run statistics).
+    pub slice_runs: u64,
+    /// Longest single run of set bits across the slices.
+    pub slice_longest_run: u64,
+    /// Uniform granules (all-zero / all-one words or fill groups)
+    /// across the slices.
+    pub slice_fill_words: u64,
+    /// Total storage granules across the slices.
+    pub slice_total_words: u64,
+    /// Physical row order the indexes were built with (`"original"`,
+    /// `"lexicographic"`, `"gray"`; empty when not reported).
+    pub row_order: &'static str,
 }
 
 impl StorageCounters {
@@ -173,6 +186,18 @@ impl StorageCounters {
         }
     }
 
+    /// Fraction of storage granules that are uniform fills, in `[0, 1]`
+    /// — the direct beneficiary of row reordering. `0` when no run
+    /// statistics were reported.
+    #[must_use]
+    pub fn fill_word_fraction(&self) -> f64 {
+        if self.slice_total_words == 0 {
+            0.0
+        } else {
+            self.slice_fill_words as f64 / self.slice_total_words as f64
+        }
+    }
+
     fn to_json(self) -> String {
         JsonObject::new()
             .u64("pager_reads", self.pager_reads)
@@ -181,6 +206,19 @@ impl StorageCounters {
             .u64("buffer_misses", self.buffer_misses)
             .u64("buffer_evictions", self.buffer_evictions)
             .f64("buffer_hit_ratio", self.buffer_hit_ratio())
+            .u64("slice_runs", self.slice_runs)
+            .u64("slice_longest_run", self.slice_longest_run)
+            .u64("slice_fill_words", self.slice_fill_words)
+            .u64("slice_total_words", self.slice_total_words)
+            .f64("fill_word_fraction", self.fill_word_fraction())
+            .str(
+                "row_order",
+                if self.row_order.is_empty() {
+                    "original"
+                } else {
+                    self.row_order
+                },
+            )
             .finish()
     }
 }
@@ -284,6 +322,11 @@ impl QueryReport {
             ("ebi_query_pager_writes", self.storage.pager_writes),
             ("ebi_query_buffer_hits", self.storage.buffer_hits),
             ("ebi_query_buffer_misses", self.storage.buffer_misses),
+            ("ebi_query_slice_runs", self.storage.slice_runs),
+            (
+                "ebi_query_slice_longest_run",
+                self.storage.slice_longest_run,
+            ),
         ];
         for (name, v) in counters {
             let _ = writeln!(out, "# TYPE {name} gauge");
@@ -295,6 +338,13 @@ impl QueryReport {
             "ebi_query_buffer_hit_ratio{} {}",
             l(None),
             self.storage.buffer_hit_ratio()
+        );
+        let _ = writeln!(out, "# TYPE ebi_query_fill_word_fraction gauge");
+        let _ = writeln!(
+            out,
+            "ebi_query_fill_word_fraction{} {}",
+            l(None),
+            self.storage.fill_word_fraction()
         );
         out
     }
@@ -387,6 +437,22 @@ impl QueryReport {
             s.buffer_evictions,
             s.buffer_hit_ratio() * 100.0
         );
+        if s.slice_total_words > 0 || !s.row_order.is_empty() {
+            let _ = writeln!(
+                out,
+                "layout: row_order={} slice_runs={} longest_run={} fill_words={}/{} ({:.1}%)",
+                if s.row_order.is_empty() {
+                    "original"
+                } else {
+                    s.row_order
+                },
+                s.slice_runs,
+                s.slice_longest_run,
+                s.slice_fill_words,
+                s.slice_total_words,
+                s.fill_word_fraction() * 100.0
+            );
+        }
         if !self.expressions.is_empty() {
             let _ = writeln!(out, "expressions: {}", self.expressions.join("  |  "));
         }

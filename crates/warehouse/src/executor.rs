@@ -379,6 +379,25 @@ impl<'a> Executor<'a> {
             out.buffer_misses = now.misses.saturating_sub(before.misses);
             out.buffer_evictions = now.evictions.saturating_sub(before.evictions);
         }
+        // Physical-layout counters: aggregate run statistics over every
+        // registered index that tracks them, and the row order the
+        // indexes were built with (`"mixed"` when they disagree).
+        let mut order: Option<&'static str> = None;
+        for idx in self.indexes.values() {
+            if let Some(rs) = idx.run_stats() {
+                out.slice_runs += rs.runs;
+                out.slice_longest_run = out.slice_longest_run.max(rs.longest_run);
+                out.slice_fill_words += rs.fill_words;
+                out.slice_total_words += rs.total_words;
+            }
+            let o = idx.row_order();
+            order = Some(match order {
+                None => o,
+                Some(prev) if prev == o => o,
+                Some(_) => "mixed",
+            });
+        }
+        out.row_order = order.unwrap_or("original");
         out
     }
 
@@ -598,8 +617,14 @@ mod tests {
         assert_eq!(report.rows, 200);
         assert_eq!(report.label, "parity check");
         assert!(report.query_id > 0);
-        // No storage attached: the storage section stays zeroed.
-        assert_eq!(report.storage, ebi_obs::StorageCounters::default());
+        // No storage attached: I/O counters stay zeroed, but the
+        // physical-layout section still reports the indexes' runs.
+        assert_eq!(report.storage.pager_reads, 0);
+        assert_eq!(report.storage.buffer_hits, 0);
+        assert_eq!(report.storage.buffer_misses, 0);
+        assert!(report.storage.slice_runs > 0);
+        assert!(report.storage.slice_total_words > 0);
+        assert_eq!(report.storage.row_order, "original");
     }
 
     #[test]

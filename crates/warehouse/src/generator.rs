@@ -20,8 +20,10 @@ pub enum Distribution {
         /// Skew exponent (typical DW skew: 0.5–1.2).
         theta: f64,
     },
-    /// Values appear in runs of `run_len` (clustered inserts, e.g. loads
-    /// sorted by date).
+    /// Values appear in runs of roughly `run_len` (batched inserts that
+    /// repeat one value before moving on). The column is *locally*
+    /// clustered, not globally sorted: run values are drawn at random,
+    /// so the same value recurs in separate runs throughout the column.
     Clustered {
         /// Average run length.
         run_len: usize,
@@ -121,6 +123,78 @@ pub fn generate_column(spec: &ColumnSpec, rows: usize, seed: u64) -> Vec<Cell> {
         out.push(Cell::Value(v.min(m - 1)));
     }
     out
+}
+
+/// Per-column skew/cardinality profile for row-reordering experiments:
+/// a table is just a list of [`ColumnSpec`]s generated off one master
+/// seed (column `i` uses `seed ^ i`).
+///
+/// The two presets bracket the reordering payoff. A *reorder-friendly*
+/// table has skewed columns whose values arrive scattered — sorting
+/// gathers each head value into a handful of long runs. A
+/// *reorder-hostile* table is uniform and high-cardinality — no value
+/// repeats often enough for any order to build runs, so sorting buys
+/// nothing and `RowOrder::Original` is the right choice.
+#[derive(Debug, Clone)]
+pub struct SkewProfile {
+    /// One spec per generated column (named `c0`, `c1`, …).
+    pub columns: Vec<ColumnSpec>,
+}
+
+impl SkewProfile {
+    /// Scattered-but-skewed columns of stepped cardinality: the regime
+    /// where build-time reordering pays.
+    #[must_use]
+    pub fn reorder_friendly() -> Self {
+        Self {
+            columns: vec![
+                ColumnSpec::zipf(8, 1.2),
+                ColumnSpec::zipf(64, 1.0),
+                ColumnSpec::zipf(512, 0.8),
+            ],
+        }
+    }
+
+    /// Uniform high-cardinality columns: reordering cannot manufacture
+    /// runs here.
+    #[must_use]
+    pub fn reorder_hostile() -> Self {
+        Self {
+            columns: vec![
+                ColumnSpec::uniform(1 << 10),
+                ColumnSpec::uniform(1 << 12),
+                ColumnSpec::uniform(1 << 14),
+            ],
+        }
+    }
+}
+
+/// Generates a table from `profile`, deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if the profile has no columns (a table needs at least one).
+#[must_use]
+pub fn generate_profiled_table(name: &str, profile: &SkewProfile, rows: usize, seed: u64) -> Table {
+    assert!(!profile.columns.is_empty(), "profile needs columns");
+    let names: Vec<String> = (0..profile.columns.len())
+        .map(|i| format!("c{i}"))
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let columns: Vec<Vec<Cell>> = profile
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| generate_column(spec, rows, seed ^ i as u64))
+        .collect();
+    let mut table = Table::new(name, &name_refs);
+    let mut row = Vec::with_capacity(columns.len());
+    for r in 0..rows {
+        row.clear();
+        row.extend(columns.iter().map(|c| c[r]));
+        table.append_row(&row).expect("arity matches");
+    }
+    table
 }
 
 /// Specification of a generated star schema: a SALES fact over product /
@@ -254,6 +328,24 @@ mod tests {
         assert!(
             changes < 1_000,
             "clustered column should change value rarely, got {changes} changes"
+        );
+    }
+
+    #[test]
+    fn profiled_tables_are_seeded_and_shaped() {
+        let friendly = generate_profiled_table("f", &SkewProfile::reorder_friendly(), 3_000, 9);
+        assert_eq!(friendly.row_count(), 3_000);
+        assert_eq!(friendly.column_names(), &["c0", "c1", "c2"]);
+        let again = generate_profiled_table("f", &SkewProfile::reorder_friendly(), 3_000, 9);
+        assert_eq!(
+            friendly.column("c0").unwrap().cells(),
+            again.column("c0").unwrap().cells()
+        );
+        // Hostile profile really is higher-cardinality than friendly.
+        let hostile = generate_profiled_table("h", &SkewProfile::reorder_hostile(), 3_000, 9);
+        assert!(
+            hostile.column("c0").unwrap().distinct_values().len()
+                > friendly.column("c0").unwrap().distinct_values().len()
         );
     }
 

@@ -23,6 +23,8 @@
 //! * [`join`] — bitmapped join indexes for one-hop star joins (§4);
 //! * [`advisor`] — measurement-based index selection per column under
 //!   an optional storage budget;
+//! * [`reorder`] — table-wide build-time row reordering: one
+//!   histogram-prioritised sort shared by every column's index;
 //! * [`tpcd_lite`] — a runnable five-template TPC-D-flavoured suite
 //!   exercising selections, roll-ups and direct-bitmap aggregates.
 
@@ -33,6 +35,7 @@ pub mod generator;
 pub mod groupset;
 pub mod history;
 pub mod join;
+pub mod reorder;
 pub mod star;
 pub mod tpcd_lite;
 pub mod workload;

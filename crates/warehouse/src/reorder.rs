@@ -1,0 +1,150 @@
+//! Table-wide row reordering: one sort, every column's index benefits.
+//!
+//! [`ebi_core::reorder`] sorts a *single* column's rows; a warehouse
+//! table wants one physical order shared by all its indexes, chosen so
+//! the most compressible (lowest effective cardinality) columns come
+//! first in the sort key — the Kaser–Lemire column-priority heuristic,
+//! applied across the table. This module computes that table-wide
+//! [`RowPermutation`] and builds every per-column index against it, so
+//! conjunctive queries run over consistently reordered slices and every
+//! result still comes back in original row ids.
+
+use ebi_core::index::{BuildOptions, EncodedBitmapIndex};
+use ebi_core::mapping::RowPermutation;
+use ebi_core::reorder::compute_permutation;
+use ebi_core::{CoreError, RowOrder};
+use ebi_storage::{Cell, Table};
+use std::collections::BTreeMap;
+
+/// Sort key of one cell: NULLs cluster after every real value so
+/// `B_NULL` compresses alongside the value slices.
+fn sort_key(cell: &Cell) -> u64 {
+    cell.value().unwrap_or(u64::MAX)
+}
+
+/// Computes the table-wide permutation for `columns` of `table` under
+/// `order` (the column-priority heuristic inside
+/// [`compute_permutation`] decides which column leads the sort key).
+///
+/// # Panics
+///
+/// Panics if a named column does not exist — registering indexes over
+/// missing columns is a programming error, matching the executor.
+#[must_use]
+pub fn table_permutation(table: &Table, columns: &[&str], order: RowOrder) -> RowPermutation {
+    let keys: Vec<Vec<u64>> = columns
+        .iter()
+        .map(|name| {
+            table
+                .column(name)
+                .unwrap_or_else(|| panic!("no column named {name:?}"))
+                .cells()
+                .iter()
+                .map(sort_key)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u64]> = keys.iter().map(Vec::as_slice).collect();
+    compute_permutation(&refs, order)
+}
+
+/// Builds one [`EncodedBitmapIndex`] per named column, all sharing the
+/// table-wide permutation of [`table_permutation`]. With
+/// [`RowOrder::Original`] this degenerates to plain per-column builds
+/// (no permutation is kept).
+///
+/// # Errors
+///
+/// Propagates index-build errors.
+///
+/// # Panics
+///
+/// Panics if a named column does not exist.
+pub fn build_reordered_indexes(
+    table: &Table,
+    columns: &[&str],
+    order: RowOrder,
+) -> Result<BTreeMap<String, EncodedBitmapIndex>, CoreError> {
+    let permutation = table_permutation(table, columns, order);
+    let mut out = BTreeMap::new();
+    for name in columns {
+        let cells = table
+            .column(name)
+            .unwrap_or_else(|| panic!("no column named {name:?}"))
+            .cells();
+        let idx = EncodedBitmapIndex::build_with(
+            cells.iter().copied(),
+            BuildOptions {
+                row_order: order,
+                permutation: Some(permutation.clone()),
+                ..Default::default()
+            },
+        )?;
+        out.insert((*name).to_string(), idx);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{ConjunctiveQuery, Executor};
+    use crate::generator::{generate_profiled_table, SkewProfile};
+    use crate::workload::{Predicate, Query};
+
+    #[test]
+    fn reordered_indexes_answer_like_original_ones() {
+        let table = generate_profiled_table("t", &SkewProfile::reorder_friendly(), 4_000, 11);
+        let cols = ["c0", "c1", "c2"];
+        let plain = build_reordered_indexes(&table, &cols, RowOrder::Original).unwrap();
+        let sorted = build_reordered_indexes(&table, &cols, RowOrder::Lexicographic).unwrap();
+
+        let q = ConjunctiveQuery {
+            clauses: vec![
+                Query {
+                    column: "c0".into(),
+                    predicate: Predicate::Eq(0),
+                },
+                Query {
+                    column: "c1".into(),
+                    predicate: Predicate::Range(0, 7),
+                },
+            ],
+        };
+        let run = |indexes: &BTreeMap<String, EncodedBitmapIndex>| {
+            let mut exec = Executor::new(table.row_count());
+            for (name, idx) in indexes {
+                exec.register(name, idx);
+            }
+            exec.run(&q).0
+        };
+        assert_eq!(run(&plain), run(&sorted));
+    }
+
+    #[test]
+    fn table_wide_sort_lengthens_runs_on_friendly_data() {
+        let table = generate_profiled_table("t", &SkewProfile::reorder_friendly(), 8_000, 13);
+        let cols = ["c0", "c1", "c2"];
+        let plain = build_reordered_indexes(&table, &cols, RowOrder::Original).unwrap();
+        let sorted = build_reordered_indexes(&table, &cols, RowOrder::Lexicographic).unwrap();
+        let runs = |m: &BTreeMap<String, EncodedBitmapIndex>| -> u64 {
+            m.values().map(|i| i.run_stats().runs).sum()
+        };
+        assert!(
+            runs(&sorted) < runs(&plain),
+            "sorted {} vs original {}",
+            runs(&sorted),
+            runs(&plain)
+        );
+        for idx in sorted.values() {
+            assert_eq!(idx.row_order(), RowOrder::Lexicographic);
+        }
+    }
+
+    #[test]
+    fn original_order_keeps_no_permutation() {
+        let table = generate_profiled_table("t", &SkewProfile::reorder_hostile(), 500, 17);
+        let plain = build_reordered_indexes(&table, &["c0"], RowOrder::Original).unwrap();
+        assert!(plain["c0"].permutation().is_none());
+    }
+}

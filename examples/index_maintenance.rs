@@ -70,6 +70,7 @@ fn main() {
         BuildOptions {
             policy: NullPolicy::EncodedReserved,
             mapping: None,
+            ..Default::default()
         },
     )
     .expect("build");
@@ -98,6 +99,7 @@ fn main() {
         BuildOptions {
             policy: NullPolicy::EncodedReserved,
             mapping: None,
+            ..Default::default()
         },
     )
     .expect("build");

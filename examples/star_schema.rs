@@ -48,6 +48,7 @@ fn main() {
         BuildOptions {
             policy: NullPolicy::SeparateVectors,
             mapping: Some(paper_figure5_mapping()),
+            ..Default::default()
         },
     )
     .expect("build hierarchy-encoded index");

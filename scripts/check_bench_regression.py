@@ -4,8 +4,9 @@
 Compares the freshly generated smoke artefacts against the checked-in
 baselines in bench_baselines/:
 
-  BENCH_eval.json     vs bench_baselines/BENCH_eval.smoke.json
-  BENCH_scaling.json  vs bench_baselines/BENCH_scaling.smoke.json
+  BENCH_eval.json        vs bench_baselines/BENCH_eval.smoke.json
+  BENCH_compressed.json  vs bench_baselines/BENCH_compressed.smoke.json
+  BENCH_scaling.json     vs bench_baselines/BENCH_scaling.smoke.json
 
 Only dimensionless speedup ratios are compared — never raw
 nanoseconds — so the gate is meaningful across runner generations. A
@@ -65,6 +66,25 @@ def simd_points(doc):
     return {f"delta={r['delta']}": r["speedup_simd_vs_scalar"] for r in doc["simd"]}
 
 
+def reorder_storage_ratios(doc):
+    """Sorted-storage ratio per (skew, storage, order): bytes stored by
+    the original-order build divided by the reordered build's — the
+    dimensionless payoff of build-time row reordering. Dense stays at
+    1.0 (reordering never changes dense footprint); the compressed
+    containers are where a regression would show."""
+    by = {(r["skew"], r["storage"], r["order"]): r for r in doc.get("reorder_results", [])}
+    out = {}
+    for (skew, storage, order), r in by.items():
+        if order == "original":
+            continue
+        base = by.get((skew, storage, "original"))
+        if base and r["bytes_stored"] > 0:
+            out[f"skew={skew},storage={storage},order={order}"] = (
+                base["bytes_stored"] / r["bytes_stored"]
+            )
+    return out
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--tolerance", type=float, default=0.15)
@@ -74,12 +94,16 @@ def main():
 
     cur_eval = load(f"{args.current_dir}/BENCH_eval.json")
     base_eval = load(f"{args.baseline_dir}/BENCH_eval.smoke.json")
+    cur_compressed = load(f"{args.current_dir}/BENCH_compressed.json")
+    base_compressed = load(f"{args.baseline_dir}/BENCH_compressed.smoke.json")
     cur_scaling = load(f"{args.current_dir}/BENCH_scaling.json")
     base_scaling = load(f"{args.baseline_dir}/BENCH_scaling.smoke.json")
 
     for doc, label in (
         (cur_eval, "current BENCH_eval"),
         (base_eval, "baseline BENCH_eval"),
+        (cur_compressed, "current BENCH_compressed"),
+        (base_compressed, "baseline BENCH_compressed"),
         (cur_scaling, "current BENCH_scaling"),
         (base_scaling, "baseline BENCH_scaling"),
     ):
@@ -89,6 +113,11 @@ def main():
 
     for key in ("speedup_fused_vs_naive", "speedup_parallel_vs_naive"):
         compare("BENCH_eval", key, eval_points(base_eval, key), eval_points(cur_eval, key), args.tolerance)
+    compare(
+        "BENCH_compressed/reorder", "sorted_storage_ratio",
+        reorder_storage_ratios(base_compressed), reorder_storage_ratios(cur_compressed),
+        args.tolerance,
+    )
     compare(
         "BENCH_scaling/results", "speedup_vs_serial",
         scaling_points(base_scaling), scaling_points(cur_scaling), args.tolerance,

@@ -6,7 +6,7 @@ bench-regression job. Each file declares its schema in a top-level
 "schema" key; this script knows the expected shape for:
 
   ebi.bench_eval.v1        (BENCH_eval.json)
-  ebi.bench_compressed.v1  (BENCH_compressed.json)
+  ebi.bench_compressed.v2  (BENCH_compressed.json; v1 = no reorder section)
   ebi.bench_scaling.v1     (BENCH_scaling.json)
 
 Exits non-zero on the first malformed file so CI fails loudly.
@@ -70,6 +70,44 @@ SPECS = {
             },
         },
     ),
+    "ebi.bench_compressed.v2": (
+        {
+            "workload": str,
+            "rows": int,
+            "storages": list,
+            "unit": str,
+            "smoke": bool,
+            "invariants": dict,
+            "results": list,
+            "reorder_workload": str,
+            "row_orders": list,
+            "reorder_results": list,
+        },
+        {
+            "results": {
+                "skew": str,
+                "delta": int,
+                "storage": str,
+                "median_ns": int,
+                "bytes_stored": int,
+                "bytes_touched": int,
+                "compressed_chunks_skipped": int,
+                "vectors_accessed": int,
+            },
+            "reorder_results": {
+                "skew": str,
+                "storage": str,
+                "order": str,
+                "median_ns": int,
+                "bytes_stored": int,
+                "bytes_touched": int,
+                "compressed_chunks_skipped": int,
+                "vectors_accessed": int,
+                "slice_runs": int,
+                "fill_word_fraction": NUM,
+            },
+        },
+    ),
     "ebi.bench_scaling.v1": (
         {
             "workload": str,
@@ -107,6 +145,7 @@ SPECS = {
 }
 
 KERNEL_PATHS = {"scalar", "portable", "avx2"}
+ROW_ORDERS = {"original", "lexicographic", "gray"}
 
 
 def fail(path, msg):
@@ -144,6 +183,17 @@ def check_file(path):
                     fail(path, f"{rows_key}[{i}].{key}: negative value {v!r}")
             if "kernel_path" in row and row["kernel_path"] not in KERNEL_PATHS:
                 fail(path, f"{rows_key}[{i}].kernel_path: {row['kernel_path']!r} not in {sorted(KERNEL_PATHS)}")
+    if schema == "ebi.bench_compressed.v2":
+        seen = set()
+        for i, row in enumerate(doc["reorder_results"]):
+            if row["order"] not in ROW_ORDERS:
+                fail(path, f"reorder_results[{i}].order: {row['order']!r} not in {sorted(ROW_ORDERS)}")
+            if not 0.0 <= row["fill_word_fraction"] <= 1.0:
+                fail(path, f"reorder_results[{i}].fill_word_fraction: {row['fill_word_fraction']!r} outside [0, 1]")
+            seen.add((row["skew"], row["storage"], row["order"]))
+        for skew, storage, order in seen:
+            if order != "original" and (skew, storage, "original") not in seen:
+                fail(path, f"reorder_results: {skew}/{storage} has a {order} row but no original baseline")
     if schema == "ebi.bench_scaling.v1":
         if doc["kernel_path"] not in KERNEL_PATHS:
             fail(path, f"kernel_path: {doc['kernel_path']!r} not in {sorted(KERNEL_PATHS)}")

@@ -53,7 +53,7 @@ pub mod prelude {
     };
     pub use ebi_core::index::{BuildOptions, EncodedBitmapIndex, QueryResult};
     pub use ebi_core::nulls::NullPolicy;
-    pub use ebi_core::{Mapping, QueryStats};
+    pub use ebi_core::{Mapping, QueryStats, RowOrder, RowPermutation};
     pub use ebi_storage::{Catalog, Cell, Table};
     pub use ebi_warehouse::{
         ColumnSpec, ConjunctiveQuery, Dictionary, Distribution, Executor, Predicate, Query,

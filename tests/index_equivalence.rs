@@ -13,6 +13,7 @@ fn run_all(cells: &[Cell], m: u64, queries: usize, seed: u64) {
         BuildOptions {
             policy: NullPolicy::EncodedReserved,
             mapping: None,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -106,6 +107,7 @@ fn deletion_consistency_across_policies_and_families() {
         BuildOptions {
             policy: NullPolicy::EncodedReserved,
             mapping: None,
+            ..Default::default()
         },
     )
     .unwrap();

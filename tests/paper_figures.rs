@@ -182,6 +182,7 @@ fn fig3_queries_through_real_indexes() {
         BuildOptions {
             policy: NullPolicy::SeparateVectors,
             mapping: Some(proper),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -214,6 +215,7 @@ fn fig5_index_answers_rollups_exactly() {
         BuildOptions {
             policy: NullPolicy::SeparateVectors,
             mapping: Some(paper_figure5_mapping()),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -245,6 +247,7 @@ fn fig6_mapping_properties() {
         BuildOptions {
             policy: NullPolicy::SeparateVectors,
             mapping: Some(m),
+            ..Default::default()
         },
     )
     .unwrap();

@@ -164,7 +164,7 @@ proptest! {
         let policy = if reserved { NullPolicy::EncodedReserved } else { NullPolicy::SeparateVectors };
         let mut idx = EncodedBitmapIndex::build_with(
             cells.iter().copied(),
-            BuildOptions { policy, mapping: None },
+            BuildOptions { policy, mapping: None, ..Default::default() },
         ).unwrap();
         let mut dead = vec![false; cells.len()];
         for d in &deletes {

@@ -105,6 +105,7 @@ proptest! {
             BuildOptions {
                 policy: NullPolicy::SeparateVectors,
                 mapping: Some(mapping),
+                ..Default::default()
             },
         )
         .unwrap();

@@ -60,6 +60,7 @@ fn soak(policy: NullPolicy, seed: u64, ops: usize) {
         BuildOptions {
             policy,
             mapping: None,
+            ..Default::default()
         },
     )
     .unwrap();
