@@ -624,15 +624,57 @@ fn write_json(out_dir: Option<&Path>, name: &str, json: &str) {
     eprintln!("wrote {}", path.display());
 }
 
+const USAGE: &str =
+    "eval_kernels — evaluation-engine benchmarks (BENCH_eval/compressed/scaling.json)
+
+USAGE:
+    eval_kernels [--smoke] [--scaling] [--check] [--out-dir DIR]
+
+FLAGS:
+    --smoke         small-row CI run, every code path, every artefact
+    --scaling       also produce the thread/SIMD scaling curves
+    --check         self-validating run (implies --scaling): non-zero
+                    exit if parallel or SIMD falls below its floor
+    --out-dir DIR   write the JSON artefacts into DIR instead of the
+                    repository root (used to regenerate baselines)
+    -h, --help      print this help
+
+Unknown flags are an error.";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let check = args.iter().any(|a| a == "--check");
-    let scaling = check || args.iter().any(|a| a == "--scaling");
-    let out_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--out-dir")
-        .map(|i| PathBuf::from(args.get(i + 1).expect("--out-dir needs a path")));
+    let mut smoke = false;
+    let mut check = false;
+    let mut scaling = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
+            "--scaling" => scaling = true,
+            "--out-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => out_dir = Some(PathBuf::from(d)),
+                    None => {
+                        eprintln!("error: --out-dir needs a path\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let scaling = check || scaling;
     let out_dir = out_dir.as_deref();
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     // Force at least two workers so the segment-parallel splitter (not

@@ -30,8 +30,32 @@ fn conj(clauses: Vec<Query>) -> ConjunctiveQuery {
     ConjunctiveQuery { clauses }
 }
 
+const USAGE: &str = "explain — EXPLAIN ANALYZE showcase over the profiled executor
+
+USAGE:
+    explain [--smoke]
+
+FLAGS:
+    --smoke      small-row CI run with output self-checks
+    -h, --help   print this help
+
+Unknown flags are an error.";
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
     let rows = if smoke { 20_000 } else { 100_000 };
     let rows_per_page = 128usize;
 

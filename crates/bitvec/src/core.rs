@@ -299,6 +299,53 @@ impl BitVec {
         self.mask_tail();
     }
 
+    /// ORs every bit of `other` into this vector starting at bit
+    /// position `offset`, leaving all other bits untouched.
+    ///
+    /// This is the shard-merge primitive: a service shard evaluates its
+    /// row range into a local bitmap whose bit `j` is shard-relative,
+    /// and the merge writes it back at the shard's global RID offset.
+    /// Shards are disjoint row ranges, so OR never collides; using OR
+    /// (not assignment) keeps the word-boundary writes safe when
+    /// adjacent shards share a word. Word-aligned fast path when
+    /// `offset % 64 == 0`; otherwise each source word is split across
+    /// two destination words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + other.len() > self.len()`.
+    pub fn or_shifted(&mut self, other: &Self, offset: usize) {
+        assert!(
+            offset + other.len <= self.len,
+            "or_shifted out of range: offset {} + {} bits > {} bits",
+            offset,
+            other.len,
+            self.len
+        );
+        if other.len == 0 {
+            return;
+        }
+        let word0 = offset / WORD_BITS;
+        let shift = offset % WORD_BITS;
+        if shift == 0 {
+            for (dst, &src) in self.words[word0..].iter_mut().zip(&other.words) {
+                *dst |= src;
+            }
+        } else {
+            for (i, &src) in other.words.iter().enumerate() {
+                self.words[word0 + i] |= src << shift;
+                let hi = src >> (WORD_BITS - shift);
+                if let Some(dst) = self.words.get_mut(word0 + i + 1) {
+                    *dst |= hi;
+                }
+            }
+        }
+        // `other` upholds the tail invariant, so no stray bits past
+        // `offset + other.len` were written; re-mask our own tail only
+        // to guard against `other` ending exactly at our length.
+        self.mask_tail();
+    }
+
     /// Zeroes any bits beyond `len` in the final word, restoring the tail
     /// invariant after word-level operations.
     pub(crate) fn mask_tail(&mut self) {
@@ -519,5 +566,60 @@ mod tests {
         let v: BitVec = (0..10).map(|i| i % 2 == 0).collect();
         assert_eq!(v.len(), 10);
         assert_eq!(v.count_ones(), 5);
+    }
+
+    #[test]
+    fn or_shifted_matches_bitwise_reference() {
+        // Sweep offsets across word boundaries (including deliberately
+        // unaligned ones) and fragment lengths around 64.
+        for &offset in &[0usize, 1, 63, 64, 65, 100, 127, 128] {
+            for &frag_len in &[0usize, 1, 63, 64, 65, 130] {
+                let total = offset + frag_len + 37; // uneven global tail
+                let mut global = BitVec::from_positions(total, &[0]);
+                let frag: BitVec = (0..frag_len).map(|i| i % 3 == 0).collect();
+                global.or_shifted(&frag, offset);
+                let expect: BitVec = (0..total)
+                    .map(|i| {
+                        i == 0 || (i >= offset && i < offset + frag_len && (i - offset) % 3 == 0)
+                    })
+                    .collect();
+                assert_eq!(global, expect, "offset={offset} frag_len={frag_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_shifted_adjacent_fragments_share_words_safely() {
+        // Two "shards" whose boundary falls mid-word: merging both must
+        // reconstruct the full vector exactly.
+        let full: BitVec = (0..200).map(|i| i % 7 == 0 || i % 11 == 3).collect();
+        let cut = 83; // not a multiple of 64
+        let lo: BitVec = (0..cut).map(|i| full.bit(i)).collect();
+        let hi: BitVec = (cut..200).map(|i| full.bit(i)).collect();
+        let mut merged = BitVec::zeros(200);
+        merged.or_shifted(&hi, cut); // out of order on purpose
+        merged.or_shifted(&lo, 0);
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn or_shifted_fragment_ending_at_len_keeps_tail_invariant() {
+        let mut global = BitVec::zeros(70);
+        let frag = BitVec::ones(6);
+        global.or_shifted(&frag, 64);
+        assert_eq!(global.count_ones(), 6);
+        assert_eq!(
+            global.words().iter().map(|w| w.count_ones()).sum::<u32>(),
+            6,
+            "no stray bits beyond len"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "or_shifted out of range")]
+    fn or_shifted_rejects_overflow() {
+        let mut global = BitVec::zeros(64);
+        let frag = BitVec::ones(2);
+        global.or_shifted(&frag, 63);
     }
 }

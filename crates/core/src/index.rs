@@ -688,6 +688,45 @@ impl EncodedBitmapIndex {
         bitmap
     }
 
+    /// Evaluates a precompiled, reduced DNF expression against this
+    /// index — the fan-out half of compile-once / evaluate-everywhere.
+    ///
+    /// A sharded table compiles one retrieval expression against the
+    /// shared table-wide [`Mapping`] (see [`BuildOptions::mapping`]) and
+    /// runs it on every shard with this method; codes and don't-care
+    /// sets are identical across shards, so the expression is valid on
+    /// all of them. The expression must have been produced by
+    /// [`EncodedBitmapIndex::explain_in_list`] (or an equivalent
+    /// reduction) against an index built over the *same* mapping —
+    /// evaluating an expression compiled under a different mapping
+    /// returns well-formed but meaningless bits.
+    #[must_use]
+    pub fn run_dnf(&self, expr: &DnfExpr) -> QueryResult {
+        self.run_expr(expr)
+    }
+
+    /// Post-pruning kernel traffic estimate (in 64-bit words) for
+    /// evaluating `expr` on this index, honouring the current
+    /// [`QueryOptions::use_summaries`] setting.
+    ///
+    /// This is the same estimate the parallel engine feeds its
+    /// auto-serialise heuristic; schedulers that dispatch work across
+    /// indexes (the sharded service) compare it against
+    /// [`crate::parallel::MIN_PARALLEL_WORK_WORDS`] to decide whether a
+    /// slice of work is worth handing to another thread at all.
+    #[must_use]
+    pub fn estimated_work_words(&self, expr: &DnfExpr) -> u64 {
+        let plan = match self
+            .summaries
+            .as_deref()
+            .filter(|_| self.query_options.use_summaries)
+        {
+            Some(s) => StoredPlan::with_summaries(expr, &self.slices, s, self.rows),
+            None => StoredPlan::new(expr, &self.slices, self.rows),
+        };
+        plan.estimated_work_words()
+    }
+
     /// Evaluates a reduced expression and applies the policy's masks.
     pub(crate) fn run_expr(&self, expr: &DnfExpr) -> QueryResult {
         let mut tracker = AccessTracker::new();

@@ -59,7 +59,7 @@ const AUTO_PARALLEL_MIN_ROWS: usize = 2_000_000;
 /// below this even though its row count clears the row threshold — the
 /// clustered delta=512 workload is exactly that shape, and splitting it
 /// used to cost 2× (1.44× vs 2.75× speedup in BENCH_eval.json).
-const MIN_PARALLEL_WORK_WORDS: u64 = (AUTO_PARALLEL_MIN_ROWS / WORD_BITS) as u64;
+pub const MIN_PARALLEL_WORK_WORDS: u64 = (AUTO_PARALLEL_MIN_ROWS / WORD_BITS) as u64;
 
 /// Minimum estimated work per worker; requested threads beyond
 /// `estimate / this` are dropped so every spawned worker has enough

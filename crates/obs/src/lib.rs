@@ -49,7 +49,7 @@ pub mod report;
 pub mod span;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use report::{CostCounters, PhaseNode, QueryReport, StorageCounters};
+pub use report::{CostCounters, IndexLayout, PhaseNode, QueryReport, StorageCounters};
 pub use span::{Span, SpanHandle, SpanRecord, Trace};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

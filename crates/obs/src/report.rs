@@ -145,9 +145,45 @@ impl CostCounters {
     }
 }
 
+/// Physical layout of one index (or one shard of one index) touched by
+/// a query — the honest per-index counterpart of the table-wide fold in
+/// [`StorageCounters`]. A partially reordered table (one column rebuilt
+/// lexicographic, the rest original) reports one entry per index here
+/// instead of collapsing the disagreement to `"mixed"`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexLayout {
+    /// Index label: the column name, or `column#shard` for a shard.
+    pub index: String,
+    /// Row order this index was built with (`"original"`,
+    /// `"lexicographic"`, `"gray"`).
+    pub row_order: &'static str,
+    /// Runs of set bits across this index's slices (0 when the index
+    /// reports no run statistics).
+    pub slice_runs: u64,
+    /// Longest single run of set bits across this index's slices.
+    pub slice_longest_run: u64,
+    /// Uniform granules across this index's slices.
+    pub slice_fill_words: u64,
+    /// Total storage granules across this index's slices.
+    pub slice_total_words: u64,
+}
+
+impl IndexLayout {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("index", &self.index)
+            .str("row_order", self.row_order)
+            .u64("slice_runs", self.slice_runs)
+            .u64("slice_longest_run", self.slice_longest_run)
+            .u64("slice_fill_words", self.slice_fill_words)
+            .u64("slice_total_words", self.slice_total_words)
+            .finish()
+    }
+}
+
 /// Storage-layer traffic attributable to the query: pager I/O deltas
 /// and buffer-pool hit/miss accounting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StorageCounters {
     /// Pages read from the pager (buffer misses reach here).
     pub pager_reads: u64,
@@ -170,8 +206,14 @@ pub struct StorageCounters {
     /// Total storage granules across the slices.
     pub slice_total_words: u64,
     /// Physical row order the indexes were built with (`"original"`,
-    /// `"lexicographic"`, `"gray"`; empty when not reported).
+    /// `"lexicographic"`, `"gray"`; `"mixed"` when the touched indexes
+    /// disagree — see `index_layouts` for the per-index truth; empty
+    /// when not reported).
     pub row_order: &'static str,
+    /// Per-index (or per-shard) layout breakdown. Empty when the
+    /// executor did not report per-index statistics; otherwise one
+    /// entry per touched index, in registration order.
+    pub index_layouts: Vec<IndexLayout>,
 }
 
 impl StorageCounters {
@@ -198,7 +240,12 @@ impl StorageCounters {
         }
     }
 
-    fn to_json(self) -> String {
+    fn to_json(&self) -> String {
+        let layouts: Vec<String> = self
+            .index_layouts
+            .iter()
+            .map(IndexLayout::to_json)
+            .collect();
         JsonObject::new()
             .u64("pager_reads", self.pager_reads)
             .u64("pager_writes", self.pager_writes)
@@ -219,6 +266,7 @@ impl StorageCounters {
                     self.row_order
                 },
             )
+            .raw("index_layouts", &json_array(&layouts))
             .finish()
     }
 }
@@ -451,6 +499,23 @@ impl QueryReport {
                 s.slice_fill_words,
                 s.slice_total_words,
                 s.fill_word_fraction() * 100.0
+            );
+        }
+        for il in &s.index_layouts {
+            let fill_pct = if il.slice_total_words == 0 {
+                0.0
+            } else {
+                il.slice_fill_words as f64 / il.slice_total_words as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "  index {}: row_order={} slice_runs={} longest_run={} fill_words={}/{} ({fill_pct:.1}%)",
+                il.index,
+                il.row_order,
+                il.slice_runs,
+                il.slice_longest_run,
+                il.slice_fill_words,
+                il.slice_total_words,
             );
         }
         if !self.expressions.is_empty() {

@@ -1,0 +1,32 @@
+//! Service error type.
+
+use std::fmt;
+
+/// Errors surfaced by the service layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Table or index construction failed.
+    Build(String),
+    /// A query failed to parse or compile.
+    Parse(String),
+    /// A listener could not be bound or served.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Build(msg) => write!(f, "build error: {msg}"),
+            Self::Parse(msg) => write!(f, "parse error: {msg}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

@@ -1,0 +1,183 @@
+//! A minimal hand-rolled HTTP/1.1 layer — just enough for the JSON
+//! frontend: request-line + headers + optional `Content-Length` body,
+//! keep-alive, and fixed-length responses. No chunked encoding, no
+//! TLS, no async runtime; one blocking thread per connection, which is
+//! exactly the closed-loop shape the bench drives.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (uppercased).
+    pub method: String,
+    /// Path component, percent-decoded.
+    pub path: String,
+    /// Raw query string (undecoded; parameters are decoded by
+    /// [`query_param`]).
+    pub query: String,
+    /// Request body (empty without `Content-Length`).
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Reads one request from the stream. `Ok(None)` means the peer
+/// closed cleanly before a request line.
+///
+/// # Errors
+///
+/// I/O errors (including read timeouts, surfaced as `WouldBlock` /
+/// `TimedOut`) and malformed requests (`InvalidData`).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<HttpRequest>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    let mut keep_alive = version.ends_with("1.1");
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("eof inside headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| bad("bad Content-Length"))?;
+                if content_length > 1 << 20 {
+                    return Err(bad("body too large"));
+                }
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("non-utf8 body"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Some(HttpRequest {
+        method,
+        path: percent_decode(path),
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Extracts and percent-decodes one query-string parameter.
+#[must_use]
+pub fn query_param(query: &str, name: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == name).then(|| percent_decode(v))
+    })
+}
+
+/// Decodes `%XX` escapes and `+` (space). Malformed escapes pass
+/// through verbatim.
+#[must_use]
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                (Some(h), Some(l)) => {
+                    out.push(h * 16 + l);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex(b: Option<&u8>) -> Option<u8> {
+    match b? {
+        c @ b'0'..=b'9' => Some(c - b'0'),
+        c @ b'a'..=b'f' => Some(c - b'a' + 10),
+        c @ b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Writes one fixed-length response.
+///
+/// # Errors
+///
+/// Propagates stream write errors.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(
+            percent_decode("a%3D1+AND+b%20IN%202%2C3"),
+            "a=1 AND b IN 2,3"
+        );
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trail%2"), "trail%2");
+    }
+
+    #[test]
+    fn query_param_lookup() {
+        let q = "q=a%3D1&limit=5";
+        assert_eq!(query_param(q, "q").as_deref(), Some("a=1"));
+        assert_eq!(query_param(q, "limit").as_deref(), Some("5"));
+        assert_eq!(query_param(q, "missing"), None);
+    }
+}

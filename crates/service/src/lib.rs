@@ -1,0 +1,55 @@
+//! Sharded concurrent query service over encoded bitmap indexes.
+//!
+//! The paper's engine (`ebi-core`) answers one query on one thread.
+//! This crate turns it into a *serving* layer, the deployment shape the
+//! warehouse literature assumes:
+//!
+//! * [`shard`] — a fact table partitioned into contiguous row-range
+//!   [`Shard`]s, each owning per-column encoded bitmap indexes and its
+//!   own heap pager. All shards share one table-wide [`Mapping`] per
+//!   column, so a query is **compiled once** (Quine–McCluskey
+//!   minimization over the shared code space) and evaluated everywhere;
+//!   shard-relative result bitmaps are merged back at global row
+//!   offsets with `BitVec::or_shifted`.
+//! * [`pool`] — a work-stealing [`WorkerPool`] for shard fan-out, an
+//!   [`AdmissionGate`] bounding in-flight queries (backpressure:
+//!   `BUSY` / HTTP 429), and a [`FanOut`] latch with per-request
+//!   deadlines.
+//! * [`protocol`] / [`http`] — two frontends over one grammar: a TCP
+//!   line protocol (`COUNT a=1 AND b IN 2,3`) and a hand-rolled
+//!   HTTP/1.1 + JSON layer (`GET /query?q=…`, `GET /metrics`). No
+//!   async runtime: blocking threads, scoped borrows, vendored deps
+//!   only.
+//! * [`server`] — admission → compile → fan-out → merge → report.
+//!   Every request produces an `ebi-obs` [`QueryReport`] with per-shard
+//!   `eval.worker` spans; graceful shutdown drains admitted queries
+//!   before the listeners close.
+//!
+//! Fan-out reuses the core engine's auto-serialise heuristic: a query
+//! whose post-pruning work estimate is below
+//! [`ebi_core::parallel::MIN_PARALLEL_WORK_WORDS`] runs serially on the
+//! connection thread, because dispatching tiny bitmap slices costs more
+//! than scanning them.
+//!
+//! [`Shard`]: shard::Shard
+//! [`Mapping`]: ebi_core::Mapping
+//! [`WorkerPool`]: pool::WorkerPool
+//! [`AdmissionGate`]: pool::AdmissionGate
+//! [`FanOut`]: pool::FanOut
+//! [`QueryReport`]: ebi_obs::QueryReport
+
+pub mod error;
+pub mod http;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use error::ServiceError;
+pub use pool::{AdmissionGate, FanOut, Refusal, WorkerPool};
+pub use protocol::{parse_dnf, parse_request, Request};
+pub use server::{run, Answer, ServiceConfig, ServiceHandle, ServiceSummary};
+pub use shard::{
+    Clause, ColumnSpec, CompiledClause, CompiledQuery, DnfRequest, Predicate, Shard, ShardOutcome,
+    ShardedTable, TableOptions,
+};

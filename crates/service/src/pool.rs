@@ -1,0 +1,489 @@
+//! Admission control and the work-stealing worker pool.
+//!
+//! Three concerns live here, all built on `std::sync` primitives so
+//! the service runs on vendored deps only:
+//!
+//! - [`AdmissionGate`] bounds in-flight queries. A query holds a
+//!   [`Permit`] from admission until its response is written; once the
+//!   gate starts draining, new admissions are refused and
+//!   [`AdmissionGate::await_drain`] blocks until the last permit drops
+//!   — that is the graceful-shutdown barrier.
+//! - [`WorkerPool`] runs shard-evaluation jobs on long-lived scoped
+//!   threads. Each worker owns a deque; submission deals round-robin,
+//!   and an idle worker steals the back half of the fullest other
+//!   queue — the same rebalancing rule as `ebi-core`'s segment
+//!   work-stealing, lifted from units to whole shard jobs.
+//! - [`FanOut`] is the per-query completion latch: one slot per shard
+//!   job, a deadline-aware wait, and a cancellation flag that late
+//!   jobs check so an abandoned (timed-out) query stops consuming
+//!   workers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A queued unit of work: a boxed closure borrowing at most `'env`
+/// (the service scope), so jobs can reference shards and buffer pools
+/// directly while per-query state travels in `Arc`s.
+pub type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct PoolState {
+    /// Jobs pushed but not yet claimed; tracked under the sleep mutex
+    /// so a submit between a worker's empty scan and its wait cannot
+    /// be missed.
+    pending: usize,
+    /// `false` once [`WorkerPool::close`] ran; workers exit when the
+    /// pool is closed *and* every queue is drained.
+    open: bool,
+}
+
+/// A fixed-size work-stealing pool. Workers are started externally
+/// (scoped threads calling [`WorkerPool::run_worker`]) so they may
+/// borrow the service environment.
+pub struct WorkerPool<'env> {
+    queues: Vec<Mutex<VecDeque<Job<'env>>>>,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    rr: AtomicUsize,
+}
+
+impl<'env> WorkerPool<'env> {
+    /// A pool with `workers` queues (0 means every submit runs inline).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(PoolState {
+                pending: 0,
+                open: true,
+            }),
+            cv: Condvar::new(),
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of workers the pool was sized for.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues a job round-robin and wakes one worker. With no
+    /// workers, or after [`WorkerPool::close`], the job runs inline on
+    /// the caller — submission never silently drops work.
+    pub fn submit(&self, job: Job<'env>) {
+        if self.queues.is_empty() {
+            job();
+            return;
+        }
+        {
+            let mut st = self.state.lock().expect("pool state poisoned");
+            if !st.open {
+                drop(st);
+                job();
+                return;
+            }
+            let slot = self.rr.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            self.queues[slot]
+                .lock()
+                .expect("queue poisoned")
+                .push_back(job);
+            st.pending += 1;
+        }
+        self.cv.notify_one();
+    }
+
+    /// The worker loop for queue `me`; call from a dedicated thread.
+    /// Returns once the pool is closed and every queue is empty.
+    pub fn run_worker(&self, me: usize) {
+        loop {
+            if let Some(job) = self.claim(me) {
+                job();
+                continue;
+            }
+            let st = self.state.lock().expect("pool state poisoned");
+            if st.pending > 0 {
+                // Pushed between our empty scan and this lock.
+                continue;
+            }
+            if !st.open {
+                return;
+            }
+            // The timeout is a belt-and-braces fallback; the pending
+            // counter above makes lost wakeups benign, not possible.
+            let _ = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(100))
+                .expect("pool state poisoned");
+        }
+    }
+
+    /// Pops locally, else steals the back half of the fullest other
+    /// queue (one job runs now, the rest migrate to our queue).
+    ///
+    /// Lock order: never hold a queue lock while taking the state lock
+    /// — [`WorkerPool::submit`] acquires state → queue, so the reverse
+    /// order here would be an AB-BA deadlock. The `popped` binding (not
+    /// an `if let` on the locked pop, whose guard temporary would live
+    /// through the body) makes the queue guard drop before
+    /// `note_claimed` touches state.
+    fn claim(&self, me: usize) -> Option<Job<'env>> {
+        let popped = self.queues[me].lock().expect("queue poisoned").pop_front();
+        if let Some(job) = popped {
+            self.note_claimed(1);
+            return Some(job);
+        }
+        let victim = (0..self.queues.len())
+            .filter(|&j| j != me)
+            .max_by_key(|&j| self.queues[j].lock().expect("queue poisoned").len())?;
+        let mut stolen = {
+            let mut q = self.queues[victim].lock().expect("queue poisoned");
+            let n = q.len();
+            if n == 0 {
+                return None;
+            }
+            q.split_off(n - n.div_ceil(2))
+        };
+        let job = stolen.pop_front();
+        let migrated = stolen.len();
+        if migrated > 0 {
+            self.queues[me]
+                .lock()
+                .expect("queue poisoned")
+                .extend(stolen);
+        }
+        // Only the job we run now leaves the pending count; migrated
+        // jobs are still queued (just on our deque).
+        self.note_claimed(usize::from(job.is_some()));
+        job
+    }
+
+    fn note_claimed(&self, n: usize) {
+        if n > 0 {
+            let mut st = self.state.lock().expect("pool state poisoned");
+            st.pending = st.pending.saturating_sub(n);
+        }
+    }
+
+    /// Closes the pool: queued jobs still run, new submits run inline,
+    /// workers exit once drained.
+    pub fn close(&self) {
+        self.state.lock().expect("pool state poisoned").open = false;
+        self.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for WorkerPool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.queues.len())
+            .finish()
+    }
+}
+
+/// Why admission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// The in-flight bound is reached — back off and retry (HTTP 429 /
+    /// TCP `BUSY`).
+    Busy,
+    /// The service is draining for shutdown (HTTP 503 / TCP `ERR`).
+    Draining,
+}
+
+struct GateState {
+    inflight: usize,
+    draining: bool,
+}
+
+/// Bounds concurrent in-flight queries and sequences graceful
+/// shutdown.
+pub struct AdmissionGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    max: usize,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `max` concurrent queries.
+    #[must_use]
+    pub fn new(max: usize) -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                inflight: 0,
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            max: max.max(1),
+        }
+    }
+
+    /// Tries to admit one query; on success the returned [`Permit`]
+    /// must be held until the response is written.
+    ///
+    /// # Errors
+    ///
+    /// [`Refusal::Draining`] once shutdown began, [`Refusal::Busy`]
+    /// at the in-flight bound.
+    pub fn try_admit(&self) -> Result<Permit<'_>, Refusal> {
+        let mut st = self.state.lock().expect("gate poisoned");
+        if st.draining {
+            return Err(Refusal::Draining);
+        }
+        if st.inflight >= self.max {
+            return Err(Refusal::Busy);
+        }
+        st.inflight += 1;
+        Ok(Permit { gate: self })
+    }
+
+    /// Queries currently holding permits.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.state.lock().expect("gate poisoned").inflight
+    }
+
+    /// The admission bound.
+    #[must_use]
+    pub fn max_inflight(&self) -> usize {
+        self.max
+    }
+
+    /// Stops admitting new queries. In-flight queries keep their
+    /// permits.
+    pub fn begin_drain(&self) {
+        self.state.lock().expect("gate poisoned").draining = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every admitted query has released its permit.
+    /// Call after [`AdmissionGate::begin_drain`].
+    pub fn await_drain(&self) {
+        let mut st = self.state.lock().expect("gate poisoned");
+        while st.inflight > 0 {
+            st = self.cv.wait(st).expect("gate poisoned");
+        }
+    }
+}
+
+impl std::fmt::Debug for AdmissionGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionGate")
+            .field("max", &self.max)
+            .field("inflight", &self.inflight())
+            .finish()
+    }
+}
+
+/// RAII admission permit; dropping it releases the slot and wakes
+/// drain waiters.
+#[derive(Debug)]
+pub struct Permit<'g> {
+    gate: &'g AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock().expect("gate poisoned");
+        st.inflight -= 1;
+        if st.inflight == 0 || st.inflight + 1 >= self.gate.max {
+            drop(st);
+            self.gate.cv.notify_all();
+        }
+    }
+}
+
+/// Per-query completion latch for shard fan-out: `n` result slots, a
+/// deadline-aware wait, and a cancellation flag late jobs observe.
+#[derive(Debug)]
+pub struct FanOut<T> {
+    state: Mutex<(Vec<Option<T>>, usize)>,
+    cv: Condvar,
+    cancelled: AtomicBool,
+}
+
+impl<T> FanOut<T> {
+    /// A latch expecting `n` completions.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            state: Mutex::new(((0..n).map(|_| None).collect(), n)),
+            cv: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// Records slot `i` (possibly `None` for a cancelled job) and
+    /// counts the completion; the last one wakes the waiter.
+    pub fn complete(&self, i: usize, value: Option<T>) {
+        let mut st = self.state.lock().expect("fanout poisoned");
+        st.0[i] = value;
+        st.1 = st.1.saturating_sub(1);
+        if st.1 == 0 {
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Waits until every slot completed or `timeout` elapses. On
+    /// timeout the latch is cancelled (late jobs see
+    /// [`FanOut::is_cancelled`] and skip their work) and `None` is
+    /// returned.
+    pub fn wait(&self, timeout: Duration) -> Option<Vec<Option<T>>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().expect("fanout poisoned");
+        while st.1 > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                self.cancelled.store(true, Ordering::Release);
+                return None;
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("fanout poisoned");
+            st = next;
+        }
+        Some(std::mem::take(&mut st.0))
+    }
+
+    /// Whether the waiter gave up; jobs check this before starting
+    /// expensive work.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn pool_runs_every_submitted_job() {
+        let counter = AtomicU64::new(0);
+        let pool = WorkerPool::new(3);
+        crossbeam::thread::scope(|scope| {
+            for i in 0..3 {
+                let p = &pool;
+                scope.spawn(move |_| p.run_worker(i));
+            }
+            for _ in 0..100 {
+                pool.submit(Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            // Uneven burst onto one logical submitter exercises steal.
+            for _ in 0..50 {
+                pool.submit(Box::new(|| {
+                    std::thread::sleep(Duration::from_micros(50));
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            pool.close();
+        })
+        .expect("workers joined");
+        assert_eq!(counter.load(Ordering::Relaxed), 150);
+    }
+
+    /// Regression test for a submit/claim lock-order inversion: submit
+    /// takes state → queue, so a claimer holding its queue lock while
+    /// updating the pending count (state) deadlocked the whole pool.
+    /// Many submitters racing busy workers reproduce that interleaving
+    /// within a few thousand iterations.
+    #[test]
+    fn concurrent_submitters_do_not_deadlock_with_claimers() {
+        let counter = AtomicU64::new(0);
+        let pool = WorkerPool::new(2);
+        crossbeam::thread::scope(|scope| {
+            for i in 0..2 {
+                let p = &pool;
+                scope.spawn(move |_| p.run_worker(i));
+            }
+            let submitters: Vec<_> = (0..4)
+                .map(|_| {
+                    let p = &pool;
+                    let c = &counter;
+                    scope.spawn(move |_| {
+                        for _ in 0..2_000 {
+                            p.submit(Box::new(move || {
+                                c.fetch_add(1, Ordering::Relaxed);
+                            }));
+                        }
+                    })
+                })
+                .collect();
+            for s in submitters {
+                s.join().expect("submitter");
+            }
+            pool.close();
+        })
+        .expect("workers joined");
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 2_000);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let ran = AtomicBool::new(false);
+        let pool = WorkerPool::new(0);
+        pool.submit(Box::new(|| {
+            ran.store(true, Ordering::Relaxed);
+        }));
+        assert!(ran.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn closed_pool_runs_submissions_inline() {
+        let ran = AtomicBool::new(false);
+        let pool = WorkerPool::new(1);
+        pool.close();
+        pool.submit(Box::new(|| {
+            ran.store(true, Ordering::Relaxed);
+        }));
+        assert!(ran.load(Ordering::Relaxed));
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(|_| pool.run_worker(0)); // exits: closed + empty
+        })
+        .expect("worker joined");
+    }
+
+    #[test]
+    fn gate_bounds_inflight_and_drains() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_admit().expect("first");
+        let b = gate.try_admit().expect("second");
+        assert_eq!(gate.try_admit().unwrap_err(), Refusal::Busy);
+        drop(a);
+        let c = gate.try_admit().expect("slot freed");
+        gate.begin_drain();
+        assert_eq!(gate.try_admit().unwrap_err(), Refusal::Draining);
+        // await_drain returns once the survivors finish.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                drop(b);
+                drop(c);
+            });
+            gate.await_drain();
+        });
+        assert_eq!(gate.inflight(), 0);
+    }
+
+    #[test]
+    fn fanout_collects_and_times_out() {
+        let fan = Arc::new(FanOut::<u64>::new(2));
+        fan.complete(1, Some(7));
+        fan.complete(0, Some(3));
+        assert_eq!(
+            fan.wait(Duration::from_millis(10)),
+            Some(vec![Some(3), Some(7)])
+        );
+
+        let slow = Arc::new(FanOut::<u64>::new(1));
+        assert_eq!(slow.wait(Duration::from_millis(10)), None);
+        assert!(slow.is_cancelled());
+    }
+}

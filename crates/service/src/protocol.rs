@@ -1,0 +1,259 @@
+//! The line-oriented query grammar shared by both frontends.
+//!
+//! One request per line:
+//!
+//! ```text
+//! PING
+//! STATS
+//! SHUTDOWN
+//! COUNT  <dnf>
+//! QUERY  <dnf> [LIMIT k]
+//! EXPLAIN <dnf>
+//! ```
+//!
+//! where `<dnf>` is `clause AND clause ... OR clause AND ...` and a
+//! clause is one of
+//!
+//! ```text
+//! col=5            point selection
+//! col IN 1,2,3     IN-list
+//! col BETWEEN 2 7  value range (inclusive)
+//! ```
+//!
+//! Keywords are case-insensitive; column names are case-sensitive.
+//! The HTTP frontend reuses exactly this grammar for the `q=`
+//! parameter, so a query pasted from `netcat` works in `curl`
+//! unchanged (URL-encoding aside).
+
+use crate::shard::{Clause, DnfRequest, Predicate};
+
+/// A parsed frontend request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered `PONG` without admission.
+    Ping,
+    /// Service statistics (no admission).
+    Stats,
+    /// Begin graceful shutdown.
+    Shutdown,
+    /// COUNT(*) of a selection.
+    Count(DnfRequest),
+    /// Selection returning matches and up to `limit` row ids.
+    Query(DnfRequest, usize),
+    /// Selection returning the `EXPLAIN ANALYZE` rendering.
+    Explain(DnfRequest),
+}
+
+/// Default and maximum row-id list lengths for `QUERY`.
+pub const DEFAULT_LIMIT: usize = 20;
+/// Hard cap on `LIMIT`, to bound response sizes.
+pub const MAX_LIMIT: usize = 10_000;
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for empty input, unknown verbs,
+/// or a malformed query body.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "" => Err("empty request".into()),
+        "PING" => Ok(Request::Ping),
+        "STATS" => Ok(Request::Stats),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "COUNT" => Ok(Request::Count(parse_dnf(rest)?)),
+        "EXPLAIN" => Ok(Request::Explain(parse_dnf(rest)?)),
+        "QUERY" => {
+            let (body, limit) = split_limit(rest)?;
+            Ok(Request::Query(parse_dnf(body)?, limit))
+        }
+        other => Err(format!(
+            "unknown verb {other:?} (expected PING, STATS, SHUTDOWN, COUNT, QUERY or EXPLAIN)"
+        )),
+    }
+}
+
+/// Splits a trailing `LIMIT k` off a QUERY body.
+fn split_limit(body: &str) -> Result<(&str, usize), String> {
+    let tokens: Vec<&str> = body.split_whitespace().collect();
+    if tokens.len() >= 2 && tokens[tokens.len() - 2].eq_ignore_ascii_case("LIMIT") {
+        let k: usize = tokens[tokens.len() - 1]
+            .parse()
+            .map_err(|_| format!("bad LIMIT {:?}", tokens[tokens.len() - 1]))?;
+        let cut = body
+            .to_ascii_uppercase()
+            .rfind(" LIMIT ")
+            .ok_or("bad LIMIT placement")?;
+        Ok((&body[..cut], k.min(MAX_LIMIT)))
+    } else {
+        Ok((body, DEFAULT_LIMIT))
+    }
+}
+
+/// Parses the DNF body of a query.
+///
+/// # Errors
+///
+/// Returns a message naming the offending token.
+pub fn parse_dnf(text: &str) -> Result<DnfRequest, String> {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    if tokens.is_empty() {
+        return Err("empty query".into());
+    }
+    let mut disjuncts: Vec<Vec<Clause>> = Vec::new();
+    let mut current: Vec<Clause> = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let (clause, next) = parse_clause(&tokens, i)?;
+        current.push(clause);
+        i = next;
+        match tokens.get(i).map(|t| t.to_ascii_uppercase()) {
+            None => break,
+            Some(ref op) if op == "AND" => i += 1,
+            Some(ref op) if op == "OR" => {
+                disjuncts.push(std::mem::take(&mut current));
+                i += 1;
+            }
+            Some(other) => return Err(format!("expected AND or OR, got {other:?}")),
+        }
+        if i >= tokens.len() {
+            return Err("query ends after a connective".into());
+        }
+    }
+    disjuncts.push(current);
+    Ok(DnfRequest { disjuncts })
+}
+
+/// Parses one clause starting at token `i`; returns it and the index
+/// of the first unconsumed token.
+fn parse_clause(tokens: &[&str], i: usize) -> Result<(Clause, usize), String> {
+    let head = tokens
+        .get(i)
+        .ok_or_else(|| "expected a clause".to_string())?;
+    if let Some((col, val)) = head.split_once('=') {
+        if col.is_empty() {
+            return Err(format!("missing column in {head:?}"));
+        }
+        let v = parse_num(val)?;
+        return Ok((
+            Clause {
+                column: col.to_string(),
+                predicate: Predicate::Eq(v),
+            },
+            i + 1,
+        ));
+    }
+    let op = tokens
+        .get(i + 1)
+        .ok_or_else(|| format!("expected IN or BETWEEN after {head:?}"))?;
+    match op.to_ascii_uppercase().as_str() {
+        "IN" => {
+            let list = tokens
+                .get(i + 2)
+                .ok_or_else(|| format!("expected a value list after {head} IN"))?;
+            let values = list
+                .split(',')
+                .map(parse_num)
+                .collect::<Result<Vec<u64>, String>>()?;
+            if values.is_empty() {
+                return Err(format!("empty IN list for {head:?}"));
+            }
+            Ok((
+                Clause {
+                    column: (*head).to_string(),
+                    predicate: Predicate::In(values),
+                },
+                i + 3,
+            ))
+        }
+        "BETWEEN" => {
+            let lo = parse_num(
+                tokens
+                    .get(i + 2)
+                    .ok_or_else(|| format!("expected bounds after {head} BETWEEN"))?,
+            )?;
+            let hi =
+                parse_num(tokens.get(i + 3).ok_or_else(|| {
+                    format!("expected an upper bound after {head} BETWEEN {lo}")
+                })?)?;
+            if lo > hi {
+                return Err(format!("BETWEEN bounds reversed: {lo} > {hi}"));
+            }
+            Ok((
+                Clause {
+                    column: (*head).to_string(),
+                    predicate: Predicate::Between(lo, hi),
+                },
+                i + 4,
+            ))
+        }
+        other => Err(format!(
+            "expected `col=v`, `col IN a,b` or `col BETWEEN lo hi`, got {head} {other}"
+        )),
+    }
+}
+
+fn parse_num(tok: &str) -> Result<u64, String> {
+    tok.parse::<u64>()
+        .map_err(|_| format!("expected an unsigned integer, got {tok:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_verb() {
+        assert_eq!(parse_request("ping").unwrap(), Request::Ping);
+        assert_eq!(parse_request(" STATS ").unwrap(), Request::Stats);
+        assert_eq!(parse_request("shutdown").unwrap(), Request::Shutdown);
+        let q = parse_request("COUNT a=1").unwrap();
+        match q {
+            Request::Count(d) => assert_eq!(d.disjuncts.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_dnf_with_all_predicate_shapes() {
+        let d = parse_dnf("a=1 AND b IN 2,3 OR c BETWEEN 4 9").unwrap();
+        assert_eq!(d.disjuncts.len(), 2);
+        assert_eq!(d.disjuncts[0].len(), 2);
+        assert_eq!(d.disjuncts[0][0].predicate, Predicate::Eq(1));
+        assert_eq!(d.disjuncts[0][1].predicate, Predicate::In(vec![2, 3]));
+        assert_eq!(d.disjuncts[1][0].predicate, Predicate::Between(4, 9));
+    }
+
+    #[test]
+    fn query_limit_parses_and_caps() {
+        match parse_request("QUERY a=1 LIMIT 5").unwrap() {
+            Request::Query(_, 5) => {}
+            other => panic!("{other:?}"),
+        }
+        match parse_request("QUERY a=1").unwrap() {
+            Request::Query(_, l) => assert_eq!(l, DEFAULT_LIMIT),
+            other => panic!("{other:?}"),
+        }
+        match parse_request("QUERY a=1 LIMIT 999999999").unwrap() {
+            Request::Query(_, l) => assert_eq!(l, MAX_LIMIT),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FROB a=1").is_err());
+        assert!(parse_dnf("a=1 AND").is_err());
+        assert!(parse_dnf("a=x").is_err());
+        assert!(parse_dnf("a BETWEEN 9 1").is_err());
+        assert!(parse_dnf("a IN").is_err());
+        assert!(parse_dnf("=3").is_err());
+        assert!(parse_dnf("a=1 XOR b=2").is_err());
+    }
+}

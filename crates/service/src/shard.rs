@@ -1,0 +1,536 @@
+//! Row-range sharding of a fact table.
+//!
+//! A [`ShardedTable`] splits a table's rows into contiguous, disjoint
+//! ranges. Each [`Shard`] owns a full encoded bitmap index per column
+//! over *its* rows — slice containers, segment summaries, run
+//! statistics — plus its own [`Pager`] standing in for the shard's heap
+//! pages. Because every shard is built over the **same table-wide
+//! [`Mapping`]** per column, a retrieval expression minimized once (on
+//! any shard) is valid on all of them: codes and don't-care sets are
+//! identical, only the slice contents differ. That is the service's
+//! compile-once / evaluate-everywhere contract.
+//!
+//! Shard results are shard-relative bitmaps; [`ShardedTable::merge`]
+//! writes each one back at the shard's global row offset with
+//! [`BitVec::or_shifted`]. Shard boundaries are *not* rounded to word
+//! multiples, so the unaligned merge path is exercised by construction.
+
+use crate::error::ServiceError;
+use ebi_bitvec::BitVec;
+use ebi_boolean::DnfExpr;
+use ebi_core::index::{BuildOptions, EncodedBitmapIndex};
+use ebi_core::{CoreError, Mapping, RowOrder};
+use ebi_obs::{CostCounters, IndexLayout};
+use ebi_storage::{BufferPool, Cell, PageId, Pager};
+
+/// One input column: a name plus its cell values for every row.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Column name, used in queries (`name=3`, `name IN 1,2`).
+    pub name: String,
+    /// Cell per row; all columns of a table must have equal length.
+    pub cells: Vec<Cell>,
+}
+
+impl ColumnSpec {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: &str, cells: Vec<Cell>) -> Self {
+        Self {
+            name: name.to_string(),
+            cells,
+        }
+    }
+}
+
+/// Build-time knobs for [`ShardedTable::build`].
+#[derive(Debug, Clone)]
+pub struct TableOptions {
+    /// Number of row-range shards (clamped to `1..=rows`).
+    pub shards: usize,
+    /// Physical row order per shard, cycled by shard id; empty means
+    /// every shard keeps original order. Each shard sorts its own
+    /// slice independently, so a table can be partially reordered.
+    pub row_orders: Vec<RowOrder>,
+    /// Heap rows represented by one pager page (fetch granularity).
+    pub rows_per_page: usize,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            row_orders: Vec::new(),
+            rows_per_page: 512,
+        }
+    }
+}
+
+/// One compiled clause: a column and its minimized retrieval
+/// expression, valid on every shard (shared mapping).
+#[derive(Debug, Clone)]
+pub struct CompiledClause {
+    /// Column position in the table's column list.
+    pub column: usize,
+    /// Minimized DNF over the column's bit-slices.
+    pub expr: DnfExpr,
+    /// The expression in the paper's notation, for reports.
+    pub rendered: String,
+}
+
+/// A query compiled once against the table-wide mappings: a
+/// disjunction of conjunctions of [`CompiledClause`]s.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// Outer OR of inner ANDs.
+    pub disjuncts: Vec<Vec<CompiledClause>>,
+}
+
+impl CompiledQuery {
+    /// Every clause expression in the paper's notation, in evaluation
+    /// order (for `QueryReport::expressions`).
+    #[must_use]
+    pub fn rendered(&self) -> Vec<String> {
+        self.disjuncts
+            .iter()
+            .flat_map(|d| d.iter().map(|c| c.rendered.clone()))
+            .collect()
+    }
+}
+
+/// A predicate on one column, in value (not code) space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `col = v`.
+    Eq(u64),
+    /// `col IN vs`.
+    In(Vec<u64>),
+    /// `lo <= col <= hi` over the mapped value domain.
+    Between(u64, u64),
+}
+
+/// One clause of a parsed query: column name plus predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Column name.
+    pub column: String,
+    /// The predicate.
+    pub predicate: Predicate,
+}
+
+/// A parsed (not yet compiled) DNF query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnfRequest {
+    /// Outer OR of inner ANDs; never empty after parsing.
+    pub disjuncts: Vec<Vec<Clause>>,
+}
+
+/// What one shard reports back from evaluating a compiled query.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Shard id.
+    pub shard: usize,
+    /// Shard-relative selection bitmap.
+    pub bitmap: BitVec,
+    /// Evaluation cost counters for this shard.
+    pub cost: CostCounters,
+    /// Heap pages read while fetching matching rows.
+    pub pages_read: u64,
+    /// Buffer-pool (hits, misses, evictions) deltas for the fetch.
+    pub buffer: (u64, u64, u64),
+    /// Shard-local wall time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// One row-range shard: per-column indexes over `rows` rows starting
+/// at global row `lo`, plus the shard's own heap pager.
+#[derive(Debug)]
+pub struct Shard {
+    id: usize,
+    lo: usize,
+    rows: usize,
+    indexes: Vec<EncodedBitmapIndex>,
+    pager: Pager,
+    rows_per_page: usize,
+}
+
+impl Shard {
+    /// Shard id (position in the table's shard list).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// First global row id owned by this shard.
+    #[must_use]
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Rows owned by this shard.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The shard's heap pager (for attaching a buffer pool).
+    #[must_use]
+    pub fn pager(&self) -> &Pager {
+        &self.pager
+    }
+
+    /// This shard's index for column position `column`.
+    #[must_use]
+    pub fn column_index(&self, column: usize) -> &EncodedBitmapIndex {
+        &self.indexes[column]
+    }
+
+    /// Evaluates a compiled query over this shard's rows. The returned
+    /// bitmap is shard-relative (bit 0 = global row `lo`).
+    #[must_use]
+    pub fn eval(&self, query: &CompiledQuery) -> (BitVec, CostCounters) {
+        let mut cost = CostCounters::default();
+        let mut result: Option<BitVec> = None;
+        for disjunct in &query.disjuncts {
+            let mut acc: Option<BitVec> = None;
+            for clause in disjunct {
+                let r = self.indexes[clause.column].run_dnf(&clause.expr);
+                add_stats(&mut cost, &r.stats);
+                match &mut acc {
+                    None => acc = Some(r.bitmap),
+                    Some(a) => {
+                        cost.literal_ops += 1;
+                        a.and_assign(&r.bitmap);
+                    }
+                }
+            }
+            let bitmap = acc.unwrap_or_else(|| BitVec::ones(self.rows));
+            match &mut result {
+                None => result = Some(bitmap),
+                Some(a) => {
+                    cost.literal_ops += 1;
+                    a.or_assign(&bitmap);
+                }
+            }
+        }
+        (result.unwrap_or_else(|| BitVec::zeros(self.rows)), cost)
+    }
+
+    /// Post-pruning kernel-work estimate (words) for evaluating `query`
+    /// here — the same number the parallel engine's auto-serialise
+    /// heuristic uses, summed over every clause.
+    #[must_use]
+    pub fn estimated_work_words(&self, query: &CompiledQuery) -> u64 {
+        self.indexes.first().map_or(0, |_| {
+            query
+                .disjuncts
+                .iter()
+                .flatten()
+                .map(|c| self.indexes[c.column].estimated_work_words(&c.expr))
+                .sum()
+        })
+    }
+
+    /// Reads every heap page holding a matching row, through `pool`
+    /// when given, else straight from the shard's pager. Returns the
+    /// number of pages touched (ascending row order deduplicates
+    /// consecutive same-page hits, like the warehouse executor).
+    #[must_use]
+    pub fn fetch_matches(&self, bitmap: &BitVec, pool: Option<&BufferPool<'_>>) -> u64 {
+        if self.rows == 0 {
+            return 0;
+        }
+        let per = self.rows_per_page.max(1) as u64;
+        let mut pages = 0u64;
+        let mut last: Option<u64> = None;
+        for row in bitmap.iter_ones() {
+            let page = row as u64 / per;
+            if last == Some(page) {
+                continue;
+            }
+            last = Some(page);
+            pages += 1;
+            let _ = match pool {
+                Some(p) => p.read_page(PageId(page)),
+                None => self.pager.read_page(PageId(page)),
+            };
+        }
+        pages
+    }
+
+    /// Per-column physical layout of this shard, labelled
+    /// `column#shard` for the report's per-index breakdown.
+    #[must_use]
+    pub fn layouts(&self, columns: &[String]) -> Vec<IndexLayout> {
+        self.indexes
+            .iter()
+            .zip(columns)
+            .map(|(idx, name)| {
+                let rs = idx.run_stats();
+                IndexLayout {
+                    index: format!("{name}#{}", self.id),
+                    row_order: idx.row_order().as_str(),
+                    slice_runs: rs.runs,
+                    slice_longest_run: rs.longest_run,
+                    slice_fill_words: rs.fill_words,
+                    slice_total_words: rs.total_words,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A fact table partitioned into row-range shards that share one
+/// mapping per column.
+#[derive(Debug)]
+pub struct ShardedTable {
+    columns: Vec<String>,
+    mappings: Vec<Mapping>,
+    rows: usize,
+    shards: Vec<Shard>,
+}
+
+impl ShardedTable {
+    /// Partitions `columns` into `opts.shards` contiguous row ranges
+    /// and builds one index per (shard, column) over a shared
+    /// table-wide mapping per column.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no columns are given, column lengths disagree, or an
+    /// index build fails.
+    pub fn build(columns: Vec<ColumnSpec>, opts: &TableOptions) -> Result<Self, ServiceError> {
+        if columns.is_empty() {
+            return Err(ServiceError::Build(
+                "table needs at least one column".into(),
+            ));
+        }
+        let rows = columns[0].cells.len();
+        if columns.iter().any(|c| c.cells.len() != rows) {
+            return Err(ServiceError::Build(format!(
+                "column lengths disagree: {:?}",
+                columns
+                    .iter()
+                    .map(|c| (c.name.as_str(), c.cells.len()))
+                    .collect::<Vec<_>>()
+            )));
+        }
+        // Table-wide mapping per column: first-seen order over the
+        // whole column, so every shard assigns identical codes.
+        let mut mappings = Vec::with_capacity(columns.len());
+        for col in &columns {
+            let mut seen = std::collections::HashSet::new();
+            let first_seen: Vec<u64> = col
+                .cells
+                .iter()
+                .filter_map(Cell::value)
+                .filter(|v| seen.insert(*v))
+                .collect();
+            mappings.push(Mapping::from_values(&first_seen).map_err(core_err)?);
+        }
+        let n = opts.shards.clamp(1, rows.max(1));
+        let base = rows / n;
+        let rem = rows % n;
+        let mut shards = Vec::with_capacity(n);
+        let mut lo = 0usize;
+        for id in 0..n {
+            // First `rem` shards take one extra row, so boundaries land
+            // on arbitrary (word-unaligned) offsets.
+            let len = base + usize::from(id < rem);
+            let order = if opts.row_orders.is_empty() {
+                RowOrder::Original
+            } else {
+                opts.row_orders[id % opts.row_orders.len()]
+            };
+            let mut indexes = Vec::with_capacity(columns.len());
+            for (c, col) in columns.iter().enumerate() {
+                let idx = EncodedBitmapIndex::build_with(
+                    col.cells[lo..lo + len].iter().copied(),
+                    BuildOptions {
+                        mapping: Some(mappings[c].clone()),
+                        row_order: order,
+                        ..BuildOptions::default()
+                    },
+                )
+                .map_err(core_err)?;
+                indexes.push(idx);
+            }
+            let rows_per_page = opts.rows_per_page.max(1);
+            let pager = Pager::with_page_size(64);
+            let pages = (len.max(1)).div_ceil(rows_per_page) as u64;
+            pager.allocate(pages);
+            for p in 0..pages {
+                // A token heap payload so fetches read real pages.
+                pager
+                    .write_page(PageId(p), &[(p % 251) as u8; 64])
+                    .map_err(|e| ServiceError::Build(e.to_string()))?;
+            }
+            pager.reset_stats();
+            shards.push(Shard {
+                id,
+                lo,
+                rows: len,
+                indexes,
+                pager,
+                rows_per_page,
+            });
+            lo += len;
+        }
+        Ok(Self {
+            columns: columns.into_iter().map(|c| c.name).collect(),
+            mappings,
+            rows,
+            shards,
+        })
+    }
+
+    /// Total rows across all shards.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column names, in registration order.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The shards, in row order.
+    #[must_use]
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The shared mapping for column position `column`.
+    #[must_use]
+    pub fn mapping(&self, column: usize) -> &Mapping {
+        &self.mappings[column]
+    }
+
+    /// Compiles a parsed query once against the shared mappings: each
+    /// clause's IN-list is minimized (Quine–McCluskey with don't-cares)
+    /// on shard 0's index, and the resulting expression is valid on
+    /// every shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown column or an empty query.
+    pub fn compile(&self, request: &DnfRequest) -> Result<CompiledQuery, ServiceError> {
+        if request.disjuncts.is_empty() || request.disjuncts.iter().any(Vec::is_empty) {
+            return Err(ServiceError::Parse("empty query".into()));
+        }
+        let mut disjuncts = Vec::with_capacity(request.disjuncts.len());
+        for d in &request.disjuncts {
+            let mut clauses = Vec::with_capacity(d.len());
+            for clause in d {
+                let column = self
+                    .columns
+                    .iter()
+                    .position(|c| *c == clause.column)
+                    .ok_or_else(|| {
+                        ServiceError::Parse(format!("unknown column {:?}", clause.column))
+                    })?;
+                let values: Vec<u64> = match &clause.predicate {
+                    Predicate::Eq(v) => vec![*v],
+                    Predicate::In(vs) => vs.clone(),
+                    Predicate::Between(lo, hi) => self.mappings[column]
+                        .iter()
+                        .map(|(v, _)| v)
+                        .filter(|v| v >= lo && v <= hi)
+                        .collect(),
+                };
+                let expr = self.shards[0].indexes[column].explain_in_list(&values);
+                let rendered = format!("{}: {expr}", clause.column);
+                clauses.push(CompiledClause {
+                    column,
+                    expr,
+                    rendered,
+                });
+            }
+            disjuncts.push(clauses);
+        }
+        Ok(CompiledQuery { disjuncts })
+    }
+
+    /// Merges shard-relative bitmaps back into one global bitmap: each
+    /// part is OR-written at its shard's row offset. Parts may arrive
+    /// in any order; missing parts (cancelled shards) leave zeros.
+    #[must_use]
+    pub fn merge<'a>(&self, parts: impl IntoIterator<Item = (usize, &'a BitVec)>) -> BitVec {
+        let mut global = BitVec::zeros(self.rows);
+        for (shard, bitmap) in parts {
+            global.or_shifted(bitmap, self.shards[shard].lo);
+        }
+        global
+    }
+
+    /// Serial whole-table evaluation: every shard in row order on the
+    /// calling thread, merged. This is the library reference path the
+    /// served results must stay bit-identical to (and the serial
+    /// fallback when the work estimate says fan-out is not worth it).
+    #[must_use]
+    pub fn eval_local(&self, query: &CompiledQuery) -> (BitVec, CostCounters) {
+        let mut cost = CostCounters::default();
+        let parts: Vec<(usize, BitVec)> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let (bitmap, c) = s.eval(query);
+                merge_cost(&mut cost, &c);
+                (s.id, bitmap)
+            })
+            .collect();
+        (self.merge(parts.iter().map(|(i, b)| (*i, b))), cost)
+    }
+
+    /// Applies query-time options (storage policy, summaries, …) to
+    /// every shard index. Results stay bit-identical across every
+    /// combination — the core contract sharding must preserve.
+    pub fn set_query_options(&mut self, options: ebi_core::index::QueryOptions) {
+        for shard in &mut self.shards {
+            for index in &mut shard.indexes {
+                index.set_query_options(options);
+            }
+        }
+    }
+
+    /// Sum of every shard's post-pruning work estimate for `query`.
+    #[must_use]
+    pub fn estimated_work_words(&self, query: &CompiledQuery) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.estimated_work_words(query))
+            .sum()
+    }
+}
+
+fn core_err(e: CoreError) -> ServiceError {
+    ServiceError::Build(e.to_string())
+}
+
+/// Folds one clause's [`ebi_core::QueryStats`] into cost counters
+/// (mirrors the warehouse executor's accounting, so `vectors_accessed`
+/// stays the paper's number).
+fn add_stats(cost: &mut CostCounters, s: &ebi_core::QueryStats) {
+    cost.vectors_accessed += s.vectors_accessed as u64;
+    cost.literal_ops += s.literal_ops as u64;
+    cost.cube_evals += s.cube_evals as u64;
+    cost.words_scanned += s.words_scanned;
+    cost.bytes_touched += s.bytes_touched;
+    cost.compressed_chunks_skipped += s.compressed_chunks_skipped;
+    cost.segments_pruned += s.segments_pruned;
+    cost.segments_short_circuited += s.segments_short_circuited;
+}
+
+/// Adds one shard's counters into the query totals.
+pub(crate) fn merge_cost(total: &mut CostCounters, part: &CostCounters) {
+    total.vectors_accessed += part.vectors_accessed;
+    total.literal_ops += part.literal_ops;
+    total.cube_evals += part.cube_evals;
+    total.words_scanned += part.words_scanned;
+    total.bytes_touched += part.bytes_touched;
+    total.compressed_chunks_skipped += part.compressed_chunks_skipped;
+    total.segments_pruned += part.segments_pruned;
+    total.segments_short_circuited += part.segments_short_circuited;
+}

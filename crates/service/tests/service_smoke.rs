@@ -1,0 +1,285 @@
+//! In-process end-to-end smoke tests: real sockets against a running
+//! service, answers checked bit-identically against the library path,
+//! graceful shutdown with traffic in flight.
+
+use ebi_service::{
+    parse_dnf, ColumnSpec, ServiceConfig, ServiceHandle, ServiceSummary, ShardedTable, TableOptions,
+};
+use ebi_storage::Cell;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::Duration;
+
+fn small_table(shards: usize) -> ShardedTable {
+    let rows = 4_003; // prime-ish: shard boundaries land mid-word
+    let mut a = Vec::with_capacity(rows);
+    let mut b = Vec::with_capacity(rows);
+    for i in 0..rows {
+        a.push(Cell::Value((i as u64 * 7 + 3) % 6));
+        b.push(if i % 97 == 0 {
+            Cell::Null
+        } else {
+            Cell::Value((i as u64 * 13 + 1) % 9)
+        });
+    }
+    ShardedTable::build(
+        vec![ColumnSpec::new("a", a), ColumnSpec::new("b", b)],
+        &TableOptions {
+            shards,
+            ..TableOptions::default()
+        },
+    )
+    .expect("table builds")
+}
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        max_inflight: 4,
+        timeout: Duration::from_secs(5),
+        // Force the fan-out path: the smoke table is far below the real
+        // auto-serialise floor.
+        min_dispatch_words: 0,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Runs `f` against a live service, then shuts it down and returns the
+/// drain summary.
+fn with_service<F>(table: &ShardedTable, cfg: &ServiceConfig, f: F) -> ServiceSummary
+where
+    F: FnOnce(&ServiceHandle) + Send,
+{
+    ebi_obs::set_enabled(true);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        let server = s.spawn(move || ebi_service::run(table, cfg, |h| tx.send(h).expect("send")));
+        let handle = rx.recv().expect("service came up");
+        f(&handle);
+        handle.shutdown();
+        server.join().expect("service thread").expect("service ran")
+    })
+}
+
+fn tcp_line(addr: SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("write");
+    let mut reader = BufReader::new(stream);
+    let mut out = String::new();
+    reader.read_line(&mut out).expect("read");
+    out.trim_end().to_string()
+}
+
+fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write");
+    let mut raw = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut raw)
+        .expect("read");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Pulls `"key":<number>` out of a flat JSON rendering.
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let at = json.find(&format!("\"{key}\":"))?;
+    let digits: String = json[at + key.len() + 3..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn tcp_protocol_answers_match_library() {
+    let table = small_table(5);
+    let query = "a=1 AND b IN 2,3 OR b=7";
+    let compiled = table
+        .compile(&parse_dnf(query).expect("parses"))
+        .expect("compiles");
+    let (bitmap, _) = table.eval_local(&compiled);
+    let want = bitmap.count_ones() as u64;
+    assert!(want > 0, "query should match something");
+
+    let summary = with_service(&table, &test_config(), |h| {
+        let addr = h.tcp_addr();
+        assert_eq!(tcp_line(addr, "PING"), "PONG");
+
+        let count = tcp_line(addr, &format!("COUNT {query}"));
+        assert!(count.starts_with("OK {"), "got {count}");
+        assert_eq!(json_u64(&count, "matches"), Some(want));
+        assert!(count.contains("\"dispatched\":true"), "got {count}");
+
+        // QUERY rows must be exactly the library bitmap's first ones,
+        // in global row-id space.
+        let resp = tcp_line(addr, &format!("QUERY {query} LIMIT 10"));
+        let lib_rows: Vec<String> = bitmap.iter_ones().take(10).map(|r| r.to_string()).collect();
+        assert!(
+            resp.contains(&format!("\"rows\":[{}]", lib_rows.join(","))),
+            "rows mismatch: {resp}"
+        );
+
+        let explain = tcp_line(addr, &format!("EXPLAIN {query}"));
+        assert!(explain.contains("EXPLAIN ANALYZE"), "got {explain}");
+        assert!(explain.contains("eval.worker"), "got {explain}");
+
+        let stats = tcp_line(addr, "STATS");
+        assert_eq!(json_u64(&stats, "shards"), Some(5));
+        assert_eq!(json_u64(&stats, "max_inflight"), Some(4));
+
+        let err = tcp_line(addr, "COUNT nosuch=1");
+        assert!(err.starts_with("ERR"), "got {err}");
+        let bad = tcp_line(addr, "FROB x");
+        assert!(bad.starts_with("ERR unknown verb"), "got {bad}");
+    });
+    assert!(summary.served >= 3, "summary: {summary:?}");
+}
+
+#[test]
+fn http_frontend_answers_match_library_and_metrics_render() {
+    let table = small_table(3);
+    let compiled = table
+        .compile(&parse_dnf("a BETWEEN 1 3").expect("parses"))
+        .expect("compiles");
+    let want = table.eval_local(&compiled).0.count_ones() as u64;
+
+    with_service(&table, &test_config(), |h| {
+        let addr = h.http_addr();
+        let (status, body) = http_get(addr, "/healthz");
+        assert_eq!((status, body.trim()), (200, "ok"));
+
+        let (status, body) = http_get(addr, "/query?q=a+BETWEEN+1+3&limit=4");
+        assert_eq!(status, 200, "body: {body}");
+        assert_eq!(json_u64(&body, "matches"), Some(want));
+
+        let (status, body) = http_get(addr, "/count?q=a%3D2");
+        assert_eq!(status, 200);
+        let lib = table
+            .compile(&parse_dnf("a=2").expect("parses"))
+            .expect("compiles");
+        assert_eq!(
+            json_u64(&body, "matches"),
+            Some(table.eval_local(&lib).0.count_ones() as u64)
+        );
+
+        let (status, body) = http_get(addr, "/explain?q=a%3D2");
+        assert_eq!(status, 200);
+        assert!(body.contains("EXPLAIN ANALYZE"), "got {body}");
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("ebi_service_requests_total"),
+            "metrics missing service counters: {body}"
+        );
+        assert!(body.contains("ebi_service_request_ns_bucket"));
+        // Every line must be a comment or `name{labels} value`.
+        for line in body
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        {
+            let value = line.rsplit(' ').next().expect("value field");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable metric line: {line}"
+            );
+        }
+
+        let (status, _) = http_get(addr, "/nosuch");
+        assert_eq!(status, 404);
+        let (status, body) = http_get(addr, "/query?q=a%3Dx");
+        assert_eq!(status, 400, "body: {body}");
+        let (status, body) = http_get(addr, "/query");
+        assert_eq!(status, 400, "body: {body}");
+    });
+}
+
+#[test]
+fn sharded_and_unsharded_services_agree() {
+    let sharded = small_table(7);
+    let single = small_table(1);
+    let queries = ["a=0", "a IN 1,4 AND b=2", "b BETWEEN 0 8", "a=5 OR b=0"];
+    for query in queries {
+        let dnf = parse_dnf(query).expect("parses");
+        let a = sharded.eval_local(&sharded.compile(&dnf).expect("compiles"));
+        let b = single.eval_local(&single.compile(&dnf).expect("compiles"));
+        assert_eq!(
+            a.0.count_ones(),
+            b.0.count_ones(),
+            "count diverged for {query}"
+        );
+        assert_eq!(
+            a.0.iter_ones().collect::<Vec<_>>(),
+            b.0.iter_ones().collect::<Vec<_>>(),
+            "bitmap diverged for {query}"
+        );
+    }
+}
+
+#[test]
+fn graceful_shutdown_drains_requests_in_flight() {
+    let table = small_table(4);
+    let cfg = test_config();
+    let summary = with_service(&table, &cfg, |h| {
+        let tcp = h.tcp_addr();
+        let http = h.http_addr();
+        std::thread::scope(|s| {
+            // Closed-loop clients hammering both frontends...
+            for _ in 0..3 {
+                s.spawn(move || {
+                    for _ in 0..30 {
+                        // After the drain completes the listener is
+                        // gone; refused connects and clean EOFs are the
+                        // expected shapes. What must never happen is a
+                        // torn (partial) response on an accepted line.
+                        let Ok(mut stream) = TcpStream::connect(tcp) else {
+                            break;
+                        };
+                        if stream.write_all(b"COUNT a=1 OR b=3\n").is_err() {
+                            break;
+                        }
+                        let mut resp = String::new();
+                        if BufReader::new(stream).read_line(&mut resp).is_err() {
+                            break;
+                        }
+                        let resp = resp.trim_end();
+                        assert!(
+                            resp.starts_with("OK {")
+                                || resp == "BUSY"
+                                || resp.starts_with("ERR draining")
+                                || resp.is_empty(),
+                            "torn response: {resp:?}"
+                        );
+                    }
+                });
+            }
+            // ...while the shutdown arrives over HTTP mid-storm.
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                let mut stream = TcpStream::connect(http).expect("connect");
+                write!(stream, "POST /shutdown HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: 0\r\n\r\n")
+                    .expect("write");
+                let mut raw = String::new();
+                let _ = BufReader::new(stream).read_to_string(&mut raw);
+                assert!(raw.contains("draining"), "got {raw}");
+            });
+        });
+    });
+    assert!(summary.served > 0, "summary: {summary:?}");
+}

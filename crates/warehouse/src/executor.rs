@@ -12,7 +12,7 @@ use ebi_baselines::SelectionIndex;
 use ebi_bitvec::BitVec;
 use ebi_core::index::QueryResult;
 use ebi_core::QueryStats;
-use ebi_obs::{CostCounters, PhaseNode, QueryReport, StorageCounters};
+use ebi_obs::{CostCounters, IndexLayout, PhaseNode, QueryReport, StorageCounters};
 use ebi_storage::{BufferPool, BufferStats, IoStats, PageId, Pager};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -381,10 +381,22 @@ impl<'a> Executor<'a> {
         }
         // Physical-layout counters: aggregate run statistics over every
         // registered index that tracks them, and the row order the
-        // indexes were built with (`"mixed"` when they disagree).
+        // indexes were built with. The table-wide fold says `"mixed"`
+        // when the indexes disagree; the per-index breakdown below
+        // keeps the honest answer for each one, so a partially
+        // reordered table is reported as exactly that.
         let mut order: Option<&'static str> = None;
-        for idx in self.indexes.values() {
+        for (column, idx) in &self.indexes {
+            let mut layout = IndexLayout {
+                index: column.clone(),
+                row_order: idx.row_order(),
+                ..IndexLayout::default()
+            };
             if let Some(rs) = idx.run_stats() {
+                layout.slice_runs = rs.runs;
+                layout.slice_longest_run = rs.longest_run;
+                layout.slice_fill_words = rs.fill_words;
+                layout.slice_total_words = rs.total_words;
                 out.slice_runs += rs.runs;
                 out.slice_longest_run = out.slice_longest_run.max(rs.longest_run);
                 out.slice_fill_words += rs.fill_words;
@@ -396,6 +408,7 @@ impl<'a> Executor<'a> {
                 Some(prev) if prev == o => o,
                 Some(_) => "mixed",
             });
+            out.index_layouts.push(layout);
         }
         out.row_order = order.unwrap_or("original");
         out
@@ -512,6 +525,63 @@ mod tests {
         let (none, r0) = exec.run_dnf(&DnfQuery { disjuncts: vec![] });
         assert_eq!(none.count_ones(), 0);
         assert_eq!(r0.matches, 0);
+    }
+
+    #[test]
+    fn partially_reordered_table_reports_per_index_layouts() {
+        // One column built in original order, one rebuilt lexicographic:
+        // the table-wide fold must say "mixed", and the per-index
+        // breakdown must keep each index's honest row order.
+        let a_cells: Vec<Cell> = (0..120u64).map(|i| Cell::Value(i % 4)).collect();
+        let b_cells: Vec<Cell> = (0..120u64).map(|i| Cell::Value((i * 7) % 5)).collect();
+        let a_idx = EncodedBitmapIndex::build(a_cells).unwrap();
+        let b_idx = EncodedBitmapIndex::build_with(
+            b_cells,
+            ebi_core::index::BuildOptions {
+                row_order: ebi_core::RowOrder::Lexicographic,
+                ..ebi_core::index::BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let mut exec = Executor::new(120);
+        exec.register("a", &a_idx);
+        exec.register("b", &b_idx);
+        let (_, report) = exec.run_profiled(
+            &ConjunctiveQuery {
+                clauses: vec![query("a", Predicate::Eq(1))],
+            },
+            "layout probe",
+        );
+        assert_eq!(report.storage.row_order, "mixed");
+        let layouts = &report.storage.index_layouts;
+        assert_eq!(layouts.len(), 2, "one entry per registered index");
+        assert_eq!(layouts[0].index, "a");
+        assert_eq!(layouts[0].row_order, "original");
+        assert_eq!(layouts[1].index, "b");
+        assert_eq!(layouts[1].row_order, "lexicographic");
+        for il in layouts {
+            assert!(
+                il.slice_total_words > 0,
+                "run stats reported for {}",
+                il.index
+            );
+            assert!(il.slice_runs > 0);
+        }
+        // The fold aggregates exactly the per-index numbers.
+        assert_eq!(
+            report.storage.slice_runs,
+            layouts.iter().map(|l| l.slice_runs).sum::<u64>()
+        );
+        // Both renderings expose the breakdown.
+        let explain = report.explain_analyze();
+        assert!(explain.contains("index a: row_order=original"), "{explain}");
+        assert!(
+            explain.contains("index b: row_order=lexicographic"),
+            "{explain}"
+        );
+        let json = report.to_json_line();
+        assert!(json.contains("\"index_layouts\""), "{json}");
+        assert!(json.contains("\"row_order\":\"lexicographic\""), "{json}");
     }
 
     #[test]

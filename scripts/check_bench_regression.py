@@ -7,6 +7,7 @@ baselines in bench_baselines/:
   BENCH_eval.json        vs bench_baselines/BENCH_eval.smoke.json
   BENCH_compressed.json  vs bench_baselines/BENCH_compressed.smoke.json
   BENCH_scaling.json     vs bench_baselines/BENCH_scaling.smoke.json
+  BENCH_service.json     vs bench_baselines/BENCH_service.smoke.json
 
 Only dimensionless speedup ratios are compared — never raw
 nanoseconds — so the gate is meaningful across runner generations. A
@@ -66,6 +67,18 @@ def simd_points(doc):
     return {f"delta={r['delta']}": r["speedup_simd_vs_scalar"] for r in doc["simd"]}
 
 
+def service_points(doc):
+    """Throughput of each multi-client cell relative to the 1-client
+    cell at the same shard count — the dimensionless cost of client
+    concurrency (admission, connection handling, fan-out contention).
+    A drop means added per-request serialization, not a slower host."""
+    return {
+        f"shards={r['shards']},clients={r['clients']}": r["throughput_scaling_vs_one_client"]
+        for r in doc["results"]
+        if r["clients"] != 1
+    }
+
+
 def reorder_storage_ratios(doc):
     """Sorted-storage ratio per (skew, storage, order): bytes stored by
     the original-order build divided by the reordered build's — the
@@ -98,6 +111,8 @@ def main():
     base_compressed = load(f"{args.baseline_dir}/BENCH_compressed.smoke.json")
     cur_scaling = load(f"{args.current_dir}/BENCH_scaling.json")
     base_scaling = load(f"{args.baseline_dir}/BENCH_scaling.smoke.json")
+    cur_service = load(f"{args.current_dir}/BENCH_service.json")
+    base_service = load(f"{args.baseline_dir}/BENCH_service.smoke.json")
 
     for doc, label in (
         (cur_eval, "current BENCH_eval"),
@@ -106,6 +121,8 @@ def main():
         (base_compressed, "baseline BENCH_compressed"),
         (cur_scaling, "current BENCH_scaling"),
         (base_scaling, "baseline BENCH_scaling"),
+        (cur_service, "current BENCH_service"),
+        (base_service, "baseline BENCH_service"),
     ):
         if not doc.get("smoke"):
             print(f"{label} is not a --smoke artefact; refusing to compare", file=sys.stderr)
@@ -125,6 +142,10 @@ def main():
     compare(
         "BENCH_scaling/simd", "speedup_simd_vs_scalar",
         simd_points(base_scaling), simd_points(cur_scaling), args.tolerance,
+    )
+    compare(
+        "BENCH_service", "throughput_scaling_vs_one_client",
+        service_points(base_service), service_points(cur_service), args.tolerance,
     )
 
     if FAILURES:

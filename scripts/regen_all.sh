@@ -27,12 +27,16 @@ done
 
 echo "==== eval_kernels (full + scaling) ===="
 ./target/release/eval_kernels --scaling
+
+echo "==== service_bench (full) ===="
+./target/release/service_bench
 python3 scripts/validate_bench_schema.py \
-  BENCH_eval.json BENCH_compressed.json BENCH_scaling.json
+  BENCH_eval.json BENCH_compressed.json BENCH_scaling.json BENCH_service.json
 
 echo "==== bench baselines (smoke, committed for CI regression gate) ===="
 ./target/release/eval_kernels --smoke --scaling --check --out-dir bench_baselines
-for f in BENCH_eval BENCH_compressed BENCH_scaling; do
+./target/release/service_bench --smoke --out-dir bench_baselines
+for f in BENCH_eval BENCH_compressed BENCH_scaling BENCH_service; do
   mv "bench_baselines/$f.json" "bench_baselines/$f.smoke.json"
 done
 python3 scripts/validate_bench_schema.py bench_baselines/*.smoke.json

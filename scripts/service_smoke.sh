@@ -1,0 +1,178 @@
+#!/usr/bin/env bash
+# Black-box smoke test for the query service: starts a real ebi_serve
+# process, fires concurrent mixed-protocol traffic from both frontends,
+# asserts the two protocols answer bit-identically and deterministically,
+# checks /metrics parses, then exercises graceful shutdown with requests
+# still in flight. Run from the workspace root (CI: service-smoke job).
+set -euo pipefail
+
+BIN=./target/release/ebi_serve
+if [ ! -x "$BIN" ]; then
+  cargo build --release -p ebi-service --bin ebi_serve
+fi
+
+workdir=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+# Force the fan-out path even for this small table so the smoke
+# exercises the worker pool, not just the serial fallback.
+EBI_SERVICE_MIN_DISPATCH_WORDS=0 \
+  "$BIN" --rows 20000 --shards 5 --max-inflight 6 >"$workdir/stdout" 2>"$workdir/stderr" &
+pid=$!
+
+# Wait for the machine-parseable ready line.
+ready=""
+for _ in $(seq 1 100); do
+  ready=$(grep -m1 '^EBI_SERVICE ' "$workdir/stdout" || true)
+  [ -n "$ready" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died during startup"; cat "$workdir/stderr"; exit 1; }
+  sleep 0.1
+done
+[ -n "$ready" ] || { echo "server never printed its ready line"; cat "$workdir/stderr"; exit 1; }
+
+tcp=${ready#*tcp=}; tcp=${tcp%% *}
+http=${ready#*http=}
+echo "service up: tcp=$tcp http=$http"
+
+python3 - "$tcp" "$http" <<'PYEOF'
+import json
+import socket
+import sys
+import threading
+import urllib.request
+import urllib.parse
+
+tcp_host, tcp_port = sys.argv[1].rsplit(":", 1)
+http_base = f"http://{sys.argv[2]}"
+
+QUERIES = [
+    "a=1",
+    "a=0 AND b=1",
+    "a IN 1,3,5 OR c IN 0,2",
+    "c BETWEEN 1 9 AND b BETWEEN 0 4",
+    "b=0 OR a=2 AND c=3",
+]
+
+
+def tcp_line(line):
+    with socket.create_connection((tcp_host, int(tcp_port)), timeout=10) as s:
+        s.sendall((line + "\n").encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return buf.decode().rstrip("\n")
+
+
+def http_get(path, ok_codes=(200,)):
+    try:
+        with urllib.request.urlopen(http_base + path, timeout=10) as r:
+            return r.status, r.read().decode()
+    except urllib.error.HTTPError as e:
+        assert e.code in ok_codes, f"{path}: HTTP {e.code}"
+        return e.code, e.read().decode()
+
+
+def tcp_answer(query):
+    resp = tcp_line(f"QUERY {query} LIMIT 25")
+    assert resp.startswith("OK {"), f"TCP refused {query!r}: {resp}"
+    return json.loads(resp[3:])
+
+
+def http_answer(query):
+    q = urllib.parse.quote(query)
+    status, body = http_get(f"/query?q={q}&limit=25")
+    assert status == 200, f"HTTP refused {query!r}: {body}"
+    return json.loads(body)
+
+
+# --- concurrent mixed-protocol storm, both frontends, checked answers ---
+reference = {}
+for query in QUERIES:
+    t = tcp_answer(query)
+    h = http_answer(query)
+    assert t["matches"] == h["matches"], f"{query!r}: TCP {t['matches']} != HTTP {h['matches']}"
+    assert t["rows"] == h["rows"], f"{query!r}: row lists diverge between protocols"
+    reference[query] = (t["matches"], t["rows"])
+
+errors = []
+
+
+def worker(proto, n):
+    try:
+        for i in range(n):
+            query = QUERIES[i % len(QUERIES)]
+            want_matches, want_rows = reference[query]
+            a = tcp_answer(query) if proto == "tcp" else http_answer(query)
+            assert a["matches"] == want_matches, f"{proto} {query!r}: matches drifted"
+            assert a["rows"] == want_rows, f"{proto} {query!r}: rows drifted"
+    except Exception as e:  # noqa: BLE001 - collected and reported below
+        errors.append(f"{proto}: {e}")
+
+
+threads = [threading.Thread(target=worker, args=(p, 25)) for p in ("tcp", "http") for _ in range(3)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+assert not errors, "concurrent storm failed: " + "; ".join(errors)
+print(f"mixed-protocol storm ok: {len(threads)} clients x 25 requests, answers stable")
+
+# --- protocol odds and ends ---
+assert tcp_line("PING") == "PONG"
+assert tcp_line("COUNT nosuch=1").startswith("ERR")
+status, _ = http_get("/nosuch", ok_codes=(404,))
+assert status == 404
+explain = tcp_line(f"EXPLAIN {QUERIES[1]}")
+assert "eval.worker" in explain, f"EXPLAIN lost the per-shard spans: {explain[:200]}"
+stats = json.loads(tcp_line("STATS")[3:])
+assert stats["shards"] == 5 and stats["max_inflight"] == 6
+
+# --- /metrics must parse as Prometheus text ---
+status, metrics = http_get("/metrics")
+assert status == 200
+assert "ebi_service_requests_total" in metrics
+for line in metrics.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    float(line.rsplit(" ", 1)[1])
+print("metrics ok:", sum(1 for l in metrics.splitlines() if l and not l.startswith("#")), "samples")
+
+# --- graceful shutdown with requests in flight ---
+def storm():
+    for i in range(60):
+        try:
+            resp = tcp_line(f"COUNT {QUERIES[i % len(QUERIES)]}")
+        except OSError:
+            break  # listener gone: drain finished
+        assert (
+            resp.startswith("OK {") or resp == "BUSY"
+            or resp.startswith("ERR draining") or resp == ""
+        ), f"torn response during drain: {resp!r}"
+
+
+stormers = [threading.Thread(target=storm) for _ in range(3)]
+for t in stormers:
+    t.start()
+req = urllib.request.Request(http_base + "/shutdown", data=b"", method="POST")
+with urllib.request.urlopen(req, timeout=10) as r:
+    body = r.read().decode()
+    assert "draining" in body, f"shutdown answered: {body}"
+for t in stormers:
+    t.join()
+print("graceful shutdown ok: drain acknowledged mid-storm, no torn responses")
+PYEOF
+
+# The server must exit cleanly and report its drain summary.
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "server did not exit after drain"; exit 1
+fi
+wait "$pid"
+grep -q 'drained; served=' "$workdir/stderr" || { echo "missing drain summary"; cat "$workdir/stderr"; exit 1; }
+echo "service smoke passed: $(grep 'drained;' "$workdir/stderr")"

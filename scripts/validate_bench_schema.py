@@ -8,6 +8,7 @@ bench-regression job. Each file declares its schema in a top-level
   ebi.bench_eval.v1        (BENCH_eval.json)
   ebi.bench_compressed.v2  (BENCH_compressed.json; v1 = no reorder section)
   ebi.bench_scaling.v1     (BENCH_scaling.json)
+  ebi.bench_service.v1     (BENCH_service.json)
 
 Exits non-zero on the first malformed file so CI fails loudly.
 
@@ -142,6 +143,37 @@ SPECS = {
             },
         },
     ),
+    "ebi.bench_service.v1": (
+        {
+            "workload": str,
+            "rows": int,
+            "unit": str,
+            "protocol": str,
+            "workers": int,
+            "max_inflight": int,
+            "cores_available": int,
+            "smoke": bool,
+            "shard_counts": list,
+            "client_counts": list,
+            "invariants": dict,
+            "notes": list,
+            "results": list,
+        },
+        {
+            "results": {
+                "shards": int,
+                "clients": int,
+                "requests": int,
+                "ok": int,
+                "busy": int,
+                "throughput_rps": NUM,
+                "p50_ns": int,
+                "p95_ns": int,
+                "p99_ns": int,
+                "throughput_scaling_vs_one_client": NUM,
+            },
+        },
+    ),
 }
 
 KERNEL_PATHS = {"scalar", "portable", "avx2"}
@@ -194,6 +226,19 @@ def check_file(path):
         for skew, storage, order in seen:
             if order != "original" and (skew, storage, "original") not in seen:
                 fail(path, f"reorder_results: {skew}/{storage} has a {order} row but no original baseline")
+    if schema == "ebi.bench_service.v1":
+        seen = set()
+        for i, row in enumerate(doc["results"]):
+            if not row["p50_ns"] <= row["p95_ns"] <= row["p99_ns"]:
+                fail(path, f"results[{i}]: percentiles not monotone (p50/p95/p99)")
+            if row["ok"] + row["busy"] != row["requests"]:
+                fail(path, f"results[{i}]: ok + busy != requests")
+            seen.add((row["shards"], row["clients"]))
+        for shards, clients in seen:
+            if clients != 1 and (shards, 1) not in seen:
+                fail(path, f"results: shards={shards} has clients={clients} but no 1-client baseline")
+        if doc["cores_available"] < 2 and not doc["notes"]:
+            fail(path, "single-core host must document the hardware limit in notes[]")
     if schema == "ebi.bench_scaling.v1":
         if doc["kernel_path"] not in KERNEL_PATHS:
             fail(path, f"kernel_path: {doc['kernel_path']!r} not in {sorted(KERNEL_PATHS)}")
