@@ -98,7 +98,7 @@ mod tests {
     #[test]
     fn answers_match_the_generic_ebi() {
         let cells: Vec<Cell> = (0..500u64).map(|i| Cell::Value(i % 31)).collect();
-        let idx = DynamicBitmapIndex::build(cells.clone());
+        let idx = DynamicBitmapIndex::build(cells);
         let r = idx.in_list(&[3, 4, 5, 6]);
         let expect: Vec<usize> = (0..500)
             .filter(|&i| (3..=6).contains(&(i as u64 % 31)))

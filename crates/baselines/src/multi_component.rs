@@ -58,7 +58,7 @@ impl MultiComponentIndex {
         for (row, cell) in cells.iter().enumerate() {
             match cell.value() {
                 Some(mut v) => {
-                    for comp in vectors.iter_mut() {
+                    for comp in &mut vectors {
                         comp[(v % base) as usize].set(row, true);
                         v /= base;
                     }

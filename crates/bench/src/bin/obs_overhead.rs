@@ -118,9 +118,29 @@ fn pct(over: u64, base: u64) -> f64 {
     (over as f64 - base as f64) / base as f64 * 100.0
 }
 
+const USAGE: &str = "\
+usage: obs_overhead [--smoke] [--check]
+
+  --smoke   shrink the dataset for CI
+  --check   exit 1 when the disabled-path overhead exceeds the budget";
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let check = std::env::args().any(|a| a == "--check");
+    let mut smoke = false;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("obs_overhead: unknown argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
     let sizes: &[usize] = if smoke {
         &[200_000]
     } else {

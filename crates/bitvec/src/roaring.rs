@@ -158,7 +158,7 @@ fn classify(words: &[u64; CHUNK_WORDS]) -> Option<Container> {
     let mut ones = 0usize;
     let mut runs = 0usize;
     let mut prev_msb = 0u64;
-    for &w in words.iter() {
+    for &w in words {
         ones += w.count_ones() as usize;
         // A run starts wherever a one is not preceded by a one.
         runs += (w & !(w << 1 | prev_msb)).count_ones() as usize;
@@ -1268,7 +1268,7 @@ mod tests {
         unsorted[21..23].copy_from_slice(&9u16.to_le_bytes());
         unsorted[23..25].copy_from_slice(&7u16.to_le_bytes());
         assert!(RoaringBitmap::from_bytes(&unsorted).is_err(), "unsorted");
-        let mut trailing = good.clone();
+        let mut trailing = good;
         trailing.push(0);
         assert!(RoaringBitmap::from_bytes(&trailing).is_err(), "trailing");
     }

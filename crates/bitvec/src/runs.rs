@@ -173,7 +173,8 @@ mod tests {
 
     #[test]
     fn containers_agree_on_run_structure() {
-        let patterns: [(usize, Box<dyn Fn(usize) -> bool>); 4] = [
+        type Pattern = (usize, Box<dyn Fn(usize) -> bool>);
+        let patterns: [Pattern; 4] = [
             (200_000, Box::new(|i| (30_000..90_000).contains(&i))),
             (200_000, Box::new(|i| i % 97 == 0)),
             (150_000, Box::new(|i| i % 1000 < 700)),

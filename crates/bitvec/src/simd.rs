@@ -594,6 +594,11 @@ mod avx2 {
     /// 4 × u64 per vector register.
     const LANES: usize = 4;
 
+    /// Unaligned 4-lane load.
+    ///
+    /// # Safety
+    /// `p .. p+4` must be in-bounds for reads, and the caller must have
+    /// verified AVX2 support before reaching this module.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn load(p: *const u64) -> __m256i {
@@ -602,6 +607,11 @@ mod avx2 {
         unsafe { _mm256_loadu_si256(p.cast()) }
     }
 
+    /// Unaligned 4-lane store.
+    ///
+    /// # Safety
+    /// `p .. p+4` must be in-bounds for writes, and the caller must
+    /// have verified AVX2 support before reaching this module.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn store(p: *mut u64, v: __m256i) {
@@ -792,13 +802,13 @@ mod tests {
     fn saturation_and_zero_edges() {
         for path in available_paths() {
             let mut dst = vec![u64::MAX; 8];
-            assert!(or_into(path, &mut dst, &vec![0u64; 8]), "{path:?}");
+            assert!(or_into(path, &mut dst, &[0u64; 8]), "{path:?}");
             let mut dst = vec![u64::MAX - 1; 7];
-            assert!(!or_into(path, &mut dst, &vec![0u64; 7]), "{path:?}");
+            assert!(!or_into(path, &mut dst, &[0u64; 7]), "{path:?}");
             let mut acc = vec![0u64; 9];
-            assert!(!init_pass(path, &mut acc, &vec![0u64; 9], false));
-            assert!(init_pass(path, &mut acc, &vec![0u64; 9], true));
-            assert!(!and_pass(path, &mut acc, &vec![0u64; 9], false));
+            assert!(!init_pass(path, &mut acc, &[0u64; 9], false));
+            assert!(init_pass(path, &mut acc, &[0u64; 9], true));
+            assert!(!and_pass(path, &mut acc, &[0u64; 9], false));
         }
     }
 

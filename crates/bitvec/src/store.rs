@@ -380,7 +380,7 @@ mod tests {
     #[test]
     fn densify_and_repack_roundtrip() {
         let bits = BitVec::from_positions(ADAPTIVE_MIN_BITS, &[1, 2, 3]);
-        let mut s = SliceStorage::from_dense(bits.clone(), StoragePolicy::Adaptive);
+        let mut s = SliceStorage::from_dense(bits, StoragePolicy::Adaptive);
         assert_eq!(s.kind(), StorageKind::Roaring);
         s.densify().set(10, true);
         assert_eq!(s.kind(), StorageKind::Dense);

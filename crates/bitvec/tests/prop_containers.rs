@@ -50,7 +50,7 @@ proptest! {
         let ra = RoaringBitmap::from_bitvec(&a);
         let rb = RoaringBitmap::from_bitvec(&b);
         prop_assert_eq!(ra.count_ones(), a.count_ones());
-        prop_assert_eq!(ra.to_bitvec(), a.clone(), "lossless round-trip");
+        prop_assert_eq!(ra.to_bitvec(), a, "lossless round-trip");
 
         let mut and = a.clone();
         and.and_assign(&b);
@@ -73,12 +73,12 @@ proptest! {
         let wa = WahBitmap::compress(&a);
         let wb = WahBitmap::compress(&b);
         prop_assert_eq!(wa.count_ones(), a.count_ones());
-        prop_assert_eq!(wa.decompress(), a.clone(), "lossless round-trip");
+        prop_assert_eq!(wa.decompress(), a, "lossless round-trip");
 
         let mut and = a.clone();
         and.and_assign(&b);
         prop_assert_eq!(wa.and(&wb).decompress(), and, "AND (densities {}/{})", da, db);
-        let mut or = a.clone();
+        let mut or = a;
         or.or_assign(&b);
         prop_assert_eq!(wa.or(&wb).decompress(), or, "OR");
     }
@@ -170,7 +170,7 @@ proptest! {
         }
         // Adaptive must pick *some* container that stays lossless.
         let adaptive = SliceStorage::from_dense(bits.clone(), StoragePolicy::Adaptive);
-        prop_assert_eq!(adaptive.to_dense(), bits.clone());
+        prop_assert_eq!(adaptive.to_dense(), bits);
         let reloaded = SliceStorage::from_bytes(&adaptive.to_bytes()).expect("decode");
         prop_assert_eq!(reloaded.kind(), adaptive.kind());
         prop_assert_eq!(reloaded.to_dense(), bits);

@@ -87,7 +87,7 @@ mod tests {
         assert_eq!(c, expr("B1 + B0", 2));
         // Without: the XOR shape.
         let c2 = complement(&a, &[]);
-        assert!(c2.equivalent(&expr("B1'B0 + B1B0'", 2).clone()) || c2.covers(0b11));
+        assert!(c2.equivalent(&expr("B1'B0 + B1B0'", 2)) || c2.covers(0b11));
     }
 
     #[test]

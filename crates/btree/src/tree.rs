@@ -412,7 +412,7 @@ mod tests {
         }
         t.check_invariants();
         let stored = t.keys();
-        let mut expect = keys.clone();
+        let mut expect = keys;
         expect.sort_unstable();
         expect.dedup();
         assert_eq!(stored, expect);

@@ -397,7 +397,7 @@ mod tests {
     fn kth_is_a_sorted_index() {
         let (values, m) = measure_and_values();
         let filter = BitVec::ones(500);
-        let mut sorted = values.clone();
+        let mut sorted = values;
         sorted.sort_unstable();
         for q in [0usize, 1, 100, 250, 499] {
             assert_eq!(m.kth_where(&filter, q).value, Some(sorted[q]), "q={q}");

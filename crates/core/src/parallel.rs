@@ -207,7 +207,11 @@ where
                             None => break,
                         },
                     };
-                    if let Some((chunk, off)) = units[idx].lock().expect("unit lock").take() {
+                    // Bind the popped unit first: an `if let` scrutinee
+                    // temporary would hold the unit lock for the whole
+                    // body (ebi-lint: guard-scrutinee).
+                    let unit = units[idx].lock().expect("unit lock").take();
+                    if let Some((chunk, off)) = unit {
                         eval_range(chunk, off, slot);
                         executed += 1;
                     }
@@ -627,7 +631,7 @@ mod tests {
         assert_eq!(effective_threads_for(8, rows, Some(2 * 62_500), 8), 8);
         // Post-pruning estimate below the parallel-work floor: serial.
         // This pins the delta=512 cliff fix — many rows, little work.
-        assert!(10_000 < MIN_PARALLEL_WORK_WORDS);
+        const { assert!(10_000 < MIN_PARALLEL_WORK_WORDS) };
         assert_eq!(effective_threads_for(8, rows, Some(10_000), 8), 1);
         // Middling estimate: split, but onto fewer workers so each
         // still has MIN_WORK_WORDS_PER_THREAD of traffic.

@@ -1,0 +1,1073 @@
+//! Lock-order analysis.
+//!
+//! The pass extracts every blocking lock acquisition (`.lock()`,
+//! `.read()`, `.write()` with empty argument lists — `try_lock` and
+//! I/O `read(buf)`/`write(buf)` calls never match) per function, tracks
+//! how long each guard lives, and builds a lock-order graph: an edge
+//! `A → B` means lock `B` was acquired while a guard on lock `A` was
+//! still alive. Locks are named by the receiver's final field
+//! identifier (`self.queues[slot].lock()` → `queues`) and scoped per
+//! file, so unrelated files that happen to share a field name cannot
+//! create phantom edges.
+//!
+//! Guard lifetimes follow the 2021-edition temporary-scope rules that
+//! caused the PR 8 deadlock:
+//!
+//! - `let g = m.lock();` (optionally through `.expect(..)`/`.unwrap()`)
+//!   binds a guard that lives to the end of the block, or to `drop(g)`.
+//! - `let v = m.lock().pop();` creates a *temporary* guard that dies at
+//!   the statement's `;`.
+//! - `if let P = m.lock().pop() { … }`, `while let …`, and
+//!   `match m.lock().pop() { … }` keep that temporary alive for the
+//!   whole body/arms — the scrutinee-temporary bug class. These sites
+//!   get a `guard-scrutinee` warning *and* keep the lock in the held
+//!   set while the body is scanned, so a nested acquisition still
+//!   produces the order edge that turns the pattern into an error.
+//! - `for p in m.lock().iter() { … }` holds the guard for the loop body
+//!   (no warning: iterating under a lock is an ordinary idiom, but the
+//!   held set must know).
+//!
+//! Acquisitions made by *called* functions count too: each call site
+//! records the locks held at the call, each function's transitive
+//! acquisition set is computed to a fixpoint over the same-file call
+//! graph, and `held × callee_acquires` edges are added. That is what
+//! catches the seeded `WorkerPool::submit`/`claim` AB-BA inversion,
+//! where `claim` only touches the state lock through `note_claimed`.
+//!
+//! Declared orders come from two merged sources: `[[lock_domain]]`
+//! entries in `lint.toml`, and in-source
+//! `// LINT_LOCK_ORDER: a < b [< c]` annotations. An observed edge
+//! against a declared order is a `lock-order-violation` error; a cycle
+//! in the observed graph (declared or not) is a `lock-order-cycle`
+//! error.
+
+use crate::config::Config;
+use crate::report::{Finding, Severity};
+use crate::scanner::{Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed nesting: `outer` was held when `inner` was acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Lock already held.
+    pub outer: String,
+    /// Lock acquired under it.
+    pub inner: String,
+    /// Line of the inner acquisition (or call site).
+    pub line: u32,
+    /// How the edge arose, for the finding message.
+    pub via: String,
+}
+
+/// Result of analysing one file.
+#[derive(Debug, Default)]
+pub struct FileLocks {
+    /// All observed order edges (self-edges excluded).
+    pub edges: Vec<Edge>,
+    /// Scrutinee-temporary hazards (line, lock name).
+    pub scrutinee_hazards: Vec<(u32, String)>,
+    /// Orders declared in-source via `LINT_LOCK_ORDER` annotations.
+    pub declared: Vec<Vec<String>>,
+}
+
+/// Runs the lock pass over one lexed file and the merged registry,
+/// appending findings.
+pub fn check(
+    file: &str,
+    tokens: &[Token],
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) -> FileLocks {
+    let mut analysis = analyse(tokens);
+
+    // Merge registry domains that apply to this file.
+    for dom in &config.lock_domains {
+        if dom.path == file {
+            analysis.declared.push(dom.order.clone());
+        }
+    }
+
+    for (line, lock) in &analysis.scrutinee_hazards {
+        findings.push(Finding {
+            lint: "guard-scrutinee",
+            severity: Severity::Warn,
+            file: file.to_string(),
+            line: *line,
+            message: format!(
+                "guard on `{lock}` is a scrutinee temporary: it outlives the expression and \
+                 stays locked for the whole body (the WorkerPool::claim bug class); bind the \
+                 popped value with `let` first so the guard drops at the statement"
+            ),
+        });
+    }
+
+    // Declared-order violations.
+    let mut declared_pairs: BTreeMap<(String, String), String> = BTreeMap::new();
+    for order in &analysis.declared {
+        for (i, a) in order.iter().enumerate() {
+            for b in order.iter().skip(i + 1) {
+                declared_pairs.insert((a.clone(), b.clone()), format!("{a} < {b}"));
+            }
+        }
+    }
+    for edge in &analysis.edges {
+        if let Some(rule) = declared_pairs.get(&(edge.inner.clone(), edge.outer.clone())) {
+            findings.push(Finding {
+                lint: "lock-order-violation",
+                severity: Severity::Error,
+                file: file.to_string(),
+                line: edge.line,
+                message: format!(
+                    "acquired `{}` while holding `{}` ({}), but the declared order is `{rule}`",
+                    edge.inner, edge.outer, edge.via
+                ),
+            });
+        }
+    }
+
+    // Cycle detection over the observed graph.
+    if let Some(cycle) = find_cycle(&analysis.edges) {
+        let lines: Vec<String> = cycle
+            .iter()
+            .map(|e| {
+                format!(
+                    "`{}` → `{}` at line {} ({})",
+                    e.outer, e.inner, e.line, e.via
+                )
+            })
+            .collect();
+        findings.push(Finding {
+            lint: "lock-order-cycle",
+            severity: Severity::Error,
+            file: file.to_string(),
+            line: cycle[0].line,
+            message: format!("lock-order cycle: {}", lines.join("; ")),
+        });
+    }
+
+    analysis
+}
+
+/// Extracts `LINT_LOCK_ORDER: a < b` annotations from comment tokens.
+fn declared_orders(tokens: &[Token]) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        if let Some(rest) = tok.text.trim().strip_prefix("LINT_LOCK_ORDER:") {
+            // Anything after two spaces is prose ("state < queues  (see …)").
+            let spec = rest.trim().split("  ").next().unwrap_or("");
+            let order: Vec<String> = spec
+                .split('<')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty() && s.chars().all(|c| c == '_' || c.is_alphanumeric()))
+                .collect();
+            if order.len() >= 2 {
+                out.push(order);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Function extraction and the guard-scope walker.
+// ---------------------------------------------------------------------------
+
+/// A function's direct lock behaviour.
+#[derive(Debug, Default)]
+struct FnInfo {
+    /// Locks acquired anywhere in the body (including temporaries).
+    acquires: BTreeSet<String>,
+    /// `(held locks, callee name, line)` for same-file call resolution.
+    calls: Vec<(BTreeSet<String>, String, u32)>,
+    /// Direct edges observed inside the body.
+    edges: Vec<Edge>,
+    /// Scrutinee hazards inside the body.
+    hazards: Vec<(u32, String)>,
+}
+
+fn analyse(tokens: &[Token]) -> FileLocks {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let mut fns: BTreeMap<String, FnInfo> = BTreeMap::new();
+
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is("fn") {
+            if let Some((name, body_range, next)) = fn_body(&code, i) {
+                let mut walker = Walker {
+                    code: &code,
+                    info: FnInfo::default(),
+                };
+                let mut scope = Scope::default();
+                walker.block(body_range.0, body_range.1, &mut scope);
+                let entry = fns.entry(name).or_default();
+                let info = walker.info;
+                entry.acquires.extend(info.acquires);
+                entry.calls.extend(info.calls);
+                entry.edges.extend(info.edges);
+                entry.hazards.extend(info.hazards);
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Transitive acquisition sets to a fixpoint over the call graph.
+    let mut eff: BTreeMap<String, BTreeSet<String>> = fns
+        .iter()
+        .map(|(name, info)| (name.clone(), info.acquires.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, info) in &fns {
+            let mut add = BTreeSet::new();
+            for (_, callee, _) in &info.calls {
+                if let Some(callee_locks) = eff.get(callee) {
+                    add.extend(callee_locks.iter().cloned());
+                }
+            }
+            let mine = eff.get_mut(name).expect("every fn seeded");
+            let before = mine.len();
+            mine.extend(add);
+            changed |= mine.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut result = FileLocks {
+        declared: declared_orders(tokens),
+        ..Default::default()
+    };
+    for (caller, info) in &fns {
+        result.edges.extend(info.edges.iter().cloned());
+        result
+            .scrutinee_hazards
+            .extend(info.hazards.iter().cloned());
+        for (held, callee, line) in &info.calls {
+            let Some(callee_locks) = eff.get(callee) else {
+                continue;
+            };
+            for outer in held {
+                for inner in callee_locks {
+                    if outer != inner {
+                        result.edges.push(Edge {
+                            outer: outer.clone(),
+                            inner: inner.clone(),
+                            line: *line,
+                            via: format!("{caller} calls {callee} which locks `{inner}`"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    result.edges.sort();
+    result.edges.dedup();
+    result
+}
+
+/// Finds `fn name … { body }` starting at the `fn` keyword index.
+/// Returns `(name, (body_open, body_close), index_after_body)`; `None`
+/// for bodiless declarations (trait methods, extern fns).
+fn fn_body(code: &[&Token], fn_idx: usize) -> Option<(String, (usize, usize), usize)> {
+    let name_tok = code.get(fn_idx + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    // Scan forward for the body `{` at zero paren/bracket depth, or a
+    // `;` (no body). Generic `<…>` sections contain no braces.
+    let mut depth = 0i32;
+    let mut j = fn_idx + 2;
+    while j < code.len() {
+        match code[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            ";" if depth == 0 => return None,
+            "{" if depth == 0 => {
+                let close = matching_brace(code, j)?;
+                return Some((name, (j + 1, close), close + 1));
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(code: &[&Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, tok) in code.iter().enumerate().skip(open) {
+        match tok.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A live guard.
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Resolved lock name (receiver field), if any.
+    lock: Option<String>,
+    /// Binding name when `let`-bound (killed by `drop(name)`).
+    binding: Option<String>,
+}
+
+/// Lexical guard scopes: one vec of guards per open block, plus the
+/// current statement's temporaries.
+#[derive(Debug, Default, Clone)]
+struct Scope {
+    blocks: Vec<Vec<Guard>>,
+    stmt_temps: Vec<Guard>,
+}
+
+impl Scope {
+    fn held(&self) -> BTreeSet<String> {
+        self.blocks
+            .iter()
+            .flatten()
+            .chain(self.stmt_temps.iter())
+            .filter_map(|g| g.lock.clone())
+            .collect()
+    }
+
+    /// Releases a `drop(name)`d guard — but only when the binding lives
+    /// in the *innermost* block. A drop in a deeper conditional block
+    /// (`if !st.open { drop(st); return; }`) only releases on that
+    /// path; on the fall-through path the guard is still held, so
+    /// conservatively it stays in the held set.
+    fn drop_binding(&mut self, name: &str) {
+        if let Some(block) = self.blocks.last_mut() {
+            block.retain(|g| g.binding.as_deref() != Some(name));
+        }
+    }
+}
+
+/// How a lock acquisition's guard is consumed by its expression.
+#[derive(Debug, PartialEq, Eq)]
+enum GuardFate {
+    /// The chain ends after guard-preserving adapters: a `let` can bind
+    /// it.
+    Bindable,
+    /// The chain continues past the guard (`.pop_front()` …): the guard
+    /// is an intermediate temporary.
+    Temporary,
+}
+
+struct Walker<'a> {
+    code: &'a [&'a Token],
+    info: FnInfo,
+}
+
+impl Walker<'_> {
+    /// Walks the token range `[start, end)` as a block body.
+    fn block(&mut self, start: usize, end: usize, scope: &mut Scope) {
+        scope.blocks.push(Vec::new());
+        let mut i = start;
+        while i < end {
+            i = self.statement(i, end, scope);
+        }
+        scope.blocks.pop();
+    }
+
+    /// Processes one statement (or expression fragment) starting at
+    /// `i`; returns the index after it.
+    #[allow(clippy::too_many_lines)]
+    fn statement(&mut self, i: usize, end: usize, scope: &mut Scope) -> usize {
+        let tok = self.code[i];
+        // `let PAT = EXPR ;`
+        if tok.is("let") {
+            return self.let_statement(i, end, scope);
+        }
+        // `if let` / `while let` — scrutinee temporaries live through
+        // the body.
+        if (tok.is("if") || tok.is("while")) && self.code.get(i + 1).is_some_and(|t| t.is("let")) {
+            return self.scrutinee_construct(i, end, scope, /* warn */ true);
+        }
+        // `match EXPR { … }` — ditto, across all arms.
+        if tok.is("match") {
+            return self.scrutinee_construct(i, end, scope, /* warn */ true);
+        }
+        // `for PAT in EXPR { … }` — iterator guards live through the
+        // body, but the idiom is ordinary: no warning.
+        if tok.is("for") {
+            return self.for_loop(i, end, scope);
+        }
+        // Plain nested block.
+        if tok.is("{") {
+            let close = matching_brace(self.code, i).unwrap_or(end);
+            self.block(i + 1, close.min(end), scope);
+            return close.min(end) + 1;
+        }
+        // `drop(name)` releases a bound guard.
+        if tok.is("drop")
+            && self.code.get(i + 1).is_some_and(|t| t.is("("))
+            && self.code.get(i + 3).is_some_and(|t| t.is(")"))
+        {
+            if let Some(name_tok) = self.code.get(i + 2) {
+                if name_tok.kind == TokenKind::Ident {
+                    let name = name_tok.text.clone();
+                    scope.drop_binding(&name);
+                    return i + 4;
+                }
+            }
+        }
+        // Everything else: scan this token as part of an expression
+        // statement; statement temporaries die at `;`.
+        let next = self.expr_token(i, end, scope, None);
+        if self
+            .code
+            .get(next.saturating_sub(1))
+            .is_some_and(|t| t.is(";"))
+        {
+            scope.stmt_temps.clear();
+        }
+        next
+    }
+
+    /// `let PAT = EXPR ;` — binds a guard when the initializer is a
+    /// bindable acquisition; otherwise initializer temporaries die at
+    /// the `;`.
+    fn let_statement(&mut self, let_idx: usize, end: usize, scope: &mut Scope) -> usize {
+        // Pattern: first bound identifier (skipping mut/ref/_).
+        let mut i = let_idx + 1;
+        let mut binding: Option<String> = None;
+        let mut depth = 0i32;
+        while i < end {
+            let t = self.code[i];
+            match t.text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "=" if depth <= 0 && !self.code.get(i + 1).is_some_and(|n| n.is("=")) => break,
+                ";" if depth <= 0 => {
+                    // `let x;` — nothing to track.
+                    return i + 1;
+                }
+                _ => {
+                    if t.kind == TokenKind::Ident
+                        && binding.is_none()
+                        && !matches!(t.text.as_str(), "mut" | "ref" | "_" | "box")
+                    {
+                        binding = Some(t.text.clone());
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Initializer: scan to the `;` at depth 0, tracking
+        // acquisitions. A bindable acquisition becomes a block-scoped
+        // guard under `binding`.
+        let mut j = i + 1;
+        let mut bound_guard: Option<Guard> = None;
+        while j < end {
+            let t = self.code[j];
+            if t.is(";") {
+                j += 1;
+                break;
+            }
+            if t.is("{") {
+                // Block initializer (`let x = { … };`) or struct
+                // literal / match inside: recurse as a scope.
+                let close = matching_brace(self.code, j).unwrap_or(end);
+                self.block(j + 1, close.min(end), scope);
+                j = close.min(end) + 1;
+                continue;
+            }
+            if t.is("match")
+                || ((t.is("if") || t.is("while"))
+                    && self.code.get(j + 1).is_some_and(|n| n.is("let")))
+            {
+                j = self.scrutinee_construct(j, end, scope, true);
+                continue;
+            }
+            if t.is("if") {
+                // `let x = if cond { … } else { … };` — walk through.
+                j += 1;
+                continue;
+            }
+            if let Some((lock, fate, after)) = self.acquisition(j, scope) {
+                if fate == GuardFate::Bindable && self.code.get(after).is_some_and(|t| t.is(";")) {
+                    // The whole initializer is the acquisition chain:
+                    // the binding holds the guard.
+                    bound_guard = Some(Guard {
+                        lock,
+                        binding: binding.clone(),
+                    });
+                } else {
+                    scope.stmt_temps.push(Guard {
+                        lock,
+                        binding: None,
+                    });
+                }
+                j = after;
+                continue;
+            }
+            self.call_site(j, scope);
+            j += 1;
+        }
+        scope.stmt_temps.clear();
+        if let Some(guard) = bound_guard {
+            if binding.as_deref() != Some("_") {
+                if let Some(block) = scope.blocks.last_mut() {
+                    block.push(guard);
+                }
+            }
+        }
+        j
+    }
+
+    /// `if let`/`while let`/`match`: scans the scrutinee, keeps its
+    /// temporary guards alive through the attached block(s), then
+    /// releases them.
+    fn scrutinee_construct(
+        &mut self,
+        start: usize,
+        end: usize,
+        scope: &mut Scope,
+        warn: bool,
+    ) -> usize {
+        // Find the body `{` at zero paren/bracket depth. For `if let`
+        // the scrutinee starts after the `=`; scanning from `start`
+        // also covers `match EXPR {`.
+        let mut depth = 0i32;
+        let mut j = start + 1;
+        let mut scrutinee_guards: Vec<Guard> = Vec::new();
+        while j < end {
+            let t = self.code[j];
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+            if let Some((lock, fate, after)) = self.acquisition(j, scope) {
+                // In a scrutinee even a "bindable" chain is bound by the
+                // *pattern*, which is legitimate; only chains that
+                // continue past the guard are the hazardous temporary.
+                if fate == GuardFate::Temporary {
+                    if warn {
+                        if let Some(name) = &lock {
+                            self.info.hazards.push((t.line, name.clone()));
+                        }
+                    }
+                    scrutinee_guards.push(Guard {
+                        lock,
+                        binding: None,
+                    });
+                } else {
+                    // Pattern-bound guard: alive for the body too.
+                    scrutinee_guards.push(Guard {
+                        lock,
+                        binding: None,
+                    });
+                }
+                j = after;
+                continue;
+            }
+            self.call_site(j, scope);
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        // Body (for match: all arms inside one brace pair) with the
+        // scrutinee guards pushed as an enclosing pseudo-block.
+        scope.blocks.push(scrutinee_guards);
+        let close = matching_brace(self.code, j).unwrap_or(end);
+        self.block(j + 1, close.min(end), scope);
+        let mut after = close.min(end) + 1;
+        // `else` / `else if` chains share the scrutinee lifetime.
+        while self.code.get(after).is_some_and(|t| t.is("else")) {
+            after += 1;
+            if self.code.get(after).is_some_and(|t| t.is("if")) {
+                // Re-enter for `else if (let)?`.
+                after = self.scrutinee_construct(after, end, scope, warn);
+            } else if self.code.get(after).is_some_and(|t| t.is("{")) {
+                let c = matching_brace(self.code, after).unwrap_or(end);
+                self.block(after + 1, c.min(end), scope);
+                after = c.min(end) + 1;
+            } else {
+                break;
+            }
+        }
+        scope.blocks.pop();
+        after
+    }
+
+    /// `for PAT in EXPR { … }` — iterator-chain guards live through the
+    /// body.
+    fn for_loop(&mut self, start: usize, end: usize, scope: &mut Scope) -> usize {
+        let mut depth = 0i32;
+        let mut j = start + 1;
+        let mut iter_guards: Vec<Guard> = Vec::new();
+        let mut seen_in = false;
+        while j < end {
+            let t = self.code[j];
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "in" if depth == 0 => seen_in = true,
+                "{" if depth == 0 && seen_in => break,
+                _ => {}
+            }
+            if seen_in {
+                if let Some((lock, _fate, after)) = self.acquisition(j, scope) {
+                    iter_guards.push(Guard {
+                        lock,
+                        binding: None,
+                    });
+                    j = after;
+                    continue;
+                }
+                self.call_site(j, scope);
+            }
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        scope.blocks.push(iter_guards);
+        let close = matching_brace(self.code, j).unwrap_or(end);
+        self.block(j + 1, close.min(end), scope);
+        scope.blocks.pop();
+        close.min(end) + 1
+    }
+
+    /// Handles one non-structural token inside an expression statement:
+    /// records acquisitions and call sites. Returns the next index.
+    fn expr_token(
+        &mut self,
+        i: usize,
+        _end: usize,
+        scope: &mut Scope,
+        _binding: Option<&str>,
+    ) -> usize {
+        if let Some((lock, _fate, after)) = self.acquisition(i, scope) {
+            scope.stmt_temps.push(Guard {
+                lock,
+                binding: None,
+            });
+            return after;
+        }
+        self.call_site(i, scope);
+        i + 1
+    }
+
+    /// Detects an acquisition whose *method token* is at or after `i`:
+    /// matches `. lock ( )`, `. read ( )`, `. write ( )` where `i` is
+    /// the `.`. On match: resolves the receiver, records the lock in
+    /// the function's acquire set, emits edges against currently-held
+    /// guards, and classifies the guard's fate by what follows the
+    /// adapter chain. Returns `(lock, fate, index_after_chain)`.
+    fn acquisition(
+        &mut self,
+        i: usize,
+        scope: &Scope,
+    ) -> Option<(Option<String>, GuardFate, usize)> {
+        if !self.code[i].is(".") {
+            return None;
+        }
+        let method = self.code.get(i + 1)?;
+        if !matches!(method.text.as_str(), "lock" | "read" | "write")
+            || method.kind != TokenKind::Ident
+        {
+            return None;
+        }
+        if !(self.code.get(i + 2).is_some_and(|t| t.is("("))
+            && self.code.get(i + 3).is_some_and(|t| t.is(")")))
+        {
+            return None;
+        }
+        let line = method.line;
+        let lock = self.receiver_name(i);
+
+        // Record edges: every held lock → this one.
+        if let Some(inner) = &lock {
+            for outer in scope.held() {
+                if &outer != inner {
+                    self.info.edges.push(Edge {
+                        outer,
+                        inner: inner.clone(),
+                        line,
+                        via: format!(".{}() on `{inner}`", method.text),
+                    });
+                }
+            }
+            self.info.acquires.insert(inner.clone());
+        }
+
+        // Walk the adapter chain: `.expect("…")` / `.unwrap()` keep the
+        // guard; any further `.method(` consumes it into a temporary.
+        let mut j = i + 4;
+        loop {
+            if self.code.get(j).is_some_and(|t| t.is("."))
+                && self
+                    .code
+                    .get(j + 1)
+                    .is_some_and(|t| matches!(t.text.as_str(), "expect" | "unwrap"))
+                && self.code.get(j + 2).is_some_and(|t| t.is("("))
+            {
+                // Skip to the matching `)` of the adapter call.
+                let mut depth = 0i32;
+                let mut k = j + 2;
+                while k < self.code.len() {
+                    match self.code[k].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+                continue;
+            }
+            break;
+        }
+        let fate = if self.code.get(j).is_some_and(|t| t.is(".")) {
+            GuardFate::Temporary
+        } else {
+            GuardFate::Bindable
+        };
+        Some((lock, fate, j))
+    }
+
+    /// Resolves the lock name for the acquisition whose `.` is at
+    /// `dot`: walks backwards over the receiver chain and returns the
+    /// final field/function identifier (`self.queues[slot]` → `queues`,
+    /// `collector()` → `collector`).
+    fn receiver_name(&self, dot: usize) -> Option<String> {
+        let mut j = dot;
+        loop {
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+            match self.code[j].text.as_str() {
+                "]" | ")" => {
+                    // Skip the matched group backwards.
+                    let open = if self.code[j].is("]") { "[" } else { "(" };
+                    let close = &self.code[j].text;
+                    let mut depth = 0i32;
+                    loop {
+                        if self.code[j].text == *close {
+                            depth += 1;
+                        } else if self.code[j].is(open) {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        if j == 0 {
+                            return None;
+                        }
+                        j -= 1;
+                    }
+                }
+                _ => {
+                    let t = self.code[j];
+                    if t.kind == TokenKind::Ident {
+                        if t.text == "self" {
+                            return None; // bare `self.lock()` — unnamed
+                        }
+                        return Some(t.text.clone());
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Records a call site `name(` or `.name(` with the current held
+    /// set, for cross-function edge propagation.
+    fn call_site(&mut self, i: usize, scope: &Scope) {
+        let t = self.code[i];
+        if t.kind != TokenKind::Ident || !self.code.get(i + 1).is_some_and(|n| n.is("(")) {
+            return;
+        }
+        if matches!(
+            t.text.as_str(),
+            "lock"
+                | "read"
+                | "write"
+                | "expect"
+                | "unwrap"
+                | "drop"
+                | "if"
+                | "while"
+                | "match"
+                | "for"
+                | "fn"
+        ) {
+            return;
+        }
+        let held = scope.held();
+        if !held.is_empty() {
+            self.info.calls.push((held, t.text.clone(), t.line));
+        } else {
+            // Still record for the transitive-acquire fixpoint.
+            self.info
+                .calls
+                .push((BTreeSet::new(), t.text.clone(), t.line));
+        }
+    }
+}
+
+/// Finds one cycle in the edge graph via DFS, returning its edges.
+fn find_cycle(edges: &[Edge]) -> Option<Vec<Edge>> {
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.outer.as_str()).or_default().push(e);
+    }
+    let nodes: BTreeSet<&str> = edges
+        .iter()
+        .flat_map(|e| [e.outer.as_str(), e.inner.as_str()])
+        .collect();
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new(); // 0 new, 1 open, 2 done
+    for start in nodes {
+        if state.get(start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut path: Vec<&Edge> = Vec::new();
+        if let Some(cycle) = dfs(start, &adj, &mut state, &mut path) {
+            return Some(cycle);
+        }
+    }
+    None
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a Edge>>,
+    state: &mut BTreeMap<&'a str, u8>,
+    path: &mut Vec<&'a Edge>,
+) -> Option<Vec<Edge>> {
+    state.insert(node, 1);
+    for edge in adj.get(node).map_or(&[][..], Vec::as_slice) {
+        let next = edge.inner.as_str();
+        match state.get(next).copied().unwrap_or(0) {
+            0 => {
+                path.push(edge);
+                if let Some(cycle) = dfs(next, adj, state, path) {
+                    return Some(cycle);
+                }
+                path.pop();
+            }
+            1 => {
+                // Found a back edge: slice the cycle out of the path.
+                let mut cycle: Vec<Edge> = Vec::new();
+                let mut in_cycle = false;
+                for e in path.iter() {
+                    if e.outer == next {
+                        in_cycle = true;
+                    }
+                    if in_cycle {
+                        cycle.push((*e).clone());
+                    }
+                }
+                cycle.push((*edge).clone());
+                return Some(cycle);
+            }
+            _ => {}
+        }
+    }
+    state.insert(node, 2);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::lex;
+
+    fn run(src: &str) -> (FileLocks, Vec<Finding>) {
+        let tokens = lex(src);
+        let mut findings = Vec::new();
+        let locks = check("test.rs", &tokens, &Config::default(), &mut findings);
+        (locks, findings)
+    }
+
+    #[test]
+    fn bound_guard_creates_edge() {
+        let (locks, _) = run(r#"
+            fn submit(&self) {
+                let mut st = self.state.lock().expect("poisoned");
+                self.queues[0].lock().expect("poisoned").push_back(1);
+                st.pending += 1;
+            }
+        "#);
+        assert!(locks
+            .edges
+            .iter()
+            .any(|e| e.outer == "state" && e.inner == "queues"));
+    }
+
+    #[test]
+    fn statement_temporary_does_not_leak() {
+        let (locks, findings) = run(r#"
+            fn claim(&self) {
+                let popped = self.queues[0].lock().expect("poisoned").pop_front();
+                self.state.lock().expect("poisoned").pending -= 1;
+            }
+        "#);
+        assert!(locks.edges.is_empty(), "{:?}", locks.edges);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn if_let_scrutinee_temporary_is_flagged_and_held() {
+        let (locks, findings) = run(r#"
+            fn claim(&self) {
+                if let Some(job) = self.queues[0].lock().expect("poisoned").pop_front() {
+                    self.state.lock().expect("poisoned").pending -= 1;
+                }
+            }
+        "#);
+        assert!(locks
+            .edges
+            .iter()
+            .any(|e| e.outer == "queues" && e.inner == "state"));
+        assert!(findings.iter().any(|f| f.lint == "guard-scrutinee"));
+    }
+
+    #[test]
+    fn abba_is_a_cycle() {
+        let (_, findings) = run(r#"
+            fn submit(&self) {
+                let mut st = self.state.lock().expect("p");
+                self.queues[0].lock().expect("p").push_back(1);
+                st.pending += 1;
+            }
+            fn claim(&self) {
+                if let Some(job) = self.queues[0].lock().expect("p").pop_front() {
+                    self.note_claimed(1);
+                }
+            }
+            fn note_claimed(&self, n: usize) {
+                let mut st = self.state.lock().expect("p");
+                st.pending -= n;
+            }
+        "#);
+        assert!(
+            findings.iter().any(|f| f.lint == "lock-order-cycle"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn declared_order_violation_without_cycle() {
+        let src = r#"
+            // LINT_LOCK_ORDER: pages < stats
+            fn bad(&self) {
+                let st = self.stats.lock();
+                self.pages.lock().clear();
+            }
+        "#;
+        let tokens = lex(src);
+        let mut findings = Vec::new();
+        check("test.rs", &tokens, &Config::default(), &mut findings);
+        assert!(
+            findings.iter().any(|f| f.lint == "lock-order-violation"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let (locks, _) = run(r#"
+            fn ok(&self) {
+                let st = self.state.lock();
+                drop(st);
+                self.queues[0].lock().push_back(1);
+            }
+        "#);
+        assert!(locks.edges.is_empty(), "{:?}", locks.edges);
+    }
+
+    #[test]
+    fn inner_block_scopes_guards() {
+        let (locks, _) = run(r#"
+            fn steal(&self) {
+                let stolen = {
+                    let mut q = self.queues[1].lock();
+                    q.split_off(2)
+                };
+                self.state.lock().pending -= 1;
+            }
+        "#);
+        assert!(locks.edges.is_empty(), "{:?}", locks.edges);
+    }
+
+    #[test]
+    fn for_loop_holds_iterator_guard_without_warning() {
+        let (locks, findings) = run(r#"
+            fn render(&self) {
+                for item in self.registry.lock().iter() {
+                    self.sink.lock().push(item);
+                }
+            }
+        "#);
+        assert!(locks
+            .edges
+            .iter()
+            .any(|e| e.outer == "registry" && e.inner == "sink"));
+        assert!(!findings.iter().any(|f| f.lint == "guard-scrutinee"));
+    }
+
+    #[test]
+    fn io_write_with_args_is_not_an_acquisition() {
+        let (locks, _) = run(r#"
+            fn send(&self) {
+                let st = self.state.lock();
+                stream.write(&buf).unwrap();
+                stream.read(&mut buf).unwrap();
+            }
+        "#);
+        assert!(locks.edges.is_empty(), "{:?}", locks.edges);
+    }
+
+    #[test]
+    fn rwlock_read_write_counts() {
+        let (locks, _) = run(r#"
+            fn swap(&self) {
+                let map = self.index.read();
+                self.journal.write().push(1);
+            }
+        "#);
+        assert!(locks
+            .edges
+            .iter()
+            .any(|e| e.outer == "index" && e.inner == "journal"));
+    }
+
+    #[test]
+    fn annotation_parsing() {
+        let tokens = lex("// LINT_LOCK_ORDER: state < queues  (see DESIGN.md)\nfn f() {}");
+        let orders = declared_orders(&tokens);
+        assert_eq!(
+            orders,
+            vec![vec!["state".to_string(), "queues".to_string()]]
+        );
+    }
+}

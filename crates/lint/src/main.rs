@@ -1,0 +1,99 @@
+//! `ebi-lint` driver.
+//!
+//! ```text
+//! cargo run --release -p ebi-lint -- --check --deny-warnings
+//! ```
+//!
+//! Exit codes follow the workspace bin convention: 0 clean, 1 gated
+//! findings, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "\
+usage: ebi-lint [--check] [--deny-warnings] [--root <dir>] [--report <path>]
+
+  --check           exit 1 when gated findings exist (default: report only)
+  --deny-warnings   gate on warnings as well as errors
+  --root <dir>      workspace root to scan (default: nearest dir with lint.toml,
+                    else the current directory)
+  --report <path>   where to write the ebi.lint.v1 JSONL report
+                    (default: <root>/bench_results/lint_report.jsonl)
+  -h, --help        show this message";
+
+fn main() {
+    let mut check = false;
+    let mut deny_warnings = false;
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => usage_error("--root needs a value"),
+            },
+            "--report" => match args.next() {
+                Some(v) => report_path = Some(PathBuf::from(v)),
+                None => usage_error("--report needs a value"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = root.unwrap_or_else(find_root);
+    let mut report = match ebi_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ebi-lint: {e}");
+            exit(2);
+        }
+    };
+    report.sort();
+
+    let report_path =
+        report_path.unwrap_or_else(|| root.join("bench_results").join("lint_report.jsonl"));
+    if let Some(dir) = report_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("ebi-lint: create {}: {e}", dir.display());
+            exit(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&report_path, report.to_jsonl()) {
+        eprintln!("ebi-lint: write {}: {e}", report_path.display());
+        exit(2);
+    }
+
+    print!("{}", report.to_text());
+    println!("report: {}", report_path.display());
+
+    if check && report.failed(deny_warnings) {
+        exit(1);
+    }
+}
+
+/// Nearest ancestor containing `lint.toml`, else the current dir.
+fn find_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("ebi-lint: {msg}\n{USAGE}");
+    exit(2)
+}

@@ -1,0 +1,270 @@
+//! Findings, severities, and the `ebi.lint.v1` JSONL report.
+//!
+//! One line per record, in three kinds:
+//!
+//! - `summary` — first line: files scanned, finding counts per
+//!   severity, the lints that ran, and the unsafe-site inventory size.
+//! - `finding` — one per finding: lint name, severity, workspace-
+//!   relative file, 1-based line, message.
+//! - `unsafe_site` — one per `unsafe` occurrence: file, line, the kind
+//!   of item (`block` / `fn` / `impl` / `trait`), and whether a
+//!   justification comment was found.
+//!
+//! `scripts/validate_lint_schema.py` checks the emitted file the same
+//! way the bench and obs schemas are checked in CI.
+
+use std::fmt::Write as _;
+
+/// Schema tag stamped on every JSONL line.
+pub const LINT_SCHEMA: &str = "ebi.lint.v1";
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational only; never gates.
+    Info,
+    /// Suspicious pattern; gates only under `--deny-warnings`.
+    Warn,
+    /// Invariant violation; always fails `--check`.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name used in the report and terminal output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Info => "info",
+            Self::Warn => "warn",
+            Self::Error => "error",
+        }
+    }
+}
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lint name (`lock-order-cycle`, `missing-safety-comment`, …).
+    pub lint: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line (0 for file-level findings such as manifest rules).
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// One `unsafe` occurrence for the audit inventory.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the `unsafe` token.
+    pub line: u32,
+    /// `block`, `fn`, `impl`, `trait`, or `other`.
+    pub item: &'static str,
+    /// Whether an adjacent `// SAFETY:` / `# Safety` justification was
+    /// found.
+    pub justified: bool,
+}
+
+/// The complete result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, lint) before rendering.
+    pub findings: Vec<Finding>,
+    /// Unsafe-site inventory, sorted by (file, line) before rendering.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Number of Rust files scanned.
+    pub files_scanned: usize,
+    /// Names of the lint passes that ran.
+    pub lints_run: Vec<&'static str>,
+}
+
+impl Report {
+    /// Count of findings at exactly `sev`.
+    #[must_use]
+    pub fn count(&self, sev: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == sev).count()
+    }
+
+    /// Whether the run should fail: any error, or any warning when
+    /// `deny_warnings` is set.
+    #[must_use]
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.count(Severity::Error) > 0 || (deny_warnings && self.count(Severity::Warn) > 0)
+    }
+
+    /// Sorts findings and the unsafe inventory into their canonical
+    /// order so the committed report artefact is deterministic.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+        self.unsafe_sites
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        self.lints_run.sort_unstable();
+        self.lints_run.dedup();
+    }
+
+    /// Renders the `ebi.lint.v1` JSONL document (summary line first).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{LINT_SCHEMA}\",\"kind\":\"summary\",\"files_scanned\":{},\
+             \"findings\":{{\"error\":{},\"warn\":{},\"info\":{}}},\"unsafe_sites\":{},\
+             \"lints\":[",
+            self.files_scanned,
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+            self.unsafe_sites.len(),
+        );
+        for (i, lint) in self.lints_run.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{lint}\"");
+        }
+        out.push_str("]}\n");
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{{\"schema\":\"{LINT_SCHEMA}\",\"kind\":\"finding\",\"lint\":\"{}\",\
+                 \"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                f.lint,
+                f.severity.name(),
+                escape(&f.file),
+                f.line,
+                escape(&f.message),
+            );
+        }
+        for s in &self.unsafe_sites {
+            let _ = writeln!(
+                out,
+                "{{\"schema\":\"{LINT_SCHEMA}\",\"kind\":\"unsafe_site\",\"file\":\"{}\",\
+                 \"line\":{},\"item\":\"{}\",\"justified\":{}}}",
+                escape(&s.file),
+                s.line,
+                s.item,
+                s.justified,
+            );
+        }
+        out
+    }
+
+    /// Renders findings for the terminal, `file:line: severity: …`.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}: {} [{}] {}",
+                f.file,
+                f.line,
+                f.severity.name(),
+                f.lint,
+                f.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} file(s) scanned: {} error(s), {} warning(s), {} unsafe site(s)",
+            self.files_scanned,
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.unsafe_sites.len(),
+        );
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            findings: vec![
+                Finding {
+                    lint: "metric-namespace",
+                    severity: Severity::Error,
+                    file: "b.rs".into(),
+                    line: 2,
+                    message: "bad \"name\"".into(),
+                },
+                Finding {
+                    lint: "guard-scrutinee",
+                    severity: Severity::Warn,
+                    file: "a.rs".into(),
+                    line: 9,
+                    message: "temp".into(),
+                },
+            ],
+            unsafe_sites: vec![UnsafeSite {
+                file: "c.rs".into(),
+                line: 4,
+                item: "block",
+                justified: true,
+            }],
+            files_scanned: 3,
+            lints_run: vec!["unsafe-audit", "lock-order"],
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn jsonl_has_summary_first_and_escapes() {
+        let doc = sample().to_jsonl();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"kind\":\"summary\""));
+        assert!(lines[0].contains("\"error\":1,\"warn\":1,\"info\":0"));
+        assert!(lines[0].contains("\"lints\":[\"lock-order\",\"unsafe-audit\"]"));
+        // Sorted by file: a.rs before b.rs.
+        assert!(lines[1].contains("a.rs"));
+        assert!(lines[2].contains("bad \\\"name\\\""));
+        assert!(lines[3].contains("\"justified\":true"));
+    }
+
+    #[test]
+    fn failure_gates() {
+        let r = sample();
+        assert!(r.failed(false));
+        let only_warn = Report {
+            findings: vec![Finding {
+                lint: "guard-scrutinee",
+                severity: Severity::Warn,
+                file: "a.rs".into(),
+                line: 1,
+                message: String::new(),
+            }],
+            ..Default::default()
+        };
+        assert!(!only_warn.failed(false));
+        assert!(only_warn.failed(true));
+    }
+}

@@ -1,0 +1,410 @@
+//! A hand-rolled token-level scanner for Rust source.
+//!
+//! The lint passes do not need a full parse tree — they need a faithful
+//! token stream with line numbers, where comments survive (the unsafe
+//! audit and the `LINT_LOCK_ORDER` annotations live in comments) and
+//! where strings, char literals, lifetimes and nested block comments
+//! can never be mistaken for code. That is exactly what this module
+//! provides, with no dependency on `syn` or any other crate: the
+//! workspace's `vendor/`-only policy applies to the linter itself.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `state`, …).
+    Ident,
+    /// Lifetime such as `'env` (distinguished from char literals).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`); `text`
+    /// holds the *contents* without quotes or prefix.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Single punctuation character (`{`, `.`, `;`, …).
+    Punct,
+    /// Comment; `text` holds the body without the `//`/`/*` markers.
+    /// Doc comments (`///`, `//!`, `/**`, `/*!`) are included.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what is stripped).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier/punct `s`.
+    #[must_use]
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s && matches!(self.kind, TokenKind::Ident | TokenKind::Punct)
+    }
+}
+
+/// Lexes `src` into a token stream, comments included.
+///
+/// The scanner is resilient by construction: any byte it cannot
+/// classify becomes a one-character [`TokenKind::Punct`], so malformed
+/// input degrades to noise tokens instead of a panic.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                ch if ch.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                ch if ch.is_ascii_digit() => self.number(line),
+                ch if ch == '_' || ch.is_alphabetic() => self.ident(line),
+                ch => {
+                    self.bump();
+                    self.push(TokenKind::Punct, ch.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump();
+        self.bump(); // consume `//`
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while let Some(c) = self.bump() {
+            if c == '/' && self.peek(0) == Some('*') {
+                self.bump();
+                depth += 1;
+                text.push_str("/*");
+            } else if c == '*' && self.peek(0) == Some('/') {
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    /// Lexes a `"…"` string (escapes honoured), pushing its contents.
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push('\\');
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Lexes `r"…"` / `r#"…"#` raw strings after the prefix ident was
+    /// seen. `hashes` is the number of `#` between `r` and the quote.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) != Some('"') {
+            // `r#foo` raw identifier, not a raw string: emit the ident.
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Ident, text, line);
+            return;
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A raw string ends at `"` followed by `hashes` hashes.
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        text.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Disambiguates char literals from lifetimes at a `'`.
+    fn char_or_lifetime(&mut self, line: u32) {
+        // Char literal if: `'\…'`, or `'x'` (single char then quote).
+        let next = self.peek(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if c != '\'' => self.peek(2) == Some('\''),
+            _ => false,
+        };
+        if is_char {
+            self.bump(); // opening quote
+            let mut text = String::new();
+            while let Some(c) = self.bump() {
+                if c == '\\' {
+                    text.push('\\');
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                } else {
+                    text.push(c);
+                }
+            }
+            self.push(TokenKind::Char, text, line);
+        } else {
+            self.bump(); // the `'`
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+                // Exponent sign: `1e-3`.
+                if (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && matches!(self.peek(0), Some('+' | '-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    text.push(self.bump().expect("peeked"));
+                }
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5`, but never eat the `..` of a range.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String prefixes: the ident may introduce a (raw) string or a
+        // byte-char literal instead of standing alone.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "rb", Some('"' | '#')) => self.raw_string(line),
+            ("b", Some('"')) => self.string(line),
+            ("b", Some('\'')) => self.char_or_lifetime(line),
+            _ => self.push(TokenKind::Ident, text, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Number, "42".into()),
+                (TokenKind::Punct, "+".into()),
+                (TokenKind::Ident, "y_2".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_survive_with_lines() {
+        let toks = lex("a\n// SAFETY: fine\nb /* block\nstill */ c");
+        assert_eq!(toks[1].kind, TokenKind::Comment);
+        assert_eq!(toks[1].text, " SAFETY: fine");
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[3].kind, TokenKind::Comment);
+        assert_eq!(toks[4].text, "c");
+        assert_eq!(toks[4].line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "unsafe { .lock() }";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unsafe"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unsafe")));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r####"let s = r#"quote " inside"#; t"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == r#"quote " inside"#));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "t".into()));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "bytes"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "x"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..n { let f = 1.5e-3; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1.5e-3"));
+        let dots = toks.iter().filter(|(_, t)| t == ".").count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn unsafe_code_is_one_ident() {
+        let toks = kinds("#![allow(unsafe_code)]");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe_code"));
+        assert!(!toks.iter().any(|(_, t)| t == "unsafe"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Unsafe audit: every `unsafe` block, fn, impl, or trait must carry a
+//! justification in an adjacent comment.
+//!
+//! Accepted justifications, checked over the contiguous comment run
+//! immediately above the `unsafe` item (attribute lines like
+//! `#[target_feature(...)]` and `#[inline]` are skipped while walking
+//! up), or on the same line as the `unsafe` token itself:
+//!
+//! - a `SAFETY:` marker (`// SAFETY: callers checked AVX2`), or
+//! - a `# Safety` doc section (`/// # Safety`), the rustdoc convention
+//!   for `pub unsafe fn`.
+//!
+//! Every site — justified or not — lands in the report's `unsafe_site`
+//! inventory, so the committed artefact doubles as the workspace unsafe
+//! census. Missing justifications are `missing-safety-comment` errors.
+
+use crate::report::{Finding, Severity, UnsafeSite};
+use crate::scanner::{Token, TokenKind};
+
+/// Runs the audit over one lexed file.
+pub fn check(
+    file: &str,
+    tokens: &[Token],
+    findings: &mut Vec<Finding>,
+    sites: &mut Vec<UnsafeSite>,
+) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is("unsafe") {
+            continue;
+        }
+        let item = classify(tokens, i);
+        let justified = has_justification(tokens, i);
+        sites.push(UnsafeSite {
+            file: file.to_string(),
+            line: tok.line,
+            item,
+            justified,
+        });
+        if !justified {
+            findings.push(Finding {
+                lint: "missing-safety-comment",
+                severity: Severity::Error,
+                file: file.to_string(),
+                line: tok.line,
+                message: format!(
+                    "`unsafe` {item} without an adjacent `// SAFETY:` (or `/// # Safety`) \
+                     justification"
+                ),
+            });
+        }
+    }
+}
+
+/// What kind of item the `unsafe` token at `idx` introduces, judged by
+/// the next non-comment token.
+fn classify(tokens: &[Token], idx: usize) -> &'static str {
+    for tok in tokens.iter().skip(idx + 1) {
+        if tok.kind == TokenKind::Comment {
+            continue;
+        }
+        return match tok.text.as_str() {
+            "{" => "block",
+            "fn" | "extern" => "fn",
+            "impl" => "impl",
+            "trait" => "trait",
+            _ => "other",
+        };
+    }
+    "other"
+}
+
+/// Whether a justification comment sits adjacent to the `unsafe` token
+/// at `idx`: in the contiguous comment run on the lines directly above
+/// (attributes skipped), or trailing on the same line.
+fn has_justification(tokens: &[Token], idx: usize) -> bool {
+    let line = tokens[idx].line;
+
+    // Same-line trailing comment: `let p = unsafe { … }; // SAFETY: …`
+    // The trailing comment may also sit on the *previous* statement line
+    // for multi-line unsafe blocks, which the walk-up below covers.
+    for tok in tokens.iter().skip(idx + 1) {
+        if tok.line > line {
+            break;
+        }
+        if tok.kind == TokenKind::Comment && is_marker(&tok.text) {
+            return true;
+        }
+    }
+
+    // Walk up: collect the comment lines directly above, allowing
+    // attribute lines (`#[…]`) and doc comments in between. Any gap of
+    // a non-comment, non-attribute token on an earlier line ends the
+    // run.
+    let mut expect_line = line; // next acceptable line (or above, for multi-line attrs)
+    for tok in tokens[..idx].iter().rev() {
+        if tok.line >= line {
+            // Code earlier on the same line (e.g. `let x = unsafe …`)
+            // does not break adjacency.
+            continue;
+        }
+        if tok.line < expect_line.saturating_sub(1) {
+            // A blank-line gap: the run (or its start) is not adjacent.
+            break;
+        }
+        match tok.kind {
+            TokenKind::Comment => {
+                if is_marker(&tok.text) {
+                    return true;
+                }
+                expect_line = tok.line;
+            }
+            _ => {
+                // Attributes and their contents are transparent:
+                // `#[target_feature(enable = "avx2")]` sits between the
+                // SAFETY comment and the fn.
+                if is_attr_token(tok) {
+                    expect_line = tok.line;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Tokens that may legitimately appear inside attribute lines between a
+/// justification and its item.
+fn is_attr_token(tok: &Token) -> bool {
+    matches!(tok.kind, TokenKind::Str | TokenKind::Number)
+        || tok.kind == TokenKind::Ident
+        || matches!(
+            tok.text.as_str(),
+            "#" | "[" | "]" | "(" | ")" | "=" | "," | "::" | ":" | "!"
+        )
+}
+
+/// Does this comment text contain a SAFETY marker?
+fn is_marker(text: &str) -> bool {
+    text.contains("SAFETY:") || text.contains("# Safety")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::lex;
+
+    fn run(src: &str) -> (Vec<Finding>, Vec<UnsafeSite>) {
+        let tokens = lex(src);
+        let mut findings = Vec::new();
+        let mut sites = Vec::new();
+        check("t.rs", &tokens, &mut findings, &mut sites);
+        (findings, sites)
+    }
+
+    #[test]
+    fn justified_block_passes() {
+        let (findings, sites) =
+            run("fn f() {\n    // SAFETY: len checked above\n    unsafe { go() }\n}\n");
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].justified);
+        assert_eq!(sites[0].item, "block");
+    }
+
+    #[test]
+    fn unjustified_block_flagged() {
+        let (findings, sites) = run("fn f() {\n    unsafe { go() }\n}\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "missing-safety-comment");
+        assert!(!sites[0].justified);
+    }
+
+    #[test]
+    fn doc_safety_section_counts_for_fns() {
+        let (findings, sites) = run(
+            "/// Does things.\n///\n/// # Safety\n///\n/// Caller must own `p`.\npub unsafe fn go(p: *mut u8) {}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(sites[0].item, "fn");
+    }
+
+    #[test]
+    fn attribute_between_comment_and_fn_is_transparent() {
+        let (findings, _) = run(
+            "// SAFETY: dispatch checks avx2 first\n#[target_feature(enable = \"avx2\")]\nunsafe fn kernel() {}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn same_line_trailing_comment_counts() {
+        let (findings, _) = run("fn f() { let x = unsafe { go() }; // SAFETY: checked\n}\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unrelated_comment_above_does_not_count() {
+        let (findings, _) = run("// makes it faster\nunsafe fn go() {}\n");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn blank_line_breaks_the_run() {
+        let (findings, _) = run("// SAFETY: something else entirely\n\n\nunsafe fn go() {}\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn unsafe_impl_classified() {
+        let (_, sites) = run("// SAFETY: no interior references\nunsafe impl Send for X {}\n");
+        assert_eq!(sites[0].item, "impl");
+    }
+}

@@ -1,0 +1,52 @@
+//! MUST-FLAG fixture: the pre-fix `WorkerPool::claim` from PR 8.
+//!
+//! `submit` nests state → queue. `claim` pops inside an `if let`
+//! scrutinee, so the queue guard temporary lives through the body and
+//! is still held when `note_claimed` takes the state lock: queue →
+//! state. Together that is the AB-BA cycle that deadlocked the service
+//! under submit/claim contention.
+//!
+//! Not compiled by cargo — the lint fixture tests feed this file to the
+//! analyzer and assert on the findings.
+
+impl<'env> WorkerPool<'env> {
+    pub fn submit(&self, job: Job<'env>) {
+        if self.queues.is_empty() {
+            job();
+            return;
+        }
+        {
+            let mut st = self.state.lock().expect("pool state poisoned");
+            if !st.open {
+                drop(st);
+                job();
+                return;
+            }
+            let slot = self.rr.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            self.queues[slot]
+                .lock()
+                .expect("queue poisoned")
+                .push_back(job);
+            st.pending += 1;
+        }
+        self.cv.notify_one();
+    }
+
+    fn claim(&self, me: usize) -> Option<Job<'env>> {
+        // BUG: the scrutinee's queue guard is a temporary that lives
+        // through the whole `if let` body, so `note_claimed` takes the
+        // state lock while the queue lock is still held.
+        if let Some(job) = self.queues[me].lock().expect("queue poisoned").pop_front() {
+            self.note_claimed(1);
+            return Some(job);
+        }
+        None
+    }
+
+    fn note_claimed(&self, n: usize) {
+        if n > 0 {
+            let mut st = self.state.lock().expect("pool state poisoned");
+            st.pending = st.pending.saturating_sub(n);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! MUST-PASS fixture: the fixed `WorkerPool::claim`.
+//!
+//! Identical to `abba_pool.rs` except the pop result is bound with a
+//! `let` first, so the queue guard drops at the statement boundary and
+//! no queue → state edge exists. The lint must report no lock findings
+//! here.
+//!
+//! Not compiled by cargo — the lint fixture tests feed this file to the
+//! analyzer and assert on the findings.
+
+impl<'env> WorkerPool<'env> {
+    pub fn submit(&self, job: Job<'env>) {
+        if self.queues.is_empty() {
+            job();
+            return;
+        }
+        {
+            let mut st = self.state.lock().expect("pool state poisoned");
+            if !st.open {
+                drop(st);
+                job();
+                return;
+            }
+            let slot = self.rr.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            self.queues[slot]
+                .lock()
+                .expect("queue poisoned")
+                .push_back(job);
+            st.pending += 1;
+        }
+        self.cv.notify_one();
+    }
+
+    fn claim(&self, me: usize) -> Option<Job<'env>> {
+        // The binding makes the queue guard drop before note_claimed
+        // touches the state lock.
+        let popped = self.queues[me].lock().expect("queue poisoned").pop_front();
+        if let Some(job) = popped {
+            self.note_claimed(1);
+            return Some(job);
+        }
+        None
+    }
+
+    fn note_claimed(&self, n: usize) {
+        if n > 0 {
+            let mut st = self.state.lock().expect("pool state poisoned");
+            st.pending = st.pending.saturating_sub(n);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! MUST-FLAG fixture: metric names outside the `ebi_*` namespace.
+//!
+//! One conforming registration (passes), one registry call with a
+//! name missing the namespace, and one stray full-match `ebi_` literal
+//! with an undeclared prefix (both must be `metric-namespace` errors).
+//!
+//! Not compiled by cargo — the lint fixture tests feed this file to the
+//! analyzer and assert on the findings.
+
+fn register(reg: &Registry) {
+    reg.counter("ebi_query_total", "Queries served.");
+    reg.counter("queries_total", "Missing the namespace prefix.");
+    publish("ebi_bogus_latency_seconds", 1);
+}

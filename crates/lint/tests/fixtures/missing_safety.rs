@@ -1,0 +1,23 @@
+//! MUST-FLAG fixture: `unsafe` without justification.
+//!
+//! Three sites: a justified block (passes), an unjustified block and an
+//! unjustified fn (both must be `missing-safety-comment` errors).
+//!
+//! Not compiled by cargo — the lint fixture tests feed this file to the
+//! analyzer and assert on the findings.
+
+fn justified(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+fn unjustified(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+unsafe fn no_docs(p: *mut u64) {
+    // SAFETY: the *inner* dereference is justified, but the unsafe fn
+    // declaration itself carries no `# Safety` contract — still an
+    // error.
+    unsafe { *p = 0 };
+}

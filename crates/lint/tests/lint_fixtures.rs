@@ -1,0 +1,110 @@
+//! Fixture self-tests: the corpus under `tests/fixtures/` pins the
+//! analyzer's behaviour on known-bad and known-good inputs — most
+//! importantly the verbatim pre-fix `WorkerPool::claim`, whose AB-BA
+//! inversion the lock pass must detect or the tool is not doing its
+//! one non-negotiable job.
+
+use ebi_lint::config::Config;
+use ebi_lint::report::Severity;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn pool_config() -> Config {
+    Config::parse(
+        r#"
+[metrics]
+prefixes = ["ebi_query_", "ebi_service_"]
+wrappers = ["publish"]
+
+[[lock_domain]]
+name = "fixture.pool"
+path = "pool.rs"
+order = ["state", "queues"]
+"#,
+    )
+    .expect("fixture config")
+}
+
+#[test]
+fn abba_pool_is_flagged_as_cycle_and_violation() {
+    let report = ebi_lint::run_on_source("pool.rs", &fixture("abba_pool.rs"), &pool_config());
+    let lints: Vec<&str> = report.findings.iter().map(|f| f.lint).collect();
+    assert!(
+        lints.contains(&"lock-order-cycle"),
+        "pre-fix claim must produce a cycle, got {lints:?}"
+    );
+    assert!(
+        lints.contains(&"lock-order-violation"),
+        "queue→state breaks the declared `state < queues` order, got {lints:?}"
+    );
+    assert!(
+        lints.contains(&"guard-scrutinee"),
+        "the scrutinee temporary itself must be warned about, got {lints:?}"
+    );
+    assert!(report.failed(false), "errors must gate --check");
+}
+
+#[test]
+fn fixed_pool_is_clean() {
+    let report = ebi_lint::run_on_source("pool.rs", &fixture("fixed_pool.rs"), &pool_config());
+    assert!(
+        report.findings.is_empty(),
+        "fixed claim must produce no findings, got {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn missing_safety_flags_exactly_the_unjustified_sites() {
+    let report = ebi_lint::run_on_source("m.rs", &fixture("missing_safety.rs"), &Config::default());
+    let missing: Vec<u32> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "missing-safety-comment")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(missing.len(), 2, "{:#?}", report.findings);
+    // The inventory records all three sites; exactly one is justified.
+    assert_eq!(report.unsafe_sites.len(), 4, "{:#?}", report.unsafe_sites);
+    assert_eq!(
+        report.unsafe_sites.iter().filter(|s| s.justified).count(),
+        2,
+        "{:#?}",
+        report.unsafe_sites
+    );
+    assert!(report.failed(false));
+}
+
+#[test]
+fn metric_mismatch_flags_both_bad_names() {
+    let report = ebi_lint::run_on_source("m.rs", &fixture("metric_mismatch.rs"), &pool_config());
+    let bad: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "metric-namespace")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert_eq!(bad.len(), 2, "{bad:#?}");
+    assert!(bad.iter().any(|m| m.contains("queries_total")));
+    // (substring, not the full name: this test file is itself linted)
+    assert!(bad.iter().any(|m| m.contains("bogus_latency_seconds")));
+    assert!(
+        !bad.iter().any(|m| m.contains("ebi_query_total")),
+        "the conforming name must pass"
+    );
+}
+
+#[test]
+fn severities_render_in_jsonl() {
+    let report = ebi_lint::run_on_source("pool.rs", &fixture("abba_pool.rs"), &pool_config());
+    let jsonl = report.to_jsonl();
+    let first = jsonl.lines().next().expect("summary line");
+    assert!(first.contains("\"schema\":\"ebi.lint.v1\""));
+    assert!(first.contains("\"kind\":\"summary\""));
+    assert!(report.count(Severity::Error) >= 2);
+}

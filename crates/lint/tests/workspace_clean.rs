@@ -1,0 +1,25 @@
+//! The workspace itself must lint clean: zero errors *and* zero
+//! warnings, so `--check --deny-warnings` in CI can never regress
+//! silently. Runs the same entry point as the binary.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = ebi_lint::run(&root).expect("lint run");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be finding-free; fix the code or (for a false positive) extend \
+         lint.toml:\n{}",
+        report.to_text()
+    );
+    // The unsafe inventory must be non-empty (simd.rs exists) and fully
+    // justified.
+    assert!(report.files_scanned > 100, "walker missed the workspace");
+    assert!(!report.unsafe_sites.is_empty());
+    assert!(report.unsafe_sites.iter().all(|s| s.justified));
+}

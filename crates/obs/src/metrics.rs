@@ -290,7 +290,7 @@ impl MetricsRegistry {
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
-    fn get_or_insert(&self, name: &str, labels: &[(&str, &str)], make: Instrument) -> Instrument {
+    fn get_or_insert(&self, name: &str, labels: &[(&str, &str)], make: &Instrument) -> Instrument {
         let labels = normalise_labels(labels);
         let mut shard = self.shard(name, &labels).lock();
         let entry = shard
@@ -312,7 +312,7 @@ impl MetricsRegistry {
     /// Panics if the key is already registered as a different kind.
     #[must_use]
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
-        match self.get_or_insert(name, labels, Instrument::Counter(Counter::default())) {
+        match self.get_or_insert(name, labels, &Instrument::Counter(Counter::default())) {
             Instrument::Counter(c) => c,
             _ => unreachable!("kind checked in get_or_insert"),
         }
@@ -325,7 +325,7 @@ impl MetricsRegistry {
     /// Panics if the key is already registered as a different kind.
     #[must_use]
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
-        match self.get_or_insert(name, labels, Instrument::Gauge(Gauge::default())) {
+        match self.get_or_insert(name, labels, &Instrument::Gauge(Gauge::default())) {
             Instrument::Gauge(g) => g,
             _ => unreachable!("kind checked in get_or_insert"),
         }
@@ -338,7 +338,7 @@ impl MetricsRegistry {
     /// Panics if the key is already registered as a different kind.
     #[must_use]
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
-        match self.get_or_insert(name, labels, Instrument::Histogram(Histogram::default())) {
+        match self.get_or_insert(name, labels, &Instrument::Histogram(Histogram::default())) {
             Instrument::Histogram(h) => h,
             _ => unreachable!("kind checked in get_or_insert"),
         }

@@ -41,6 +41,7 @@ struct PoolState {
 /// A fixed-size work-stealing pool. Workers are started externally
 /// (scoped threads calling [`WorkerPool::run_worker`]) so they may
 /// borrow the service environment.
+// LINT_LOCK_ORDER: state < queues  (registry copy: lint.toml [[lock_domain]] service.pool; see DESIGN.md §12)
 pub struct WorkerPool<'env> {
     queues: Vec<Mutex<VecDeque<Job<'env>>>>,
     state: Mutex<PoolState>,
@@ -127,7 +128,9 @@ impl<'env> WorkerPool<'env> {
     /// order here would be an AB-BA deadlock. The `popped` binding (not
     /// an `if let` on the locked pop, whose guard temporary would live
     /// through the body) makes the queue guard drop before
-    /// `note_claimed` touches state.
+    /// `note_claimed` touches state. The order is declared machine-
+    /// readably on the struct (`LINT_LOCK_ORDER`) and in `lint.toml`;
+    /// `ebi-lint` fails CI on any regression to the old pattern.
     fn claim(&self, me: usize) -> Option<Job<'env>> {
         let popped = self.queues[me].lock().expect("queue poisoned").pop_front();
         if let Some(job) = popped {

@@ -326,7 +326,7 @@ impl ShardedTable {
                 .filter_map(Cell::value)
                 .filter(|v| seen.insert(*v))
                 .collect();
-            mappings.push(Mapping::from_values(&first_seen).map_err(core_err)?);
+            mappings.push(Mapping::from_values(&first_seen).map_err(|e| core_err(&e))?);
         }
         let n = opts.shards.clamp(1, rows.max(1));
         let base = rows / n;
@@ -352,7 +352,7 @@ impl ShardedTable {
                         ..BuildOptions::default()
                     },
                 )
-                .map_err(core_err)?;
+                .map_err(|e| core_err(&e))?;
                 indexes.push(idx);
             }
             let rows_per_page = opts.rows_per_page.max(1);
@@ -505,7 +505,7 @@ impl ShardedTable {
     }
 }
 
-fn core_err(e: CoreError) -> ServiceError {
+fn core_err(e: &CoreError) -> ServiceError {
     ServiceError::Build(e.to_string())
 }
 

@@ -39,6 +39,7 @@ pub struct IoStats {
 /// Counters use interior mutability so reads can be counted through
 /// shared references, mirroring how a buffer manager observes traffic.
 #[derive(Debug)]
+// LINT_LOCK_ORDER: pages < stats  (registry copy: lint.toml [[lock_domain]] storage.pager; see DESIGN.md §12)
 pub struct Pager {
     page_size: usize,
     pages: Mutex<Vec<Box<[u8]>>>,

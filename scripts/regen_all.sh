@@ -41,5 +41,9 @@ for f in BENCH_eval BENCH_compressed BENCH_scaling BENCH_service; do
 done
 python3 scripts/validate_bench_schema.py bench_baselines/*.smoke.json
 
+echo "==== ebi-lint (committed lint report) ===="
+cargo run --release -p ebi-lint -- --check --deny-warnings
+python3 scripts/validate_lint_schema.py bench_results/lint_report.jsonl
+
 cargo test --workspace 2>&1 | tee test_output.txt
 cargo bench --workspace 2>&1 | tee bench_output.txt

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate bench_results/lint_report.jsonl against ebi.lint.v1.
+
+The schema is documented in DESIGN.md §12. Line 1 must be the summary
+record; finding and unsafe_site records follow. Exits non-zero on the
+first malformed line so CI fails loudly.
+
+Usage: validate_lint_schema.py [path/to/lint_report.jsonl]
+"""
+
+import json
+import sys
+
+SCHEMA = "ebi.lint.v1"
+
+SEVERITIES = {"info", "warn", "error"}
+UNSAFE_ITEMS = {"block", "fn", "impl", "trait", "other"}
+
+FINDING = {
+    "lint": str,
+    "severity": str,
+    "file": str,
+    "line": int,
+    "message": str,
+}
+
+UNSAFE_SITE = {
+    "file": str,
+    "line": int,
+    "item": str,
+    "justified": bool,
+}
+
+
+def fail(lineno, msg):
+    print(f"lint_report.jsonl:{lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_keys(lineno, doc, spec):
+    for key, typ in spec.items():
+        if key not in doc:
+            fail(lineno, f"missing key {key!r}")
+        if not isinstance(doc[key], typ):
+            fail(lineno, f"{key}: expected {typ.__name__}, got {type(doc[key]).__name__}")
+
+
+def check_summary(lineno, doc):
+    for key, typ in (("files_scanned", int), ("findings", dict), ("unsafe_sites", int), ("lints", list)):
+        if key not in doc:
+            fail(lineno, f"summary: missing key {key!r}")
+        if not isinstance(doc[key], typ):
+            fail(lineno, f"summary.{key}: expected {typ.__name__}")
+    for sev in ("error", "warn", "info"):
+        v = doc["findings"].get(sev)
+        if not isinstance(v, int) or v < 0:
+            fail(lineno, f"summary.findings.{sev}: expected non-negative int, got {v!r}")
+    if not all(isinstance(name, str) for name in doc["lints"]):
+        fail(lineno, "summary.lints: expected list of strings")
+    if doc["files_scanned"] <= 0:
+        fail(lineno, "summary.files_scanned: lint scanned nothing")
+    return doc["findings"], doc["unsafe_sites"]
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_results/lint_report.jsonl"
+    with open(path, encoding="utf-8") as f:
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    if not lines:
+        print(f"{path}: empty report", file=sys.stderr)
+        sys.exit(1)
+
+    counts = {"finding": 0, "unsafe_site": 0}
+    by_severity = {"error": 0, "warn": 0, "info": 0}
+    summary_findings = None
+    summary_unsafe = None
+    for lineno, line in enumerate(lines, 1):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(lineno, f"invalid JSON: {e}")
+        if doc.get("schema") != SCHEMA:
+            fail(lineno, f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+        kind = doc.get("kind")
+        if lineno == 1:
+            if kind != "summary":
+                fail(lineno, f"first record must be the summary, got kind {kind!r}")
+            summary_findings, summary_unsafe = check_summary(lineno, doc)
+            continue
+        if kind == "summary":
+            fail(lineno, "duplicate summary record")
+        elif kind == "finding":
+            check_keys(lineno, doc, FINDING)
+            if doc["severity"] not in SEVERITIES:
+                fail(lineno, f"severity {doc['severity']!r} not in {sorted(SEVERITIES)}")
+            if doc["line"] < 0:
+                fail(lineno, "line: expected non-negative int")
+            counts["finding"] += 1
+            by_severity[doc["severity"]] += 1
+        elif kind == "unsafe_site":
+            check_keys(lineno, doc, UNSAFE_SITE)
+            if doc["item"] not in UNSAFE_ITEMS:
+                fail(lineno, f"item {doc['item']!r} not in {sorted(UNSAFE_ITEMS)}")
+            counts["unsafe_site"] += 1
+        else:
+            fail(lineno, f"unknown kind {kind!r}")
+
+    # The summary must agree with the record counts.
+    for sev, n in by_severity.items():
+        if summary_findings[sev] != n:
+            fail(1, f"summary says {summary_findings[sev]} {sev} finding(s), file has {n}")
+    if summary_unsafe != counts["unsafe_site"]:
+        fail(1, f"summary says {summary_unsafe} unsafe site(s), file has {counts['unsafe_site']}")
+
+    print(
+        f"{path}: summary + {counts['finding']} finding(s) + "
+        f"{counts['unsafe_site']} unsafe site(s) valid against {SCHEMA}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -140,7 +140,7 @@ proptest! {
         // Random permutation of the mapped codes at the same width.
         let values: Vec<u64> = idx.mapping().iter().map(|(v, _)| v).collect();
         let space: Vec<u64> = (0..(1u64 << idx.width())).collect();
-        let mut codes = space.clone();
+        let mut codes = space;
         let mut state = perm_seed | 1;
         for i in (1..codes.len()).rev() {
             state ^= state << 13;

@@ -42,7 +42,7 @@ proptest! {
     fn wah_roundtrip_and_popcount(bools in prop::collection::vec(any::<bool>(), 0..700)) {
         let v: BitVec = bools.iter().copied().collect();
         let wah = WahBitmap::compress(&v);
-        prop_assert_eq!(wah.decompress(), v.clone());
+        prop_assert_eq!(wah.decompress(), v);
         prop_assert_eq!(wah.count_ones(), v.count_ones());
         let restored = WahBitmap::from_bytes(&wah.to_bytes()).unwrap();
         prop_assert_eq!(restored.decompress(), v);

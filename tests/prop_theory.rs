@@ -47,7 +47,7 @@ proptest! {
         let codes: Vec<u64> = codes.into_iter().collect();
         if let Some(chain) = find_chain(&codes) {
             prop_assert!(is_chain(&chain), "find_chain output must satisfy Definition 2.3");
-            let mut sorted_chain = chain.clone();
+            let mut sorted_chain = chain;
             sorted_chain.sort_unstable();
             let mut sorted_codes = codes.clone();
             sorted_codes.sort_unstable();
