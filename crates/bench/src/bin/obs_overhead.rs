@@ -20,10 +20,14 @@
 use ebi_bench::uniform_cells;
 use ebi_core::index::QueryOptions;
 use ebi_core::EncodedBitmapIndex;
+use ebi_service::{ColumnSpec, ServiceConfig, ShardedTable, TableOptions};
 use ebi_warehouse::workload::{Predicate, Query};
 use ebi_warehouse::{ConjunctiveQuery, DnfQuery, Executor};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// Disabled-path overhead budget, percent.
 const BUDGET_PCT: f64 = 2.0;
@@ -218,8 +222,11 @@ fn main() {
         );
     }
 
+    let service = service_section(smoke);
+
     let json = format!(
-        "{{\"schema\":\"ebi.bench_obs.v1\",\"budget_pct\":{BUDGET_PCT},\"results\":[{results}]}}\n"
+        "{{\"schema\":\"ebi.bench_obs.v1\",\"budget_pct\":{BUDGET_PCT},\"results\":[{results}],\
+         \"service\":{service}}}\n"
     );
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -231,4 +238,124 @@ fn main() {
         eprintln!("disabled-path overhead exceeds the {BUDGET_PCT}% budget");
         std::process::exit(1);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Service mix: full tail-sampled tracing cost, end to end
+// ---------------------------------------------------------------------------
+
+/// The service bench's query mix (mid-selectivity COUNTs over every
+/// shard).
+const SERVICE_MIX: &[&str] = &["a=1", "a IN 1,3,5 AND b BETWEEN 2 9", "a=0 OR b=1"];
+
+/// Deterministic two-column table matching `service_bench`'s shape.
+fn service_columns(rows: usize) -> Vec<ColumnSpec> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut a = Vec::with_capacity(rows);
+    let mut b = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        a.push(ebi_storage::Cell::Value(next() % 7));
+        b.push(ebi_storage::Cell::Value(next() % 13));
+    }
+    vec![ColumnSpec::new("a", a), ColumnSpec::new("b", b)]
+}
+
+/// Times one closed-loop client: `reqs` COUNT requests cycling the
+/// mix, returning total nanoseconds.
+fn drive_service(tcp: std::net::SocketAddr, reqs: usize) -> u64 {
+    let mut stream = TcpStream::connect(tcp).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let start = Instant::now();
+    let mut line = String::new();
+    for i in 0..reqs {
+        let q = SERVICE_MIX[i % SERVICE_MIX.len()];
+        stream
+            .write_all(format!("COUNT {q}\n").as_bytes())
+            .expect("write");
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        assert!(line.starts_with("OK {"), "service answered {line}");
+    }
+    start.elapsed().as_nanos() as u64
+}
+
+/// Measures per-request latency of the service mix in one obs mode
+/// against a live in-process service (min of `rounds` medians-of-one,
+/// mirroring the index-path discipline at service scale).
+fn measure_service(tcp: std::net::SocketAddr, reqs: usize) -> u64 {
+    let _ = drive_service(tcp, reqs); // warm-up
+    let best = (0..5).map(|_| drive_service(tcp, reqs)).min().unwrap();
+    best / reqs as u64
+}
+
+/// The enabled-path section: what full always-on tail-sampled tracing
+/// costs under the service mix. Three figures over the same table:
+///
+/// * `disabled` — subscriber off: the ring still retains every trace
+///   (tail sampling is always on) but reports carry no phase tree;
+/// * `enabled` — subscriber on: spans, `QueryReport` assembly, ring;
+/// * `tail_all_slow` — subscriber on with a 0ms slow threshold, so
+///   every trace is additionally classified and retained as slow —
+///   the worst-case tail-sampling write path.
+fn service_section(smoke: bool) -> String {
+    let (rows, reqs) = if smoke { (50_000, 200) } else { (500_000, 400) };
+    let shards = 4;
+    let table = ShardedTable::build(
+        service_columns(rows),
+        &TableOptions {
+            shards,
+            ..TableOptions::default()
+        },
+    )
+    .expect("table builds");
+
+    let run_mode = |enabled: bool, slow_ms: Option<u64>| -> u64 {
+        let cfg = ServiceConfig {
+            workers: 2,
+            max_inflight: 4,
+            timeout: Duration::from_secs(10),
+            min_dispatch_words: 0,
+            slow_query_ms: slow_ms,
+            ..ServiceConfig::default()
+        };
+        ebi_obs::set_enabled(enabled);
+        let (tx, rx) = mpsc::channel();
+        let table = &table;
+        let ns = std::thread::scope(|s| {
+            let server = s.spawn(move || {
+                ebi_service::run(table, &cfg, |h| tx.send(h).expect("send"))
+            });
+            let handle = rx.recv().expect("service came up");
+            let ns = measure_service(handle.tcp_addr(), reqs);
+            handle.shutdown();
+            server.join().expect("service thread").expect("service ran");
+            ns
+        });
+        ebi_obs::set_enabled(false);
+        ns
+    };
+
+    let disabled_ns = run_mode(false, None);
+    let enabled_ns = run_mode(true, None);
+    let tail_ns = run_mode(true, Some(0));
+    let enabled_pct = pct(enabled_ns, disabled_ns);
+    let tail_pct = pct(tail_ns, disabled_ns);
+    println!(
+        "service mix ({rows} rows x {shards} shards): disabled={disabled_ns}ns/req \
+         enabled={enabled_ns}ns/req ({enabled_pct:+.2}%) tail_all_slow={tail_ns}ns/req \
+         ({tail_pct:+.2}%)"
+    );
+    format!(
+        "{{\"rows\":{rows},\"shards\":{shards},\"requests\":{reqs},\
+         \"disabled_ns_per_req\":{disabled_ns},\"enabled_ns_per_req\":{enabled_ns},\
+         \"tail_all_slow_ns_per_req\":{tail_ns},\"enabled_overhead_pct\":{enabled_pct:.3},\
+         \"tail_all_slow_overhead_pct\":{tail_pct:.3}}}"
+    )
 }

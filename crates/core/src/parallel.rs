@@ -217,6 +217,9 @@ where
                     }
                 }
                 if span.is_live() {
+                    if let Some(h) = parent {
+                        span.attr("trace", h.trace());
+                    }
                     span.attr("worker", w as u64);
                     span.attr("units_executed", executed);
                     span.attr("units_stolen", stolen);

@@ -11,6 +11,9 @@
 //! prefixes = ["ebi_query_", "ebi_service_"]
 //! wrappers = ["publish"]
 //!
+//! [logging]
+//! structured = ["crates/service/src"]
+//!
 //! [[lock_domain]]
 //! name = "service.pool"
 //! path = "crates/service/src/pool.rs"
@@ -43,6 +46,10 @@ pub struct Config {
     pub metric_wrappers: Vec<String>,
     /// Exact `ebi_*` literals exempt from the namespace rule.
     pub metric_allow: Vec<String>,
+    /// Workspace-relative path prefixes where logging must go through
+    /// `ebi-obs`: bare `println!` / `eprintln!` outside `src/bin/` and
+    /// `#[cfg(test)]` is a finding.
+    pub structured_logging: Vec<String>,
     /// Declared lock-order domains.
     pub lock_domains: Vec<LockDomain>,
 }
@@ -90,6 +97,9 @@ impl Config {
                 ("metrics", "prefixes") => cfg.metric_prefixes = parse_string_array(value, lineno)?,
                 ("metrics", "wrappers") => cfg.metric_wrappers = parse_string_array(value, lineno)?,
                 ("metrics", "allow") => cfg.metric_allow = parse_string_array(value, lineno)?,
+                ("logging", "structured") => {
+                    cfg.structured_logging = parse_string_array(value, lineno)?;
+                }
                 ("lock_domain", k) => {
                     let dom = cfg.lock_domains.last_mut().ok_or_else(|| {
                         format!("lint.toml:{lineno}: key outside [[lock_domain]]")
@@ -166,6 +176,9 @@ mod tests {
 prefixes = ["ebi_query_", "ebi_service_"] # namespace
 wrappers = ["publish"]
 
+[logging]
+structured = ["crates/service/src"]
+
 [[lock_domain]]
 name = "service.pool"
 path = "crates/service/src/pool.rs"
@@ -180,6 +193,7 @@ order = ["pages", "stats"]
         .expect("parse");
         assert_eq!(cfg.metric_prefixes.len(), 2);
         assert_eq!(cfg.metric_wrappers, vec!["publish"]);
+        assert_eq!(cfg.structured_logging, vec!["crates/service/src"]);
         assert_eq!(cfg.lock_domains.len(), 2);
         assert_eq!(cfg.lock_domains[0].order, vec!["state", "queues"]);
         assert_eq!(cfg.lock_domains[1].path, "crates/storage/src/pager.rs");

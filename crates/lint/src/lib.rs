@@ -14,7 +14,9 @@
 //! - [`unsafe_audit`] — every `unsafe` site must carry a `// SAFETY:`
 //!   or `/// # Safety` justification; all sites are inventoried.
 //! - [`policy`] — vendored-only dependencies, the `ebi_*` metric
-//!   namespace, and the bench-binary usage convention.
+//!   namespace, the bench-binary usage convention, and structured
+//!   logging (service code must emit `ebi.log.v1` via ebi-obs, not
+//!   bare `eprintln!`).
 //!
 //! Results land in a [`report::Report`] rendered as `ebi.lint.v1`
 //! JSONL, validated in CI by `scripts/validate_lint_schema.py`.
@@ -94,6 +96,7 @@ fn lint_file(rel: &str, src: &str, config: &Config, report: &mut Report) {
     locks::check(rel, &tokens, config, &mut report.findings);
     unsafe_audit::check(rel, &tokens, &mut report.findings, &mut report.unsafe_sites);
     policy::check_metrics(rel, &tokens, config, &mut report.findings);
+    policy::check_logging(rel, &tokens, config, &mut report.findings);
     if rel.contains("src/bin/") {
         policy::check_bin_usage(rel, &tokens, &mut report.findings);
     }
@@ -114,6 +117,7 @@ pub fn run(root: &Path) -> Result<Report, String> {
             "unsafe-audit",
             "vendored-deps",
             "metric-namespace",
+            "structured-logging",
             "bin-usage",
         ],
         ..Report::default()
@@ -144,6 +148,7 @@ pub fn run_on_source(rel: &str, src: &str, config: &Config) -> Report {
             "unsafe-audit",
             "vendored-deps",
             "metric-namespace",
+            "structured-logging",
             "bin-usage",
         ],
         ..Report::default()

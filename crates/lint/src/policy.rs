@@ -203,6 +203,52 @@ fn cfg_test_ranges(code: &[&Token]) -> Vec<(usize, usize)> {
 }
 
 // ---------------------------------------------------------------------------
+// structured-logging: service code must log through ebi-obs.
+// ---------------------------------------------------------------------------
+
+/// Flags bare `println!` / `eprintln!` in files under a declared
+/// `[logging] structured` path prefix. Binaries (`src/bin/`) and
+/// `#[cfg(test)]` modules are exempt: the rule targets library code on
+/// the request path, whose output must be the `ebi.log.v1` JSONL that
+/// request-id correlation and the log sinks rely on.
+pub fn check_logging(file: &str, tokens: &[Token], config: &Config, findings: &mut Vec<Finding>) {
+    if config.structured_logging.is_empty() {
+        return; // no registry: the lint is unconfigured, not violated
+    }
+    if !config.structured_logging.iter().any(|p| file.starts_with(p.as_str())) {
+        return;
+    }
+    if file.contains("src/bin/") {
+        return;
+    }
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let test_ranges = cfg_test_ranges(&code);
+    let in_test = |i: usize| test_ranges.iter().any(|(a, b)| i > *a && i < *b);
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || (tok.text != "eprintln" && tok.text != "println") {
+            continue;
+        }
+        if !code.get(i + 1).is_some_and(|t| t.is("!")) || in_test(i) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: "structured-logging",
+            severity: Severity::Error,
+            file: file.to_string(),
+            line: tok.line,
+            message: format!(
+                "bare `{}!` in structured-logging code; emit `ebi.log.v1` records via \
+                 ebi_obs::log instead",
+                tok.text
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // bin-usage: src/bin/*.rs convention.
 // ---------------------------------------------------------------------------
 
@@ -266,6 +312,7 @@ mod tests {
             metric_prefixes: vec!["ebi_query_".into(), "ebi_service_".into()],
             metric_wrappers: vec!["publish".into()],
             metric_allow: vec!["ebi_build_info".into()],
+            structured_logging: Vec::new(),
             lock_domains: Vec::new(),
         }
     }

@@ -1,0 +1,24 @@
+//! structured-logging fixture: library code on the request path using
+//! bare print macros where `ebi.log.v1` records are required, plus the
+//! shapes that must stay exempt (tests, a `print!`-free log call).
+
+pub fn handle(msg: &str) {
+    eprintln!("refused: {msg}"); // finding: bare eprintln! in service code
+    println!("served {msg}"); // finding: bare println! in service code
+}
+
+pub fn structured(msg: &str) {
+    // Clean: the structured path (any non-print call shape).
+    log_info("service.server", msg);
+}
+
+fn log_info(_target: &str, _msg: &str) {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        eprintln!("debug output in a test is exempt");
+        println!("so is stdout");
+    }
+}

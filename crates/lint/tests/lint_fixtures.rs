@@ -100,6 +100,39 @@ fn metric_mismatch_flags_both_bad_names() {
 }
 
 #[test]
+fn bare_prints_in_service_code_are_flagged_outside_tests_and_bins() {
+    let config = Config::parse("[logging]\nstructured = [\"crates/service/src\"]\n")
+        .expect("logging config");
+    let rel = "crates/service/src/server.rs";
+    let src = fixture("bare_eprintln.rs");
+    let report = ebi_lint::run_on_source(rel, &src, &config);
+    let lines: Vec<u32> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "structured-logging")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(lines.len(), 2, "{:#?}", report.findings);
+    assert!(report.failed(false), "errors must gate --check");
+
+    // Binaries and out-of-scope paths are exempt.
+    for exempt in [
+        "crates/service/src/bin/ebi_serve.rs",
+        "crates/bench/src/bin/tool.rs",
+    ] {
+        let report = ebi_lint::run_on_source(exempt, &src, &config);
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| f.lint == "structured-logging"),
+            "{exempt} must be exempt: {:#?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
 fn severities_render_in_jsonl() {
     let report = ebi_lint::run_on_source("pool.rs", &fixture("abba_pool.rs"), &pool_config());
     let jsonl = report.to_jsonl();

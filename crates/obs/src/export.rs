@@ -216,12 +216,22 @@ pub fn metrics_json_lines(samples: &[MetricSample]) -> String {
                 obj.str("kind", "gauge").i64("value", *v);
             }
             MetricValue::Histogram(h) => {
+                // Full cumulative series, mirroring the Prometheus
+                // `_bucket{le=…}` output, so the JSON dump is a
+                // complete distribution rather than three quantile
+                // point estimates.
+                let buckets: Vec<String> = cumulative_buckets(h)
+                    .into_iter()
+                    .map(|(le, cum)| format!("[{le},{cum}]"))
+                    .collect();
                 obj.str("kind", "histogram")
                     .u64("count", h.count)
                     .u64("sum", h.sum)
+                    .f64("mean", h.mean())
                     .u64("p50", h.p50())
                     .u64("p95", h.p95())
-                    .u64("p99", h.p99());
+                    .u64("p99", h.p99())
+                    .raw("buckets", &json_array(&buckets));
             }
         }
         out.push_str(&obj.finish());
@@ -304,6 +314,12 @@ mod tests {
         assert!(lines[0].starts_with("{\"name\":\"a_total\""));
         assert!(lines[1].contains("\"phase\":\"eval\""));
         assert!(lines[1].contains("\"p50\":7"), "log2 bound of 5 is 7");
+        assert!(
+            lines[1].contains("\"buckets\":[[7,1]]"),
+            "histograms carry the full cumulative bucket series: {}",
+            lines[1]
+        );
+        assert!(lines[1].contains("\"mean\":5"));
     }
 
     #[test]

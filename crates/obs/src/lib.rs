@@ -23,7 +23,18 @@
 //!   today's `QueryStats` / `AccessTracker` / `KernelStats` plus pager
 //!   and buffer-pool deltas;
 //! * [`export`] — the shared renderers: JSON lines, Prometheus text
-//!   format, and the human-readable `EXPLAIN ANALYZE` tree.
+//!   format, and the human-readable `EXPLAIN ANALYZE` tree;
+//! * [`context`] — [`context::TraceContext`], the per-request trace
+//!   identity propagated in `traceparent` form across frontends and
+//!   worker threads;
+//! * [`trace_ring`] — tail sampling: a lock-sharded ring of the most
+//!   recent completed traces plus a slow-query log (rolling p99 or
+//!   fixed threshold), each entry carrying its full
+//!   [`report::QueryReport`];
+//! * [`log`] — leveled structured JSONL logging (schema `ebi.log.v1`)
+//!   with request correlation and a stderr / rotating-file sink;
+//! * [`chrome`] — Chrome trace-event rendering of retained traces,
+//!   loadable in Perfetto.
 //!
 //! The crate depends on nothing but `parking_lot`, so every other
 //! workspace crate can link it without cycles.
@@ -43,14 +54,20 @@
 //! ebi_obs::set_enabled(false);
 //! ```
 
+pub mod chrome;
+pub mod context;
 pub mod export;
+pub mod log;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace_ring;
 
+pub use context::TraceContext;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use report::{CostCounters, IndexLayout, PhaseNode, QueryReport, StorageCounters};
 pub use span::{Span, SpanHandle, SpanRecord, Trace};
+pub use trace_ring::{RetainedTrace, TraceRing, TraceRingConfig};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 

@@ -176,6 +176,20 @@ impl SpanHandle {
     pub fn child(&self, name: &str) -> Span {
         Span::open(self.trace, self.id, name)
     }
+
+    /// The owning trace id (`0` for a handle of a dead span). Workers
+    /// stamp this on their records' attributes so cross-thread
+    /// parentage is checkable end to end.
+    #[must_use]
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+
+    /// The referenced span's id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
 /// An RAII span guard: records `name`, wall time and attributes into

@@ -18,6 +18,7 @@
 //! Every flag also has an `EBI_SERVICE_*` environment override (flags
 //! win); see `--help`.
 
+use ebi_obs::log as obslog;
 use ebi_service::{ColumnSpec, ServiceConfig, ShardedTable, TableOptions};
 use ebi_storage::Cell;
 use std::io::Write as _;
@@ -40,10 +41,20 @@ OPTIONS:
     -h, --help        print this help
 
 PROTOCOLS:
-    TCP  : PING | STATS | SHUTDOWN | COUNT <dnf> | QUERY <dnf> [LIMIT k] | EXPLAIN <dnf>
+    TCP  : PING | STATS | SHUTDOWN | TRACES [n] | SLOW [n]
+           | COUNT <dnf> | QUERY <dnf> [LIMIT k] | EXPLAIN <dnf>
+           (any request may be prefixed with `TRACEPARENT <w3c-traceparent>`)
     HTTP : GET /healthz | GET /stats | GET /metrics | GET /query?q=<dnf>&limit=k
            GET /count?q=<dnf> | GET /explain?q=<dnf> | POST /shutdown
+           GET /debug/traces | GET /debug/slow | GET /debug/trace/<id> | GET /debug/vars
     <dnf>: clause {AND|OR clause}*   clause: col=v | col IN a,b,c | col BETWEEN lo hi
+
+TELEMETRY:
+    Structured JSONL logs go to stderr, or a rotating file via EBI_LOG=<path>
+    (EBI_LOG_LEVEL, EBI_LOG_MAX_BYTES). A tail-sampling ring keeps the most
+    recent traces plus everything slower than rolling p99 (or a fixed
+    EBI_SLOW_QUERY_MS); ring sizes via EBI_SERVICE_TRACE_RING /
+    EBI_SERVICE_SLOW_RING. /debug/trace/<id> emits Chrome trace-event JSON.
 ";
 
 fn die(msg: &str) -> ! {
@@ -106,17 +117,15 @@ fn main() {
     ) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("error: {e}");
+            obslog::error("service.bin", "table build failed").str("error", &e.to_string());
             std::process::exit(1);
         }
     };
-    eprintln!(
-        "ebi_serve: {} rows, {} shards, {} workers, max_inflight {}",
-        table.rows(),
-        table.shards().len(),
-        cfg.workers,
-        cfg.max_inflight
-    );
+    obslog::info("service.bin", "table built")
+        .u64("rows", table.rows() as u64)
+        .u64("shards", table.shards().len() as u64)
+        .u64("workers", cfg.workers as u64)
+        .u64("max_inflight", cfg.max_inflight as u64);
 
     let summary = ebi_service::run(&table, &cfg, |handle| {
         // The one machine-parseable line scripts wait for.
@@ -128,12 +137,15 @@ fn main() {
         let _ = std::io::stdout().flush();
     });
     match summary {
-        Ok(s) => eprintln!(
-            "ebi_serve: drained; served={} busy={} draining={} timeouts={}",
-            s.served, s.rejected_busy, s.rejected_draining, s.timeouts
-        ),
+        Ok(s) => {
+            obslog::info("service.bin", "service drained")
+                .u64("served", s.served)
+                .u64("busy", s.rejected_busy)
+                .u64("draining", s.rejected_draining)
+                .u64("timeouts", s.timeouts);
+        }
         Err(e) => {
-            eprintln!("error: {e}");
+            obslog::error("service.bin", "serve failed").str("error", &e.to_string());
             std::process::exit(1);
         }
     }

@@ -21,6 +21,8 @@ pub struct HttpRequest {
     pub body: String,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Raw `traceparent` header value, if the client sent one.
+    pub traceparent: Option<String>,
 }
 
 /// Reads one request from the stream. `Ok(None)` means the peer
@@ -44,6 +46,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
     let version = parts.next().unwrap_or("HTTP/1.1");
     let mut keep_alive = version.ends_with("1.1");
     let mut content_length = 0usize;
+    let mut traceparent = None;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -62,6 +65,8 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
                 }
             } else if name.eq_ignore_ascii_case("connection") {
                 keep_alive = !value.eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case("traceparent") {
+                traceparent = Some(value.to_string());
             }
         }
     }
@@ -78,6 +83,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
         query,
         body,
         keep_alive,
+        traceparent,
     }))
 }
 
@@ -135,7 +141,9 @@ fn hex(b: Option<&u8>) -> Option<u8> {
     }
 }
 
-/// Writes one fixed-length response.
+/// Writes one fixed-length response. `extra_headers` is for
+/// response-scoped additions such as the echoed `traceparent`; names
+/// and values must already be header-safe (no CR/LF).
 ///
 /// # Errors
 ///
@@ -147,12 +155,20 @@ pub fn write_response(
     content_type: &str,
     body: &str,
     keep_alive: bool,
+    extra_headers: &[(&str, &str)],
 ) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

@@ -48,7 +48,7 @@ pub mod shard;
 pub use error::ServiceError;
 pub use pool::{AdmissionGate, FanOut, Refusal, WorkerPool};
 pub use protocol::{parse_dnf, parse_request, Request};
-pub use server::{run, Answer, ServiceConfig, ServiceHandle, ServiceSummary};
+pub use server::{eval_shard, run, Answer, ServiceConfig, ServiceHandle, ServiceSummary};
 pub use shard::{
     Clause, ColumnSpec, CompiledClause, CompiledQuery, DnfRequest, Predicate, Shard, ShardOutcome,
     ShardedTable, TableOptions,

@@ -6,10 +6,20 @@
 //! PING
 //! STATS
 //! SHUTDOWN
+//! TRACES [n]
+//! SLOW [n]
 //! COUNT  <dnf>
 //! QUERY  <dnf> [LIMIT k]
 //! EXPLAIN <dnf>
 //! ```
+//!
+//! Any line may carry a leading `TRACEPARENT <value>` field — the
+//! line-protocol equivalent of the HTTP `traceparent` header — which
+//! [`split_traceparent`] strips before verb parsing; the service
+//! adopts the carried trace id and echoes it in the answer.
+//! `TRACES` and `SLOW` page the retained-trace ring / slow-query log
+//! as JSON lines (newest-last, optionally capped at `n`), terminated
+//! by a lone `.` line.
 //!
 //! where `<dnf>` is `clause AND clause ... OR clause AND ...` and a
 //! clause is one of
@@ -36,6 +46,10 @@ pub enum Request {
     Stats,
     /// Begin graceful shutdown.
     Shutdown,
+    /// Retained recent traces as JSON lines, capped at the count.
+    Traces(usize),
+    /// Retained slow traces as JSON lines, capped at the count.
+    Slow(usize),
     /// COUNT(*) of a selection.
     Count(DnfRequest),
     /// Selection returning matches and up to `limit` row ids.
@@ -66,6 +80,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "PING" => Ok(Request::Ping),
         "STATS" => Ok(Request::Stats),
         "SHUTDOWN" => Ok(Request::Shutdown),
+        "TRACES" => Ok(Request::Traces(parse_count(rest)?)),
+        "SLOW" => Ok(Request::Slow(parse_count(rest)?)),
         "COUNT" => Ok(Request::Count(parse_dnf(rest)?)),
         "EXPLAIN" => Ok(Request::Explain(parse_dnf(rest)?)),
         "QUERY" => {
@@ -73,9 +89,38 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Query(parse_dnf(body)?, limit))
         }
         other => Err(format!(
-            "unknown verb {other:?} (expected PING, STATS, SHUTDOWN, COUNT, QUERY or EXPLAIN)"
+            "unknown verb {other:?} (expected PING, STATS, SHUTDOWN, TRACES, SLOW, COUNT, QUERY or EXPLAIN)"
         )),
     }
+}
+
+/// Splits a leading `TRACEPARENT <value>` field off a request line,
+/// returning the raw value (unvalidated — the server decides whether
+/// to adopt or re-mint) and the remaining request text.
+#[must_use]
+pub fn split_traceparent(line: &str) -> (Option<&str>, &str) {
+    let line = line.trim();
+    let Some((head, rest)) = line.split_once(char::is_whitespace) else {
+        return (None, line);
+    };
+    if !head.eq_ignore_ascii_case("TRACEPARENT") {
+        return (None, line);
+    }
+    let rest = rest.trim();
+    match rest.split_once(char::is_whitespace) {
+        Some((value, request)) => (Some(value), request.trim()),
+        None => (Some(rest), ""),
+    }
+}
+
+/// Parses the optional count argument of `TRACES` / `SLOW`
+/// (`usize::MAX` when absent = everything retained).
+fn parse_count(rest: &str) -> Result<usize, String> {
+    if rest.is_empty() {
+        return Ok(usize::MAX);
+    }
+    rest.parse()
+        .map_err(|_| format!("bad count {rest:?} (expected an unsigned integer)"))
 }
 
 /// Splits a trailing `LIMIT k` off a QUERY body.
@@ -243,6 +288,33 @@ mod tests {
             Request::Query(_, l) => assert_eq!(l, MAX_LIMIT),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn traces_and_slow_take_an_optional_count() {
+        assert_eq!(parse_request("TRACES").unwrap(), Request::Traces(usize::MAX));
+        assert_eq!(parse_request("traces 10").unwrap(), Request::Traces(10));
+        assert_eq!(parse_request("SLOW 3").unwrap(), Request::Slow(3));
+        assert_eq!(parse_request("SLOW").unwrap(), Request::Slow(usize::MAX));
+        assert!(parse_request("TRACES many").is_err());
+    }
+
+    #[test]
+    fn traceparent_field_strips_off_any_verb() {
+        let tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+        let line = format!("TRACEPARENT {tp} COUNT a=1");
+        let (got, rest) = split_traceparent(&line);
+        assert_eq!(got, Some(tp));
+        assert_eq!(rest, "COUNT a=1");
+        let (got, rest) = split_traceparent("traceparent xyz PING");
+        assert_eq!(got, Some("xyz"));
+        assert_eq!(rest, "PING");
+        let (got, rest) = split_traceparent("COUNT a=1");
+        assert_eq!(got, None);
+        assert_eq!(rest, "COUNT a=1");
+        let (got, rest) = split_traceparent("TRACEPARENT onlyvalue");
+        assert_eq!(got, Some("onlyvalue"));
+        assert_eq!(rest, "");
     }
 
     #[test]

@@ -34,7 +34,11 @@ use crate::pool::{AdmissionGate, FanOut, Refusal, WorkerPool};
 use crate::protocol::{self, Request};
 use crate::shard::{merge_cost, CompiledQuery, DnfRequest, ShardOutcome, ShardedTable};
 use ebi_obs::export::JsonObject;
-use ebi_obs::{CostCounters, PhaseNode, QueryReport, StorageCounters};
+use ebi_obs::log as obslog;
+use ebi_obs::{
+    CostCounters, PhaseNode, QueryReport, StorageCounters, TraceContext, TraceRing,
+    TraceRingConfig,
+};
 use ebi_storage::BufferPool;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -67,6 +71,14 @@ pub struct ServiceConfig {
     /// serially on the connection thread instead of fanned out.
     /// Defaults to the core engine's auto-serialise threshold.
     pub min_dispatch_words: u64,
+    /// Recent-trace ring capacity (tail sampling; see
+    /// [`ebi_obs::trace_ring`]).
+    pub trace_ring: usize,
+    /// Slow-query log capacity.
+    pub slow_ring: usize,
+    /// Fixed slow-query threshold in milliseconds; `None` uses the
+    /// rolling p99 estimate.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +92,9 @@ impl Default for ServiceConfig {
             timeout: Duration::from_secs(10),
             buffer_frames: 64,
             min_dispatch_words: ebi_core::parallel::MIN_PARALLEL_WORK_WORDS,
+            trace_ring: 64,
+            slow_ring: 256,
+            slow_query_ms: None,
         }
     }
 }
@@ -87,7 +102,9 @@ impl Default for ServiceConfig {
 impl ServiceConfig {
     /// Defaults overridden by `EBI_SERVICE_ADDR`,
     /// `EBI_SERVICE_HTTP_ADDR`, `EBI_SERVICE_WORKERS`,
-    /// `EBI_SERVICE_MAX_INFLIGHT` and `EBI_SERVICE_TIMEOUT_MS`.
+    /// `EBI_SERVICE_MAX_INFLIGHT`, `EBI_SERVICE_TIMEOUT_MS`,
+    /// `EBI_SERVICE_MIN_DISPATCH_WORDS`, `EBI_SERVICE_TRACE_RING`,
+    /// `EBI_SERVICE_SLOW_RING` and `EBI_SLOW_QUERY_MS`.
     #[must_use]
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
@@ -108,6 +125,15 @@ impl ServiceConfig {
         }
         if let Some(v) = env_usize("EBI_SERVICE_MIN_DISPATCH_WORDS") {
             cfg.min_dispatch_words = v as u64;
+        }
+        if let Some(v) = env_usize("EBI_SERVICE_TRACE_RING") {
+            cfg.trace_ring = v.max(1);
+        }
+        if let Some(v) = env_usize("EBI_SERVICE_SLOW_RING") {
+            cfg.slow_ring = v.max(1);
+        }
+        if let Some(v) = env_usize("EBI_SLOW_QUERY_MS") {
+            cfg.slow_query_ms = Some(v as u64);
         }
         cfg
     }
@@ -209,8 +235,10 @@ struct ServeCtx<'p, 'env: 'p> {
     workers: &'p WorkerPool<'env>,
     gate: &'env AdmissionGate,
     counters: &'env Counters,
+    ring: &'env TraceRing,
     cfg: &'env ServiceConfig,
     handle: ServiceHandle,
+    started: Instant,
 }
 
 /// The result of one admitted query.
@@ -218,6 +246,9 @@ struct ServeCtx<'p, 'env: 'p> {
 pub struct Answer {
     /// Process-unique query id.
     pub query_id: u64,
+    /// Outbound `traceparent` (the request's trace id with this
+    /// query's id as the parent span field), echoed to the client.
+    pub traceparent: String,
     /// Matching rows (global row-id space).
     pub matches: u64,
     /// Up to `limit` matching global row ids.
@@ -275,6 +306,11 @@ pub fn run(
     // and buffer pools those jobs reference.
     let gate = AdmissionGate::new(cfg.max_inflight);
     let counters = Counters::default();
+    let ring = TraceRing::new(TraceRingConfig {
+        capacity: cfg.trace_ring,
+        slow_capacity: cfg.slow_ring,
+        slow_threshold_ns: cfg.slow_query_ms.map(|ms| ms.saturating_mul(1_000_000)),
+    });
     let workers = WorkerPool::new(cfg.workers);
     let ctx = ServeCtx {
         table,
@@ -282,9 +318,16 @@ pub fn run(
         workers: &workers,
         gate: &gate,
         counters: &counters,
+        ring: &ring,
         cfg,
         handle: handle.clone(),
+        started: Instant::now(),
     };
+    obslog::info("service.server", "service listening")
+        .str("tcp", &handle.tcp_addr().to_string())
+        .str("http", &handle.http_addr().to_string())
+        .u64("workers", cfg.workers as u64)
+        .u64("max_inflight", cfg.max_inflight as u64);
     crossbeam::thread::scope(|scope| {
         for i in 0..cfg.workers {
             let w = &workers;
@@ -296,6 +339,7 @@ pub fn run(
         on_ready(handle.clone());
         handle.wait();
         // Drain: refuse new work, let every admitted query answer.
+        obslog::info("service.server", "draining").u64("inflight", gate.inflight() as u64);
         gate.begin_drain();
         gate.await_drain();
         workers.close();
@@ -423,8 +467,14 @@ fn status_of(response: &str) -> &'static str {
 }
 
 /// Answers one protocol line; the bool asks the caller to close the
-/// connection afterwards.
+/// connection afterwards. A leading `TRACEPARENT <value>` field is
+/// adopted as the request's trace identity (a fresh one is minted when
+/// absent or malformed) and echoed in query answers.
 fn handle_tcp_line(ctx: &ServeCtx<'_, '_>, line: &str) -> (String, bool) {
+    let (tp, line) = protocol::split_traceparent(line);
+    let tctx = tp
+        .and_then(TraceContext::parse)
+        .unwrap_or_else(TraceContext::mint);
     let request = match protocol::parse_request(line) {
         Ok(r) => r,
         Err(msg) => return (format!("ERR {msg}"), false),
@@ -436,28 +486,56 @@ fn handle_tcp_line(ctx: &ServeCtx<'_, '_>, line: &str) -> (String, bool) {
             ctx.handle.shutdown();
             ("OK draining".into(), true)
         }
-        Request::Count(d) => (admitted(ctx, &d, 0, false), false),
-        Request::Query(d, limit) => (admitted(ctx, &d, limit, false), false),
-        Request::Explain(d) => (admitted(ctx, &d, 0, true), false),
+        Request::Traces(n) => (trace_page(&ctx.ring.recent(), n), false),
+        Request::Slow(n) => (trace_page(&ctx.ring.slow(), n), false),
+        Request::Count(d) => (admitted(ctx, &d, 0, false, tctx), false),
+        Request::Query(d, limit) => (admitted(ctx, &d, limit, false, tctx), false),
+        Request::Explain(d) => (admitted(ctx, &d, 0, true, tctx), false),
     }
 }
 
+/// Renders a retained-trace page for `TRACES` / `SLOW`: an `OK <n>`
+/// line, the newest `n` traces as JSON lines, and a lone `.`
+/// terminator (the caller appends the final newline).
+fn trace_page(traces: &[Arc<ebi_obs::RetainedTrace>], n: usize) -> String {
+    let tail = &traces[traces.len().saturating_sub(n)..];
+    format!(
+        "OK {}\n{}.",
+        tail.len(),
+        TraceRing::render_json_lines(tail)
+    )
+}
+
 /// Admission + execution + rendering for the TCP protocol.
-fn admitted(ctx: &ServeCtx<'_, '_>, dnf: &DnfRequest, limit: usize, explain: bool) -> String {
+fn admitted(
+    ctx: &ServeCtx<'_, '_>,
+    dnf: &DnfRequest,
+    limit: usize,
+    explain: bool,
+    tctx: TraceContext,
+) -> String {
     let permit = match ctx.gate.try_admit() {
         Ok(p) => p,
         Err(Refusal::Busy) => {
             ctx.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            obslog::debug("service.server", "admission rejected")
+                .ctx(&tctx)
+                .str("proto", "tcp")
+                .str("reason", "busy");
             return "BUSY".into();
         }
         Err(Refusal::Draining) => {
             ctx.counters
                 .rejected_draining
                 .fetch_add(1, Ordering::Relaxed);
+            obslog::debug("service.server", "admission rejected")
+                .ctx(&tctx)
+                .str("proto", "tcp")
+                .str("reason", "draining");
             return "ERR draining".into();
         }
     };
-    let out = match execute(ctx, dnf, limit) {
+    let out = match execute(ctx, dnf, limit, tctx) {
         Outcome::Answer(a) => {
             ctx.counters.served.fetch_add(1, Ordering::Relaxed);
             let mut body = answer_json(&a);
@@ -471,6 +549,10 @@ fn admitted(ctx: &ServeCtx<'_, '_>, dnf: &DnfRequest, limit: usize, explain: boo
         }
         Outcome::TimedOut => {
             ctx.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            obslog::warn("service.server", "query timeout")
+                .ctx(&tctx)
+                .str("proto", "tcp")
+                .u64("timeout_ms", ctx.cfg.timeout.as_millis() as u64);
             "ERR timeout".into()
         }
         Outcome::Bad(msg) => format!("ERR {msg}"),
@@ -499,9 +581,15 @@ fn serve_http_conn(ctx: &ServeCtx<'_, '_>, stream: TcpStream) {
             Ok(Some(req)) => {
                 let started = Instant::now();
                 let keep = req.keep_alive && !ctx.handle.is_stopping();
-                let (status, reason, ctype, body) = route_http(ctx, &req);
+                let (status, reason, ctype, body, traceparent) = route_http(ctx, &req);
+                let extra: Vec<(&str, &str)> = traceparent
+                    .as_deref()
+                    .map(|tp| ("traceparent", tp))
+                    .into_iter()
+                    .collect();
                 let ok =
-                    http::write_response(&mut writer, status, reason, ctype, &body, keep).is_ok();
+                    http::write_response(&mut writer, status, reason, ctype, &body, keep, &extra)
+                        .is_ok();
                 record_request(
                     Proto::Http,
                     if status < 400 {
@@ -530,24 +618,53 @@ fn serve_http_conn(ctx: &ServeCtx<'_, '_>, stream: TcpStream) {
     }
 }
 
-type HttpAnswer = (u16, &'static str, &'static str, String);
+/// `(status, reason, content-type, body, echoed traceparent)`.
+type HttpAnswer = (u16, &'static str, &'static str, String, Option<String>);
 
 const JSON: &str = "application/json";
 const TEXT: &str = "text/plain; charset=utf-8";
+const NDJSON: &str = "application/x-ndjson";
+
+fn plain(status: u16, reason: &'static str, ctype: &'static str, body: String) -> HttpAnswer {
+    (status, reason, ctype, body, None)
+}
 
 fn route_http(ctx: &ServeCtx<'_, '_>, req: &HttpRequest) -> HttpAnswer {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, "OK", TEXT, "ok\n".into()),
-        ("GET", "/metrics") => (
+        ("GET", "/healthz") => plain(200, "OK", TEXT, "ok\n".into()),
+        ("GET", "/metrics") => plain(
             200,
             "OK",
             TEXT,
             ebi_obs::metrics::global().render_prometheus(),
         ),
-        ("GET", "/stats") => (200, "OK", JSON, stats_json(ctx)),
+        ("GET", "/stats") => plain(200, "OK", JSON, stats_json(ctx)),
+        ("GET", "/debug/traces") => plain(
+            200,
+            "OK",
+            NDJSON,
+            TraceRing::render_json_lines(&ctx.ring.recent()),
+        ),
+        ("GET", "/debug/slow") => plain(
+            200,
+            "OK",
+            NDJSON,
+            TraceRing::render_json_lines(&ctx.ring.slow()),
+        ),
+        ("GET", "/debug/vars") => plain(200, "OK", JSON, vars_json(ctx)),
+        ("GET", path) if path.starts_with("/debug/trace/") => {
+            let key = &path["/debug/trace/".len()..];
+            match ctx.ring.find(key) {
+                Some(t) => {
+                    let tp = t.traceparent();
+                    (200, "OK", JSON, ebi_obs::chrome::retained_to_chrome(&t), Some(tp))
+                }
+                None => plain(404, "Not Found", JSON, err_json("no such trace")),
+            }
+        }
         ("POST", "/shutdown") => {
             ctx.handle.shutdown();
-            (200, "OK", JSON, r#"{"status":"draining"}"#.into())
+            plain(200, "OK", JSON, r#"{"status":"draining"}"#.into())
         }
         ("GET" | "POST", "/count") => http_query(ctx, req, 0, false),
         ("GET" | "POST", "/query") => {
@@ -558,7 +675,7 @@ fn route_http(ctx: &ServeCtx<'_, '_>, req: &HttpRequest) -> HttpAnswer {
             http_query(ctx, req, limit, false)
         }
         ("GET" | "POST", "/explain") => http_query(ctx, req, 0, true),
-        _ => (404, "Not Found", JSON, r#"{"error":"not found"}"#.into()),
+        _ => plain(404, "Not Found", JSON, r#"{"error":"not found"}"#.into()),
     }
 }
 
@@ -591,27 +708,44 @@ fn http_query(
     limit: usize,
     explain: bool,
 ) -> HttpAnswer {
+    // Adopt the client's traceparent (W3C header) or mint a fresh
+    // identity; every outcome, including refusals, echoes the trace so
+    // the client can correlate with the server's logs.
+    let tctx = req
+        .traceparent
+        .as_deref()
+        .and_then(TraceContext::parse)
+        .unwrap_or_else(TraceContext::mint);
+    let echo = Some(tctx.to_traceparent(tctx.parent_id()));
     let Some(text) = http_query_text(req) else {
-        return (400, "Bad Request", JSON, err_json("missing query (q=)"));
+        return (400, "Bad Request", JSON, err_json("missing query (q=)"), echo);
     };
     let dnf = match protocol::parse_dnf(&text) {
         Ok(d) => d,
-        Err(msg) => return (400, "Bad Request", JSON, err_json(&msg)),
+        Err(msg) => return (400, "Bad Request", JSON, err_json(&msg), echo),
     };
     let permit = match ctx.gate.try_admit() {
         Ok(p) => p,
         Err(Refusal::Busy) => {
             ctx.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
-            return (429, "Too Many Requests", JSON, err_json("busy"));
+            obslog::debug("service.server", "admission rejected")
+                .ctx(&tctx)
+                .str("proto", "http")
+                .str("reason", "busy");
+            return (429, "Too Many Requests", JSON, err_json("busy"), echo);
         }
         Err(Refusal::Draining) => {
             ctx.counters
                 .rejected_draining
                 .fetch_add(1, Ordering::Relaxed);
-            return (503, "Service Unavailable", JSON, err_json("draining"));
+            obslog::debug("service.server", "admission rejected")
+                .ctx(&tctx)
+                .str("proto", "http")
+                .str("reason", "draining");
+            return (503, "Service Unavailable", JSON, err_json("draining"), echo);
         }
     };
-    let out = match execute(ctx, &dnf, limit) {
+    let out = match execute(ctx, &dnf, limit, tctx) {
         Outcome::Answer(a) => {
             ctx.counters.served.fetch_add(1, Ordering::Relaxed);
             let mut body = answer_json(&a);
@@ -621,13 +755,18 @@ fn http_query(
                     .str("explain", &a.report.explain_analyze())
                     .finish();
             }
-            (200, "OK", JSON, body)
+            let echo = Some(a.traceparent.clone());
+            (200, "OK", JSON, body, echo)
         }
         Outcome::TimedOut => {
             ctx.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-            (504, "Gateway Timeout", JSON, err_json("timeout"))
+            obslog::warn("service.server", "query timeout")
+                .ctx(&tctx)
+                .str("proto", "http")
+                .u64("timeout_ms", ctx.cfg.timeout.as_millis() as u64);
+            (504, "Gateway Timeout", JSON, err_json("timeout"), echo)
         }
-        Outcome::Bad(msg) => (400, "Bad Request", JSON, err_json(&msg)),
+        Outcome::Bad(msg) => (400, "Bad Request", JSON, err_json(&msg), echo),
     };
     drop(permit);
     out
@@ -641,8 +780,11 @@ fn err_json(msg: &str) -> String {
 // Query execution (shared by both protocols)
 // ---------------------------------------------------------------------------
 
-/// Compiles, fans out, merges and reports one admitted query.
-fn execute(ctx: &ServeCtx<'_, '_>, dnf: &DnfRequest, limit: usize) -> Outcome {
+/// Compiles, fans out, merges and reports one admitted query. `tctx`
+/// is the request's trace identity: it correlates the retained trace,
+/// the structured log lines, and the `traceparent` echoed in the
+/// answer.
+fn execute(ctx: &ServeCtx<'_, '_>, dnf: &DnfRequest, limit: usize, tctx: TraceContext) -> Outcome {
     let started = Instant::now();
     let query_id = ebi_obs::next_query_id();
     let trace = ebi_obs::Trace::begin();
@@ -764,8 +906,27 @@ fn execute(ctx: &ServeCtx<'_, '_>, dnf: &DnfRequest, limit: usize) -> Outcome {
     if ebi_obs::enabled() {
         report.publish(ebi_obs::metrics::global());
     }
+    // Tail sampling is always on: the ring keeps the N most recent
+    // traces plus everything over the slow threshold, independent of
+    // the span subscriber (with it disabled the retained report simply
+    // has no phase tree).
+    let retained = ctx.ring.record(tctx, query_id, report.clone());
+    if retained.slow {
+        if ebi_obs::enabled() {
+            ebi_obs::metrics::global()
+                .counter("ebi_service_slow_queries_total", &[])
+                .inc();
+        }
+        obslog::warn("service.server", "slow query")
+            .ctx(&tctx)
+            .query(query_id)
+            .u64("wall_ns", retained.wall_ns)
+            .u64("threshold_ns", retained.threshold_ns)
+            .str("label", &report.label);
+    }
     Outcome::Answer(Box::new(Answer {
         query_id,
+        traceparent: tctx.to_traceparent(query_id),
         matches,
         rows,
         wall_ns: report.wall_ns,
@@ -777,8 +938,14 @@ fn execute(ctx: &ServeCtx<'_, '_>, dnf: &DnfRequest, limit: usize) -> Outcome {
 /// Evaluates one shard and fetches its matching heap pages — the unit
 /// of work a pool worker runs, wrapped in an `eval.worker` span hung
 /// off the query's `fanout` span (cross-thread parentage via the
-/// captured handle, same idiom as the core parallel engine).
-fn eval_shard(
+/// captured handle, same idiom as the core parallel engine). The span
+/// carries the owning trace id (`trace` attribute) so pool hand-off is
+/// checkable end to end, and per-shard latency lands in
+/// `shard`-labelled service metrics so fan-out skew shows in a scrape.
+///
+/// Public for the telemetry proptests and benches, which drive real
+/// shard evaluations through a [`WorkerPool`] without a socket.
+pub fn eval_shard(
     shard: &crate::shard::Shard,
     pool: &BufferPool<'_>,
     compiled: &CompiledQuery,
@@ -797,11 +964,20 @@ fn eval_shard(
     );
     let wall_ns = started.elapsed().as_nanos() as u64;
     if span.is_live() {
+        span.attr("trace", parent.trace());
         span.attr("shard", shard.id() as u64);
         span.attr("rows", shard.rows() as u64);
         span.attr("matches", bitmap.count_ones() as u64);
         span.attr("vectors_accessed", cost.vectors_accessed);
         span.attr("pages", pages);
+    }
+    if ebi_obs::enabled() {
+        let reg = ebi_obs::metrics::global();
+        let sid = shard.id().to_string();
+        reg.counter("ebi_service_shard_evals_total", &[("shard", &sid)])
+            .inc();
+        reg.histogram("ebi_service_shard_eval_ns", &[("shard", &sid)])
+            .record(wall_ns);
     }
     ShardOutcome {
         shard: shard.id(),
@@ -844,6 +1020,7 @@ fn answer_json(a: &Answer) -> String {
     let rows: Vec<String> = a.rows.iter().map(u64::to_string).collect();
     JsonObject::new()
         .u64("query_id", a.query_id)
+        .str("trace", &a.traceparent)
         .u64("matches", a.matches)
         .raw("rows", &format!("[{}]", rows.join(",")))
         .u64("wall_ns", a.wall_ns)
@@ -874,6 +1051,47 @@ fn stats_json(ctx: &ServeCtx<'_, '_>) -> String {
             ctx.counters.rejected_draining.load(Ordering::Relaxed),
         )
         .u64("timeouts", ctx.counters.timeouts.load(Ordering::Relaxed))
+        .u64("uptime_ms", ctx.started.elapsed().as_millis() as u64)
+        .u64("slow_queries", ctx.ring.slow_total())
+        .u64("traces_recorded", ctx.ring.total())
+        .u64("slow_threshold_ns", ctx.ring.threshold_ns())
         .bool("draining", ctx.handle.is_stopping())
+        .finish()
+}
+
+/// `/debug/vars`: build identity, uptime, admission/ring state, and a
+/// full JSON dump of the metrics registry (one object per instrument,
+/// histograms with their complete cumulative bucket series).
+fn vars_json(ctx: &ServeCtx<'_, '_>) -> String {
+    let metrics: Vec<String> = ebi_obs::metrics::global()
+        .render_json_lines()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    JsonObject::new()
+        .str("build", concat!("ebi-service/", env!("CARGO_PKG_VERSION")))
+        .u64("uptime_ms", ctx.started.elapsed().as_millis() as u64)
+        .u64("inflight", ctx.gate.inflight() as u64)
+        .u64("max_inflight", ctx.gate.max_inflight() as u64)
+        .u64("workers", ctx.workers.workers() as u64)
+        .u64("served", ctx.counters.served.load(Ordering::Relaxed))
+        .u64(
+            "rejected_busy",
+            ctx.counters.rejected_busy.load(Ordering::Relaxed),
+        )
+        .u64(
+            "rejected_draining",
+            ctx.counters.rejected_draining.load(Ordering::Relaxed),
+        )
+        .u64("timeouts", ctx.counters.timeouts.load(Ordering::Relaxed))
+        .u64("traces_recorded", ctx.ring.total())
+        .u64("traces_retained", ctx.ring.recent().len() as u64)
+        .u64("slow_queries", ctx.ring.slow_total())
+        .u64("slow_retained", ctx.ring.slow().len() as u64)
+        .u64("slow_threshold_ns", ctx.ring.threshold_ns())
+        .u64("trace_ring_capacity", ctx.cfg.trace_ring as u64)
+        .u64("slow_ring_capacity", ctx.cfg.slow_ring as u64)
+        .bool("draining", ctx.handle.is_stopping())
+        .raw("metrics", &ebi_obs::export::json_array(&metrics))
         .finish()
 }

@@ -210,6 +210,43 @@ fn http_frontend_answers_match_library_and_metrics_render() {
     });
 }
 
+/// `STATS` (TCP) and `GET /stats` (HTTP) must expose the same schema:
+/// the same key set, including the telemetry additions (uptime,
+/// inflight, admission-rejected and slow-query counts).
+#[test]
+fn tcp_stats_and_http_stats_agree() {
+    let table = small_table(3);
+    with_service(&table, &test_config(), |h| {
+        let _ = tcp_line(h.tcp_addr(), "COUNT a=1");
+        let stats = tcp_line(h.tcp_addr(), "STATS");
+        let stats = stats.strip_prefix("OK ").expect("OK payload");
+        let (status, body) = http_get(h.http_addr(), "/stats");
+        assert_eq!(status, 200);
+        let keys = |json: &str| -> Vec<String> {
+            json.split('"')
+                .skip(1)
+                .step_by(2)
+                .filter(|k| json.contains(&format!("\"{k}\":")))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(keys(stats), keys(body.trim()), "stats schemas diverged");
+        for key in [
+            "uptime_ms",
+            "inflight",
+            "rejected_busy",
+            "rejected_draining",
+            "slow_queries",
+        ] {
+            assert!(
+                json_u64(stats, key).is_some(),
+                "STATS missing {key}: {stats}"
+            );
+            assert!(json_u64(&body, key).is_some(), "/stats missing {key}");
+        }
+    });
+}
+
 #[test]
 fn sharded_and_unsharded_services_agree() {
     let sharded = small_table(7);

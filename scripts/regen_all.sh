@@ -41,6 +41,38 @@ for f in BENCH_eval BENCH_compressed BENCH_scaling BENCH_service; do
 done
 python3 scripts/validate_bench_schema.py bench_baselines/*.smoke.json
 
+echo "==== observability artefacts (reports, overhead, service telemetry) ===="
+./target/release/explain
+python3 scripts/validate_obs_schema.py bench_results/obs_queries.jsonl
+./target/release/obs_overhead --check
+python3 -m json.tool BENCH_obs.json > /dev/null
+
+# Live service telemetry: run a short ebi_serve session with worst-case
+# tail sampling (every query slow) and a file log sink, dump the trace
+# ring, and commit both JSONL artefacts.
+cargo build --release -p ebi-service --bin ebi_serve
+rm -f bench_results/service_log.jsonl
+obs_work=$(mktemp -d)
+EBI_SERVICE_MIN_DISPATCH_WORDS=0 EBI_SLOW_QUERY_MS=0 \
+  EBI_LOG="bench_results/service_log.jsonl" EBI_LOG_LEVEL=debug \
+  ./target/release/ebi_serve --rows 20000 --shards 4 >"$obs_work/stdout" &
+obs_pid=$!
+for _ in $(seq 1 100); do
+  grep -q '^EBI_SERVICE ' "$obs_work/stdout" 2>/dev/null && break
+  sleep 0.1
+done
+obs_ready=$(grep -m1 '^EBI_SERVICE ' "$obs_work/stdout")
+obs_http=${obs_ready#*http=}
+for q in "a=1" "a IN 1,3,5 AND b BETWEEN 0 3" "c BETWEEN 1 9" "b=0 OR a=2"; do
+  curl -sf "http://$obs_http/count?q=$(python3 -c 'import sys,urllib.parse; print(urllib.parse.quote(sys.argv[1]))' "$q")" > /dev/null
+done
+curl -sf "http://$obs_http/debug/traces" > bench_results/service_traces.jsonl
+curl -sf -X POST "http://$obs_http/shutdown" > /dev/null
+wait "$obs_pid"
+rm -rf "$obs_work"
+python3 scripts/validate_obs_schema.py bench_results/service_traces.jsonl
+python3 scripts/validate_obs_schema.py bench_results/service_log.jsonl
+
 echo "==== ebi-lint (committed lint report) ===="
 cargo run --release -p ebi-lint -- --check --deny-warnings
 python3 scripts/validate_lint_schema.py bench_results/lint_report.jsonl

@@ -2,8 +2,11 @@
 # Black-box smoke test for the query service: starts a real ebi_serve
 # process, fires concurrent mixed-protocol traffic from both frontends,
 # asserts the two protocols answer bit-identically and deterministically,
-# checks /metrics parses, then exercises graceful shutdown with requests
-# still in flight. Run from the workspace root (CI: service-smoke job).
+# checks /metrics parses, exercises every /debug/* telemetry endpoint
+# (trace ring, slow log, Chrome export, vars) plus trace propagation,
+# validates the structured JSONL log and trace dumps against their
+# schemas, then exercises graceful shutdown with requests still in
+# flight. Run from the workspace root (CI: service-smoke job).
 set -euo pipefail
 
 BIN=./target/release/ebi_serve
@@ -15,8 +18,11 @@ workdir=$(mktemp -d)
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 # Force the fan-out path even for this small table so the smoke
-# exercises the worker pool, not just the serial fallback.
-EBI_SERVICE_MIN_DISPATCH_WORDS=0 \
+# exercises the worker pool, not just the serial fallback. A 0ms slow
+# threshold classifies every query slow (worst-case tail-sampling), and
+# EBI_LOG routes the structured JSONL log to a file we validate below.
+EBI_SERVICE_MIN_DISPATCH_WORDS=0 EBI_SLOW_QUERY_MS=0 \
+  EBI_LOG="$workdir/service_log.jsonl" EBI_LOG_LEVEL=debug \
   "$BIN" --rows 20000 --shards 5 --max-inflight 6 >"$workdir/stdout" 2>"$workdir/stderr" &
 pid=$!
 
@@ -34,8 +40,10 @@ tcp=${ready#*tcp=}; tcp=${tcp%% *}
 http=${ready#*http=}
 echo "service up: tcp=$tcp http=$http"
 
-python3 - "$tcp" "$http" <<'PYEOF'
+python3 - "$tcp" "$http" "$workdir" <<'PYEOF'
 import json
+import os
+import re
 import socket
 import sys
 import threading
@@ -44,6 +52,7 @@ import urllib.parse
 
 tcp_host, tcp_port = sys.argv[1].rsplit(":", 1)
 http_base = f"http://{sys.argv[2]}"
+workdir = sys.argv[3]
 
 QUERIES = [
     "a=1",
@@ -130,10 +139,89 @@ assert "eval.worker" in explain, f"EXPLAIN lost the per-shard spans: {explain[:2
 stats = json.loads(tcp_line("STATS")[3:])
 assert stats["shards"] == 5 and stats["max_inflight"] == 6
 
+# --- telemetry: trace propagation + every /debug/* endpoint ---
+TP = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+TRACE32 = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+resp = tcp_line(f"TRACEPARENT {TP} COUNT {QUERIES[0]}")
+assert resp.startswith("OK {"), f"traceparent request refused: {resp}"
+echoed = json.loads(resp[3:])["trace"]
+assert echoed.startswith(f"00-{TRACE32}-"), f"TCP did not adopt the inbound trace: {echoed}"
+
+req = urllib.request.Request(http_base + "/count?q=" + urllib.parse.quote(QUERIES[0]))
+req.add_header("traceparent", TP)
+with urllib.request.urlopen(req, timeout=10) as r:
+    hdr = r.headers.get("traceparent", "")
+    assert hdr.startswith(f"00-{TRACE32}-"), f"HTTP echo missing/wrong: {hdr!r}"
+    assert json.loads(r.read().decode())["trace"] == hdr
+
+status, traces = http_get("/debug/traces")
+assert status == 200
+trace_lines = [json.loads(l) for l in traces.splitlines() if l.strip()]
+assert trace_lines, "/debug/traces is empty"
+for doc in trace_lines:
+    assert doc["schema"] == "ebi.trace.v1", doc
+    assert re.fullmatch(r"[0-9a-f]{32}", doc["trace"]), doc["trace"]
+    assert doc["report"]["schema"] == "ebi.query_report.v1", doc
+assert any(d["trace"] == TRACE32 for d in trace_lines), "inbound trace not retained"
+
+status, slow = http_get("/debug/slow")
+assert status == 200
+slow_lines = [json.loads(l) for l in slow.splitlines() if l.strip()]
+assert slow_lines, "/debug/slow empty despite EBI_SLOW_QUERY_MS=0"
+assert all(d["slow"] for d in slow_lines)
+
+status, chrome = http_get(f"/debug/trace/{TRACE32}")
+assert status == 200
+chrome_doc = json.loads(chrome)
+names = {e.get("name") for e in chrome_doc["traceEvents"]}
+assert "eval.worker" in names, f"Chrome export lost worker spans: {sorted(names)[:10]}"
+status, _ = http_get("/debug/trace/ffffffffffffffffffffffffffffffff", ok_codes=(404,))
+assert status == 404
+
+status, vars_body = http_get("/debug/vars")
+assert status == 200
+vars_doc = json.loads(vars_body)
+for key in ("uptime_ms", "served", "slow_queries", "traces_recorded", "metrics"):
+    assert key in vars_doc, f"/debug/vars missing {key}"
+assert vars_doc["slow_queries"] > 0
+
+with socket.create_connection((tcp_host, int(tcp_port)), timeout=10) as s:
+    s.sendall(b"TRACES 3\n")
+    buf = b""
+    while not buf.rstrip(b"\n").endswith(b"\n.") and not buf.startswith(b"ERR"):
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        buf += chunk
+page = buf.decode().splitlines()
+n = int(page[0].split()[1])
+body = [l for l in page[1:] if l and l != "."]
+assert n == len(body) == 3, f"TRACES paging broken: head={page[0]!r} body={len(body)}"
+for line in body:
+    assert json.loads(line)["schema"] == "ebi.trace.v1"
+print(f"telemetry ok: {len(trace_lines)} traces, {len(slow_lines)} slow, chrome export loads")
+
+with open(os.path.join(workdir, "service_traces.jsonl"), "w", encoding="utf-8") as f:
+    f.write(traces)
+
+# --- stats parity between frontends, with the telemetry counters ---
+tcp_stats = json.loads(tcp_line("STATS")[3:])
+_, http_stats_body = http_get("/stats")
+http_stats = json.loads(http_stats_body)
+assert set(tcp_stats) == set(http_stats), (
+    f"stats schemas diverged: {sorted(set(tcp_stats) ^ set(http_stats))}"
+)
+for key in ("uptime_ms", "inflight", "rejected_busy", "rejected_draining", "slow_queries"):
+    assert key in tcp_stats, f"STATS missing {key}"
+print("stats parity ok:", sorted(tcp_stats))
+
 # --- /metrics must parse as Prometheus text ---
 status, metrics = http_get("/metrics")
 assert status == 200
 assert "ebi_service_requests_total" in metrics
+assert 'ebi_service_shard_evals_total{shard="0"}' in metrics, "per-shard counters missing"
+assert "ebi_service_request_ns_bucket" in metrics
 for line in metrics.splitlines():
     if not line or line.startswith("#"):
         continue
@@ -174,5 +262,12 @@ if kill -0 "$pid" 2>/dev/null; then
   echo "server did not exit after drain"; exit 1
 fi
 wait "$pid"
-grep -q 'drained; served=' "$workdir/stderr" || { echo "missing drain summary"; cat "$workdir/stderr"; exit 1; }
-echo "service smoke passed: $(grep 'drained;' "$workdir/stderr")"
+grep -q '"msg":"service drained"' "$workdir/service_log.jsonl" || {
+  echo "missing drain summary in structured log"; cat "$workdir/service_log.jsonl"; exit 1;
+}
+
+# The structured log and the trace dump must validate against their
+# schemas (ebi.log.v1 / ebi.trace.v1 with embedded query reports).
+python3 scripts/validate_obs_schema.py "$workdir/service_log.jsonl"
+python3 scripts/validate_obs_schema.py "$workdir/service_traces.jsonl"
+echo "service smoke passed: $(grep '"msg":"service drained"' "$workdir/service_log.jsonl")"
